@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Every reproduction benchmark runs its experiment exactly once inside
+``benchmark.pedantic`` (the experiments are deterministic simulations;
+repeating them measures nothing new and would multiply wall time), asserts
+the paper's claim is supported, and prints the record so the bench output
+doubles as the EXPERIMENTS evidence.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one experiment under pytest-benchmark and assert its verdict."""
+
+    def _run(fn, **kwargs):
+        record = benchmark.pedantic(
+            lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        print()
+        print(record.summary())
+        assert record.supported, f"{record.id} claim not supported: {record.measured}"
+        return record
+
+    return _run

@@ -1,0 +1,28 @@
+"""Benchmarks A1-A3: ablations of DESIGN.md's design choices."""
+
+from repro.experiments import run_a1, run_a2, run_a3, run_a4, run_a5
+
+
+def test_pdes_determinism(run_experiment):
+    """A1: conservative PDES == sequential DES, with real parallelism."""
+    run_experiment(run_a1)
+
+
+def test_profile_synthesis_fidelity(run_experiment):
+    """A2: profile-synthesized workloads approximate the original (IOWA)."""
+    run_experiment(run_a2)
+
+
+def test_striping_sweep(run_experiment):
+    """A3: bandwidth grows with stripe width and transfer size."""
+    run_experiment(run_a3)
+
+
+def test_timewarp_determinism(run_experiment):
+    """A4: Time Warp optimistic execution == sequential execution."""
+    run_experiment(run_a4)
+
+
+def test_writeback_coalescing(run_experiment):
+    """A5: the client write-back cache coalesces small writes."""
+    run_experiment(run_a5)

@@ -1,0 +1,75 @@
+"""Benchmarks C1-C10: the paper's quantitative claims.
+
+Each bench reruns the claim experiment on the simulated substrate and
+asserts the *shape* of the paper's statement (who wins, roughly by how
+much, in which direction); absolute numbers are not expected to match the
+authors' testbeds.  Paper-vs-measured values are recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments import (
+    run_c1,
+    run_c2,
+    run_c3,
+    run_c4,
+    run_c5,
+    run_c6,
+    run_c7,
+    run_c8,
+    run_c9,
+    run_c10,
+)
+
+
+def test_compute_storage_gap(run_experiment):
+    """C1: compute outgrows storage bandwidth generation over generation."""
+    run_experiment(run_c1)
+
+
+def test_read_write_mix(run_experiment):
+    """C2: emerging workloads flip storage from write- to read-dominance
+    (Patel et al. [53])."""
+    run_experiment(run_c2)
+
+
+def test_dl_random_small_reads(run_experiment):
+    """C3: shuffled DL training reads collapse PFS throughput ([71])."""
+    run_experiment(run_c3)
+
+
+def test_workflow_metadata_intensity(run_experiment):
+    """C4: workflows are metadata-intensive, small-transaction ([73])."""
+    run_experiment(run_c4)
+
+
+def test_burst_buffer_absorption(run_experiment):
+    """C5: a burst buffer absorbs checkpoint bursts at SSD speed ([33])."""
+    run_experiment(run_c5)
+
+
+def test_ml_beats_linear(run_experiment):
+    """C6: learned models predict I/O time better than linear models
+    (Schmid & Kunkel [56], Sun et al. [57])."""
+    run_experiment(run_c6)
+
+
+def test_trace_compression(run_experiment):
+    """C7: repetitive traces compress drastically with exact replay
+    (Hao et al. [15])."""
+    run_experiment(run_c7)
+
+
+def test_trace_extrapolation(run_experiment):
+    """C8: small-scale traces extrapolate to larger scales
+    (ScalaIOExtrap [16], [17])."""
+    run_experiment(run_c8)
+
+
+def test_collective_vs_independent(run_experiment):
+    """C9: collective two-phase I/O beats independent strided writes."""
+    run_experiment(run_c9)
+
+
+def test_interference(run_experiment):
+    """C10: co-scheduled jobs interfere through shared storage ([40])."""
+    run_experiment(run_c10)

@@ -1,0 +1,28 @@
+"""Benchmarks E1-E4: regenerate every figure of the paper.
+
+The paper has no numbered tables; its four figures are regenerated from
+the live implementation and validated structurally (see
+``repro.experiments.figures`` for what each validation covers).
+"""
+
+from repro.experiments import run_e1, run_e2, run_e3, run_e4
+
+
+def test_fig1_platform_render(run_experiment):
+    """E1 / Fig. 1: HPC system with a center-wide parallel file system."""
+    run_experiment(run_e1)
+
+
+def test_fig2_stack_render(run_experiment):
+    """E2 / Fig. 2: the layered I/O architecture, rendered and exercised."""
+    run_experiment(run_e2)
+
+
+def test_fig3_distribution(run_experiment):
+    """E3 / Fig. 3: distribution of the 51 surveyed articles."""
+    run_experiment(run_e3)
+
+
+def test_fig4_cycle(run_experiment):
+    """E4 / Fig. 4: the iterative evaluation cycle, executed end to end."""
+    run_experiment(run_e4)

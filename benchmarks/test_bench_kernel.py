@@ -1,0 +1,82 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These time the components everything else is built on -- the event loop,
+the fair-share link, the PFS data path, and the trace compressor -- so
+performance regressions in the substrate are visible independently of the
+reproduction experiments.
+"""
+
+from repro.cluster import tiny_cluster
+from repro.des import Environment, FairShareLink
+from repro.modeling import compress_ops
+from repro.ops import IOOp, OpKind
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.workloads import IORConfig, IORWorkload
+
+MiB = 1024 * 1024
+KiB = 1024
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw engine speed: 10k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(10_000):
+                yield env.timeout(0.001)
+
+        env.process(ticker(env))
+        env.run()
+        return env.events_processed
+
+    events = benchmark(run)
+    assert events >= 10_000
+
+
+def test_fair_share_link_many_flows(benchmark):
+    """Processor-sharing link with 200 overlapping transfers."""
+
+    def run():
+        env = Environment()
+        link = FairShareLink(env, rate=1e9)
+
+        def sender(env, i):
+            yield env.timeout(i * 1e-4)
+            yield link.transfer(1e6)
+
+        for i in range(200):
+            env.process(sender(env, i))
+        env.run()
+        return link.bytes_transferred
+
+    moved = benchmark(run)
+    assert moved == 200 * 1e6
+
+
+def test_pfs_write_path(benchmark):
+    """End-to-end PFS data path: 4-rank IOR write on the tiny cluster."""
+
+    def run():
+        platform = tiny_cluster()
+        pfs = build_pfs(platform)
+        w = IORWorkload(IORConfig(block_size=4 * MiB, transfer_size=MiB), 4)
+        return run_workload(platform, pfs, w).bytes_written
+
+    written = benchmark(run)
+    assert written == 16 * MiB
+
+
+def test_trace_compressor_speed(benchmark):
+    """Compressing a 5k-op repetitive stream."""
+    ops = []
+    for step in range(50):
+        ops.append(IOOp(OpKind.COMPUTE, duration=1.0))
+        for i in range(100):
+            ops.append(IOOp(OpKind.WRITE, "/f", offset=i * KiB, nbytes=KiB))
+        ops.append(IOOp(OpKind.BARRIER))
+
+    ct = benchmark(compress_ops, ops)
+    assert ct.ratio > 100

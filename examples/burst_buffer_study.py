@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Burst-buffer placement study (paper Sec. II; Khetawat et al. [33]).
+
+A facility-ingest workload (detector frames arriving in real time, Sec.
+V-A) and a checkpoint burst are absorbed (a) directly by the disk-backed
+parallel file system and (b) by the I/O-node burst buffer draining in the
+background.  The study sweeps the drain bandwidth to find the point where
+the buffer stops helping -- the sizing question burst-buffer placement
+papers simulate.
+
+Run:  python examples/burst_buffer_study.py
+"""
+
+from repro.cluster import BurstBuffer, tiny_cluster
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.workloads import CheckpointConfig, CheckpointWorkload
+
+MiB = 1024 * 1024
+
+
+def direct_checkpoint(burst_mib: int) -> float:
+    """Application-visible seconds to checkpoint straight to the PFS."""
+    platform = tiny_cluster(seed=3)
+    pfs = build_pfs(platform)
+    w = CheckpointWorkload(
+        CheckpointConfig(bytes_per_rank=burst_mib * MiB // 4, steps=1,
+                         compute_seconds=0.0, fsync=False),
+        n_ranks=4,
+    )
+    return run_workload(platform, pfs, w).duration
+
+
+def buffered_checkpoint(burst_mib: int, drain_rate: float):
+    """(absorb seconds, drain-complete seconds) through the burst buffer."""
+    platform = tiny_cluster(seed=3)
+    env = platform.env
+    bb = BurstBuffer(env, "bb", capacity_bytes=2 * burst_mib * MiB)
+    bb.device.seek_time = 0.0
+    bb.device.op_overhead = 0.0
+
+    def drain_fn(nbytes):
+        yield env.timeout(nbytes / drain_rate)
+
+    bb.set_drain_target(drain_fn)
+    done = {}
+
+    def writer(env, rank):
+        yield from bb.write(burst_mib * MiB / 4)
+        done[rank] = env.now
+
+    for rank in range(4):
+        env.process(writer(env, rank))
+    env.run()
+    return max(done.values()), env.now
+
+
+def main() -> None:
+    burst_mib = 128
+    direct = direct_checkpoint(burst_mib)
+    print(f"checkpoint burst: {burst_mib} MiB over 4 ranks")
+    print(f"direct to PFS   : {direct:.3f}s application-visible\n")
+
+    print(f"{'drain MB/s':>10} {'absorb s':>9} {'drain done s':>12} {'speedup':>8}")
+    speedups = {}
+    for drain_mb in (50, 150, 500, 2000):
+        absorb, drained = buffered_checkpoint(burst_mib, drain_mb * 1e6)
+        speedup = direct / absorb
+        speedups[drain_mb] = speedup
+        print(f"{drain_mb:>10} {absorb:>9.3f} {drained:>12.3f} {speedup:>8.1f}x")
+
+    print("\nobservations:")
+    print(" - the application unblocks at SSD speed regardless of drain rate")
+    print("   (the buffer has headroom for this burst), so the app-visible")
+    print("   speedup is roughly constant;")
+    print(" - the drain-complete time falls as drain bandwidth grows: slow")
+    print("   drains leave data at risk in the staging tier for longer,")
+    print("   which is the placement trade-off [33] studies.")
+
+    assert all(s > 2 for s in speedups.values())
+    _, slow_drain = buffered_checkpoint(burst_mib, 50e6)
+    _, fast_drain = buffered_checkpoint(burst_mib, 2000e6)
+    assert fast_drain < slow_drain
+    print("\nburst_buffer_study OK")
+
+
+if __name__ == "__main__":
+    main()

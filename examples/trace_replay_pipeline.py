@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""The full record-and-replay pipeline (paper Sec. IV-A/B, [15]-[17]).
+
+1. **Record**: trace a checkpoint application with the multi-level tracer.
+2. **Compress**: fold the trace's repetition (Hao et al. [15] style) and
+   report the ratio.
+3. **Extrapolate**: fit traces gathered at 2/4/8 ranks and predict the
+   16-rank run (ScalaIOExtrap [16], [17] style).
+4. **Replay & verify**: replay the extrapolated workload on a larger
+   simulated cluster and compare against directly simulating 16 ranks --
+   the "verify the correctness of the projected extrapolation" step.
+
+Run:  python examples/trace_replay_pipeline.py
+"""
+
+from repro.cluster import medium_cluster, tiny_cluster
+from repro.modeling import ReplayModel, TraceExtrapolator, compress_ops
+from repro.monitoring import RecorderTracer, save_trace
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.workloads import CheckpointConfig, CheckpointWorkload, IORConfig, IORWorkload
+
+MiB = 1024 * 1024
+KiB = 1024
+
+
+def main() -> None:
+    # --- 1. record -----------------------------------------------------------
+    workload = CheckpointWorkload(
+        CheckpointConfig(bytes_per_rank=16 * MiB, steps=5, transfer_size=512 * KiB,
+                         compute_seconds=0.4, file_per_process=False, fsync=False),
+        n_ranks=4,
+    )
+    platform = tiny_cluster(seed=5)
+    pfs = build_pfs(platform)
+    tracer = RecorderTracer()
+    original = run_workload(platform, pfs, workload, observers=[tracer])
+    print(f"recorded {len(tracer.records)} records from: {workload.describe()}")
+    print(f"  original runtime {original.duration:.2f}s")
+    import tempfile, os
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "checkpoint.trace.jsonl.gz")
+        n = save_trace(tracer.records, path)
+        print(f"  trace archived: {n} records -> {os.path.getsize(path)} bytes gz")
+
+    # --- 2. compress -----------------------------------------------------------
+    model = ReplayModel.from_records(tracer.records, name="ckpt-replay")
+    print(f"\ncompressed replay model: {model.original_ops} ops -> "
+          f"{model.compressed_size} nodes ({model.compression_ratio:.1f}:1)")
+
+    # --- 3. extrapolate ----------------------------------------------------------
+    def data_ops(n):
+        w = IORWorkload(IORConfig(block_size=4 * MiB, transfer_size=MiB, segments=2), n)
+        return [[op for op in w.ops(r) if op.kind.is_data] for r in range(n)]
+
+    ex = TraceExtrapolator().fit({n: data_ops(n) for n in (2, 4, 8)})
+    predicted16 = ex.generate(16)
+    print(f"\nextrapolated 2/4/8-rank IOR traces to 16 ranks "
+          f"(exact fit: {ex.is_exact()})")
+
+    # --- 4. replay & verify on a larger machine -----------------------------------
+    big = medium_cluster(seed=5)
+    big_pfs = build_pfs(big)
+    from repro.ops import IOOp, OpKind
+    from repro.workloads import OpStreamWorkload
+
+    setup = OpStreamWorkload(
+        "setup", [[IOOp(OpKind.CREATE, "/ior.data", meta={"stripe_count": -1})]]
+    )
+    run_workload(big, big_pfs, setup)
+    replayed = run_workload(big, big_pfs, predicted16)
+
+    big2 = medium_cluster(seed=5)
+    big2_pfs = build_pfs(big2)
+    direct = run_workload(
+        big2,
+        big2_pfs,
+        IORWorkload(IORConfig(block_size=4 * MiB, transfer_size=MiB, segments=2,
+                              stripe_count=-1), 16),
+    )
+    err = abs(replayed.duration - direct.duration) / direct.duration
+    print(f"replayed extrapolation on the medium cluster: "
+          f"{replayed.duration:.3f}s vs direct 16-rank run {direct.duration:.3f}s "
+          f"(error {err:.0%})")
+
+    assert model.compression_ratio > 5
+    assert ex.is_exact()
+    assert replayed.bytes_written == direct.bytes_written
+    print("\ntrace_replay_pipeline OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,223 @@
+"""Command-line interface: ``repro-io``.
+
+Subcommands::
+
+    repro-io figures [1|2|3|4|all]     render the paper's figures
+    repro-io taxonomy [--modules]      print the Sec. IV taxonomy tree
+    repro-io corpus                    survey-corpus distributions
+    repro-io experiment <id>|all       run reproduction experiments
+    repro-io run-dsl <file>            run a DSL workload on a simulated
+                                       cluster and print its profile
+    repro-io cycle                     run one evaluation-cycle iteration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_figures(args) -> int:
+    from repro.cluster import medium_cluster
+    from repro.survey.figures import (
+        fig1_platform,
+        fig2_stack,
+        fig3_distribution,
+        fig4_cycle,
+    )
+
+    renders = {
+        "1": lambda: fig1_platform(medium_cluster()),
+        "2": fig2_stack,
+        "3": fig3_distribution,
+        "4": fig4_cycle,
+    }
+    which = [args.figure] if args.figure != "all" else ["1", "2", "3", "4"]
+    for key in which:
+        print(renders[key]())
+        print()
+    return 0
+
+
+def _cmd_taxonomy(args) -> int:
+    from repro.core.taxonomy import render_tree
+
+    print(render_tree(show_modules=args.modules))
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from repro.survey.analysis import (
+        distribution_by_publisher,
+        distribution_by_type,
+        distribution_by_year,
+        taxonomy_coverage,
+    )
+
+    print("by type   :", {k: f"{v:.1f}%" for k, v in distribution_by_type().items()})
+    print("by pub    :", {k: f"{v:.1f}%" for k, v in distribution_by_publisher().items()})
+    print("by year   :", distribution_by_year())
+    print("by category:")
+    for cat, n in taxonomy_coverage().items():
+        print(f"  {cat:<35} {n}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.core.experiment import ResultsCollector
+    from repro.experiments import ALL_EXPERIMENTS
+
+    ids = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id.upper()]
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}; have {sorted(ALL_EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    collector = ResultsCollector()
+    failed = 0
+    for eid in ids:
+        record = ALL_EXPERIMENTS[eid](seed=args.seed)
+        collector.records[record.id] = record
+        print(record.summary())
+        print()
+        if record.supported is False:
+            failed += 1
+    if args.json:
+        collector.save(args.json)
+        print(f"results written to {args.json}")
+    return 1 if failed else 0
+
+
+def _cmd_run_dsl(args) -> int:
+    from repro.cluster import tiny_cluster
+    from repro.monitoring import DarshanProfiler
+    from repro.pfs import build_pfs
+    from repro.simulate import run_workload
+    from repro.wgen import DSLError, parse_workload
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        workload = parse_workload(text)
+    except DSLError as exc:
+        print(f"DSL error: {exc}", file=sys.stderr)
+        return 2
+    platform = tiny_cluster(seed=args.seed)
+    pfs = build_pfs(platform)
+    profiler = DarshanProfiler(job_name=workload.name)
+    result = run_workload(platform, pfs, workload, observers=[profiler])
+    print(result.summary())
+    print()
+    print(profiler.profile(n_ranks=workload.n_ranks).report())
+    return 0
+
+
+def _cmd_run_workload(args) -> int:
+    from repro.cluster import tiny_cluster
+    from repro.monitoring import DarshanProfiler
+    from repro.pfs import build_pfs
+    from repro.simulate import run_workload
+    from repro.workloads.registry import PRESETS, make_preset
+
+    if args.name == "list":
+        for name in sorted(PRESETS):
+            _, main = make_preset(name, n_ranks=args.ranks)
+            print(f"{name:<12} {main.describe()}")
+        return 0
+    try:
+        setup, main = make_preset(args.name, n_ranks=args.ranks)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
+    platform = tiny_cluster(seed=args.seed)
+    pfs = build_pfs(platform)
+    for w in setup:
+        run_workload(platform, pfs, w)
+    profiler = DarshanProfiler(job_name=main.name)
+    result = run_workload(platform, pfs, main, observers=[profiler])
+    print(main.describe())
+    print(result.summary())
+    print()
+    print(profiler.profile(n_ranks=main.n_ranks).report())
+    return 0
+
+
+def _cmd_cycle(args) -> int:
+    from repro.cluster import tiny_cluster
+    from repro.core.cycle import EvaluationCycle
+    from repro.workloads import IORConfig, IORWorkload
+
+    MiB = 1024 * 1024
+    cycle = EvaluationCycle(
+        platform_factory=lambda: tiny_cluster(seed=args.seed),
+        workload_factory=lambda: IORWorkload(
+            IORConfig(block_size=4 * MiB, transfer_size=MiB, read=True), 4
+        ),
+        seed=args.seed,
+    )
+    for report in cycle.run(iterations=args.iterations):
+        print(report.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-io",
+        description="Parallel I/O evaluation toolkit "
+        "(reproduction of Neuwirth & Paul, CLUSTER 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="render the paper's figures")
+    p.add_argument("figure", nargs="?", default="all", choices=["1", "2", "3", "4", "all"])
+    p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("taxonomy", help="print the evaluation taxonomy")
+    p.add_argument("--modules", action="store_true", help="show implementing modules")
+    p.set_defaults(fn=_cmd_taxonomy)
+
+    p = sub.add_parser("corpus", help="survey-corpus distributions")
+    p.set_defaults(fn=_cmd_corpus)
+
+    p = sub.add_parser("experiment", help="run reproduction experiments")
+    p.add_argument("id", help="experiment id (E1-E4, C1-C10, A1-A5) or 'all'")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", help="write results JSON to this path")
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("run-dsl", help="run a DSL workload description")
+    p.add_argument("file", help="path to the .wdsl file")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_run_dsl)
+
+    p = sub.add_parser(
+        "run-workload", help="run a preset workload on a simulated cluster"
+    )
+    p.add_argument("name", help="preset name, or 'list' to enumerate presets")
+    p.add_argument("--ranks", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_run_workload)
+
+    p = sub.add_parser("cycle", help="run evaluation-cycle iterations")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_cycle)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Burst-buffer staging tier.
+
+Paper Sec. II: "I/O nodes ... potentially integrate a tier of solid-state
+devices to absorb the burst of random or high volume operations, so that
+transfers to/from the staging area from/to the traditional parallel file
+system can be done more efficiently."
+
+A :class:`BurstBuffer` absorbs writes at SSD speed and drains them to a
+backing target (normally the parallel file system) in the background.
+Writers see SSD latency as long as the buffer has free capacity; once it
+fills, backpressure throttles them to the drain rate -- exactly the
+behaviour burst-buffer placement studies (Khetawat et al. [33], Liu et
+al. [59]) examine, reproduced as claim C5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.des.engine import Environment
+from repro.des.resources import Container, Store
+from repro.cluster.devices import SSDDevice
+
+
+@dataclass
+class BurstBufferStats:
+    """Cumulative burst-buffer counters."""
+
+    bytes_absorbed: float = 0.0
+    bytes_drained: float = 0.0
+    bytes_read: float = 0.0
+    peak_occupancy: float = 0.0
+    stalls: int = 0  # writes that had to wait for free space
+
+
+class BurstBuffer:
+    """An SSD staging area with background drain.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Identifier.
+    device:
+        The SSD absorbing the writes.
+    capacity_bytes:
+        Staging capacity.
+    drain_chunk:
+        Granularity (bytes) of background drain transfers.
+    drain_fn:
+        Generator function ``fn(nbytes) -> yields events`` that moves bytes
+        to the backing store.  Installed via :meth:`set_drain_target`;
+        until one is installed, drained data accumulates in the queue.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        device: Optional[SSDDevice] = None,
+        capacity_bytes: float = 1.6e12,
+        drain_chunk: float = 64 * 1024 * 1024,
+    ):
+        if capacity_bytes <= 0 or drain_chunk <= 0:
+            raise ValueError("capacity_bytes and drain_chunk must be positive")
+        self.env = env
+        self.name = name
+        self.device = device or SSDDevice(env, f"{name}.ssd")
+        self.capacity_bytes = float(capacity_bytes)
+        self.drain_chunk = float(drain_chunk)
+        self._free = Container(env, capacity=capacity_bytes, init=capacity_bytes)
+        self._drain_queue = Store(env)
+        self._outstanding = 0.0
+        self._flush_waiters: list = []
+        self._write_cursor = 0
+        self.stats = BurstBufferStats()
+        self._drain_fn: Optional[Callable[[float], Generator]] = None
+        self._drain_proc = None
+
+    # -- configuration -----------------------------------------------------
+    def set_drain_target(self, drain_fn: Callable[[float], Generator]) -> None:
+        """Install the backing-store writer and start the drain process."""
+        self._drain_fn = drain_fn
+        if self._drain_proc is None:
+            self._drain_proc = self.env.process(self._drain_loop())
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def occupancy(self) -> float:
+        """Bytes currently staged (written but not yet drained)."""
+        return self.capacity_bytes - self._free.level
+
+    @property
+    def outstanding(self) -> float:
+        """Bytes accepted but not yet durable on the backing store."""
+        return self._outstanding
+
+    # -- I/O -------------------------------------------------------------------
+    def write(self, nbytes: float, offset: Optional[int] = None):
+        """Absorb ``nbytes`` (generator; completes when staged on SSD)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        start = self.env.now
+        if self._free.level < nbytes:
+            self.stats.stalls += 1
+        yield self._free.get(nbytes)
+        if offset is None:
+            offset = self._write_cursor
+        self._write_cursor = offset + int(nbytes)
+        yield from self.device.access(offset, int(nbytes), is_write=True)
+        self.stats.bytes_absorbed += nbytes
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, self.occupancy)
+        self._outstanding += nbytes
+        # Enqueue for draining in chunks so one huge write does not serialise
+        # the whole drain pipeline.
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(self.drain_chunk, remaining)
+            self._drain_queue.put(chunk)
+            remaining -= chunk
+        return self.env.now - start
+
+    def read(self, offset: int, nbytes: float):
+        """Read staged data back at SSD speed (generator)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes > 0:
+            yield from self.device.access(int(offset), int(nbytes), is_write=False)
+            self.stats.bytes_read += nbytes
+        return nbytes
+
+    def flush(self):
+        """Generator that completes once all absorbed bytes are drained."""
+        if self._outstanding <= 0:
+            return
+        ev = self.env.event()
+        self._flush_waiters.append(ev)
+        yield ev
+
+    # -- internals ----------------------------------------------------------
+    def _drain_loop(self):
+        while True:
+            chunk = yield self._drain_queue.get()
+            if self._drain_fn is not None:
+                yield from self._drain_fn(chunk)
+            self.stats.bytes_drained += chunk
+            self._outstanding -= chunk
+            yield self._free.put(chunk)
+            if self._outstanding <= 1e-9 and self._flush_waiters:
+                waiters, self._flush_waiters = self._flush_waiters, []
+                for ev in waiters:
+                    ev.succeed()

@@ -1,0 +1,153 @@
+"""Fluid network fabric model.
+
+A :class:`NetworkFabric` connects named endpoints.  Each endpoint owns an
+ingress and an egress :class:`~repro.des.sharing.FairShareLink` (NIC
+bandwidth), and the fabric owns a shared *core* link sized to its bisection
+bandwidth.  A message pays per-hop latency (from the topology, when one is
+attached) and then streams its bytes through egress NIC, core, and ingress
+NIC in parallel; the slowest of the three gates completion.  This fluid
+approximation captures the two effects that matter for parallel I/O
+evaluation: endpoint (NIC) saturation and fabric (bisection) saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.des.engine import Environment
+from repro.des.sharing import FairShareLink
+from repro.cluster.topology import Topology
+
+
+@dataclass
+class FabricStats:
+    """Cumulative fabric counters."""
+
+    messages: int = 0
+    bytes: float = 0.0
+
+
+class _Endpoint:
+    __slots__ = ("name", "ingress", "egress")
+
+    def __init__(self, env: Environment, name: str, nic_bandwidth: float):
+        self.name = name
+        self.ingress = FairShareLink(env, nic_bandwidth)
+        self.egress = FairShareLink(env, nic_bandwidth)
+
+
+class NetworkFabric:
+    """A fabric with per-endpoint NIC limits and a shared core.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Fabric identifier (e.g. ``"ib"`` or ``"eth"``).
+    nic_bandwidth:
+        Per-endpoint NIC bandwidth, bytes/second.
+    core_bandwidth:
+        Aggregate fabric (bisection) bandwidth, bytes/second.
+    hop_latency:
+        Latency per topology hop, seconds.
+    base_latency:
+        Fixed per-message latency (software + serialization), seconds.
+    topology:
+        Optional :class:`Topology` for hop counts; without one, every pair
+        of distinct endpoints is ``default_hops`` apart.
+    default_hops:
+        Hop count used when no topology is attached.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        nic_bandwidth: float,
+        core_bandwidth: float,
+        hop_latency: float = 0.5e-6,
+        base_latency: float = 1.5e-6,
+        topology: Optional[Topology] = None,
+        default_hops: int = 3,
+        topology_map: Optional[Dict[str, str]] = None,
+    ):
+        if nic_bandwidth <= 0 or core_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if hop_latency < 0 or base_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self.env = env
+        self.name = name
+        self.nic_bandwidth = float(nic_bandwidth)
+        self.core = FairShareLink(env, core_bandwidth)
+        self.hop_latency = float(hop_latency)
+        self.base_latency = float(base_latency)
+        self.topology = topology
+        self.default_hops = default_hops
+        #: Optional endpoint-name -> topology-host-name mapping (platform
+        #: node names rarely match generated topology host names).
+        self.topology_map = dict(topology_map or {})
+        self._endpoints: Dict[str, _Endpoint] = {}
+        self.stats = FabricStats()
+
+    # -- endpoint management -----------------------------------------------
+    def attach(self, endpoint: str, nic_bandwidth: Optional[float] = None) -> None:
+        """Register an endpoint (idempotent)."""
+        if endpoint not in self._endpoints:
+            self._endpoints[endpoint] = _Endpoint(
+                self.env, endpoint, nic_bandwidth or self.nic_bandwidth
+            )
+
+    def has_endpoint(self, endpoint: str) -> bool:
+        return endpoint in self._endpoints
+
+    @property
+    def endpoints(self) -> list[str]:
+        return list(self._endpoints)
+
+    # -- latency -------------------------------------------------------------
+    def latency(self, src: str, dst: str) -> float:
+        """One-way message latency between two endpoints."""
+        if src == dst:
+            return 0.0
+        hops = self.default_hops
+        if self.topology is not None:
+            a = self.topology_map.get(src, src)
+            b = self.topology_map.get(dst, dst)
+            if a in self.topology.endpoints and b in self.topology.endpoints:
+                hops = self.topology.hops(a, b)
+        return self.base_latency + hops * self.hop_latency
+
+    # -- transfer ------------------------------------------------------------
+    def send(self, src: str, dst: str, nbytes: float):
+        """Simulated-process generator moving ``nbytes`` from src to dst.
+
+        Usage: ``yield from fabric.send("c0", "oss1", 1 << 20)``.
+        Returns the transfer duration in seconds.  Intra-node transfers
+        (``src == dst``) are free.
+        """
+        if src not in self._endpoints:
+            raise KeyError(f"unknown endpoint {src!r} on fabric {self.name!r}")
+        if dst not in self._endpoints:
+            raise KeyError(f"unknown endpoint {dst!r} on fabric {self.name!r}")
+        start = self.env.now
+        self.stats.messages += 1
+        if src == dst:
+            return 0.0
+        self.stats.bytes += nbytes
+        lat = self.latency(src, dst)
+        if lat > 0:
+            yield self.env.timeout(lat)
+        if nbytes > 0:
+            legs = [
+                self._endpoints[src].egress.transfer(nbytes),
+                self.core.transfer(nbytes),
+                self._endpoints[dst].ingress.transfer(nbytes),
+            ]
+            yield self.env.all_of(legs)
+        return self.env.now - start
+
+    def core_utilization(self) -> float:
+        """Fraction of time the core link was busy."""
+        return self.core.utilization

@@ -1,0 +1,84 @@
+"""Node records for the simulated platform.
+
+Nodes are lightweight descriptions; active behaviour (file system services,
+application processes) is attached by :mod:`repro.pfs` and
+:mod:`repro.workloads`.  The roles mirror paper Fig. 1: compute nodes run
+client applications, I/O nodes host the burst-buffer tier and forward
+requests, and storage nodes host the parallel file system servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+
+class NodeRole(str, Enum):
+    """What a node does in the platform (paper Fig. 1)."""
+
+    COMPUTE = "compute"
+    IO = "io"
+    STORAGE = "storage"
+
+
+@dataclass
+class Node:
+    """A machine in the cluster.
+
+    Attributes
+    ----------
+    name:
+        Unique node name; doubles as the fabric endpoint identifier.
+    role:
+        One of :class:`NodeRole`.
+    cores:
+        Core count (used by the scheduler log model and by compute-time
+        scaling in execution-driven simulation).
+    mem_bytes:
+        Node memory; bounds client-side caches.
+    fabrics:
+        Names of the fabrics this node is attached to.
+    """
+
+    name: str
+    role: NodeRole
+    cores: int = 32
+    mem_bytes: float = 256e9
+    fabrics: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.mem_bytes <= 0:
+            raise ValueError("mem_bytes must be positive")
+
+
+@dataclass
+class ComputeNode(Node):
+    """Runs application ranks."""
+
+    role: NodeRole = NodeRole.COMPUTE
+    flops: float = 1e12
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.flops <= 0:
+            raise ValueError("flops must be positive")
+
+
+@dataclass
+class IONode(Node):
+    """Hosts a burst-buffer device and bridges the two fabrics."""
+
+    role: NodeRole = NodeRole.IO
+    #: Set by the platform builder once the device exists.
+    burst_buffer_name: Optional[str] = None
+
+
+@dataclass
+class StorageNode(Node):
+    """Hosts a metadata or object storage server."""
+
+    role: NodeRole = NodeRole.STORAGE
+    service: str = "oss"  # "mds" or "oss"

@@ -1,0 +1,159 @@
+"""Interconnect topologies.
+
+Builds networkx graphs for the two fabrics HPC centers commonly deploy
+(paper Fig. 1 shows compute nodes on a high-performance fabric such as
+InfiniBand and a slower secondary fabric toward the storage cluster).  The
+fabric model (:mod:`repro.cluster.network`) uses these graphs only for hop
+counts (latency) and for bisection-bandwidth estimation; bandwidth sharing
+itself is modelled as a fluid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import networkx as nx
+
+
+class Topology:
+    """Base class: a graph whose leaf nodes are endpoints (hosts)."""
+
+    def __init__(self, graph: nx.Graph, endpoints: List[str]):
+        self.graph = graph
+        self.endpoints = list(endpoints)
+        self._hops_cache: dict[tuple[str, str], int] = {}
+
+    def hops(self, src: str, dst: str) -> int:
+        """Number of links on the shortest path between two endpoints."""
+        if src == dst:
+            return 0
+        key = (src, dst)
+        if key not in self._hops_cache:
+            self._hops_cache[key] = nx.shortest_path_length(self.graph, src, dst)
+        return self._hops_cache[key]
+
+    def diameter(self) -> int:
+        """Longest shortest path among endpoint pairs."""
+        best = 0
+        for i, a in enumerate(self.endpoints):
+            for b in self.endpoints[i + 1 :]:
+                best = max(best, self.hops(a, b))
+        return best
+
+    def bisection_links(self) -> int:
+        """Number of links crossing a balanced endpoint bipartition.
+
+        Computed as the minimum edge cut between two endpoint halves; used
+        to scale the fabric's aggregate core bandwidth.
+        """
+        half = len(self.endpoints) // 2
+        if half == 0:
+            return 0
+        g = self.graph.copy()
+        s, t = "_s_", "_t_"
+        g.add_node(s)
+        g.add_node(t)
+        for a in self.endpoints[:half]:
+            g.add_edge(s, a, capacity=float("inf"))
+        for b in self.endpoints[half:]:
+            g.add_edge(b, t, capacity=float("inf"))
+        for u, v in self.graph.edges:
+            g[u][v]["capacity"] = 1
+        cut_value, _ = nx.minimum_cut(g, s, t)
+        return int(cut_value)
+
+
+class FatTreeTopology(Topology):
+    """A three-level k-ary fat tree.
+
+    ``k`` must be even.  The standard construction yields ``k^3/4`` hosts,
+    ``k^2/4`` core switches, and ``k`` pods of ``k`` switches each.  Host
+    names are ``host<i>``.
+
+    References: the ubiquitous datacenter/HPC fat-tree; InfiniBand fabrics
+    in the paper's Fig. 1 are typically fat trees.
+    """
+
+    def __init__(self, k: int = 4):
+        if k < 2 or k % 2:
+            raise ValueError(f"fat-tree arity k must be even and >= 2, got {k}")
+        g = nx.Graph()
+        half = k // 2
+        hosts: list[str] = []
+        core = [f"core{i}" for i in range(half * half)]
+        g.add_nodes_from(core, role="core")
+        for pod in range(k):
+            aggs = [f"agg{pod}_{i}" for i in range(half)]
+            edges = [f"edge{pod}_{i}" for i in range(half)]
+            g.add_nodes_from(aggs, role="agg")
+            g.add_nodes_from(edges, role="edge")
+            for a in aggs:
+                for e in edges:
+                    g.add_edge(a, e)
+            for i, a in enumerate(aggs):
+                for j in range(half):
+                    g.add_edge(a, core[i * half + j])
+            for i, e in enumerate(edges):
+                for j in range(half):
+                    h = f"host{pod * half * half + i * half + j}"
+                    g.add_node(h, role="host")
+                    g.add_edge(e, h)
+                    hosts.append(h)
+        super().__init__(g, hosts)
+        self.k = k
+
+
+class DragonflyTopology(Topology):
+    """A simplified dragonfly: fully-connected groups, all-to-all global links.
+
+    Parameters
+    ----------
+    groups:
+        Number of dragonfly groups.
+    routers_per_group:
+        Routers in each group (intra-group all-to-all).
+    hosts_per_router:
+        Endpoints attached to each router.
+    """
+
+    def __init__(self, groups: int = 4, routers_per_group: int = 4, hosts_per_router: int = 2):
+        if min(groups, routers_per_group, hosts_per_router) < 1:
+            raise ValueError("all dragonfly dimensions must be >= 1")
+        g = nx.Graph()
+        hosts: list[str] = []
+        routers: list[list[str]] = []
+        for gi in range(groups):
+            group_routers = [f"r{gi}_{ri}" for ri in range(routers_per_group)]
+            g.add_nodes_from(group_routers, role="router")
+            for i, a in enumerate(group_routers):
+                for b in group_routers[i + 1 :]:
+                    g.add_edge(a, b)
+            for ri, r in enumerate(group_routers):
+                for hi in range(hosts_per_router):
+                    h = f"host{gi}_{ri}_{hi}"
+                    g.add_node(h, role="host")
+                    g.add_edge(r, h)
+                    hosts.append(h)
+            routers.append(group_routers)
+        # Global links: group gi's router (gj mod R) connects to group gj's
+        # router (gi mod R) -- one link per group pair.
+        for gi in range(groups):
+            for gj in range(gi + 1, groups):
+                a = routers[gi][gj % routers_per_group]
+                b = routers[gj][gi % routers_per_group]
+                g.add_edge(a, b)
+        super().__init__(g, hosts)
+        self.groups = groups
+        self.routers_per_group = routers_per_group
+        self.hosts_per_router = hosts_per_router
+
+
+def star_topology(endpoints: Iterable[str]) -> Topology:
+    """A degenerate one-switch fabric (every endpoint two hops apart)."""
+    g = nx.Graph()
+    eps = list(endpoints)
+    g.add_node("switch", role="core")
+    for e in eps:
+        g.add_node(e, role="host")
+        g.add_edge("switch", e)
+    return Topology(g, eps)

@@ -1,0 +1,26 @@
+"""The paper's primary contribution: the evaluation-cycle taxonomy.
+
+* :mod:`repro.core.taxonomy` -- the taxonomy of Sec. IV / Fig. 4 as a
+  data structure, with every node mapped to the :mod:`repro` modules that
+  implement it and the surveyed articles that populate it.
+* :mod:`repro.core.cycle` -- the executable closed loop: measure ->
+  model/generate -> simulate -> compare, iterated (Fig. 4's dashed
+  feedback arrows).
+* :mod:`repro.core.experiment` -- experiment records used by the
+  benchmark harness to report paper-claim vs. measured outcomes.
+"""
+
+from repro.core.taxonomy import TAXONOMY, TaxonomyNode, find_node, render_tree
+from repro.core.cycle import CycleReport, EvaluationCycle
+from repro.core.experiment import ExperimentRecord, ResultsCollector
+
+__all__ = [
+    "CycleReport",
+    "EvaluationCycle",
+    "ExperimentRecord",
+    "ResultsCollector",
+    "TAXONOMY",
+    "TaxonomyNode",
+    "find_node",
+    "render_tree",
+]

@@ -1,0 +1,166 @@
+"""The executable evaluation cycle (paper Fig. 4).
+
+"Traditionally, the process of understanding I/O behavior and performance
+... is performed iteratively and empirically in a closed loop fashion.
+The I/O evaluation cycle consists of three main phases: (1) Measurements
+and Statistics Collection, (2) Modeling and Prediction, and (3)
+Simulation."
+
+:class:`EvaluationCycle` runs that loop for a given workload:
+
+1. **Measure**: run the workload on the system with the profiler and
+   tracer attached;
+2. **Model**: build the characterization profile and synthesize a
+   representative workload from it (the phase-2 -> phase-1 feedback);
+3. **Simulate**: run the synthesized workload on a fresh instance of the
+   system;
+4. **Compare**: quantify how well the model-driven simulation reproduced
+   the measurement (volumes, runtime) -- the accuracy signal that drives
+   the next iteration (e.g. more detailed monitoring or a different
+   generation technique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cluster.platform import Platform
+from repro.monitoring.profiler import DarshanProfiler, JobProfile
+from repro.monitoring.tracer import RecorderTracer
+from repro.pfs.filesystem import ParallelFileSystem, build_pfs
+from repro.simulate.execsim import run_workload
+from repro.wgen.from_profile import synthesize_from_profile
+from repro.workloads.base import Workload, WorkloadResult
+
+
+@dataclass
+class CycleReport:
+    """Outcome of one iteration of the evaluation cycle."""
+
+    iteration: int
+    measured: WorkloadResult
+    profile: JobProfile
+    simulated: WorkloadResult
+    trace_records: int
+
+    @property
+    def bytes_error(self) -> float:
+        """Relative error of total bytes moved by the synthetic workload."""
+        orig = self.measured.bytes_written + self.measured.bytes_read
+        synth = self.simulated.bytes_written + self.simulated.bytes_read
+        if orig == 0:
+            return 0.0
+        return abs(synth - orig) / orig
+
+    @property
+    def duration_error(self) -> float:
+        """Relative runtime error of the model-driven simulation."""
+        if self.measured.duration <= 0:
+            return 0.0
+        return abs(self.simulated.duration - self.measured.duration) / self.measured.duration
+
+    def converged(self, bytes_tol: float = 0.01, duration_tol: float = 0.5) -> bool:
+        """Whether the model reproduces the measurement acceptably."""
+        return self.bytes_error <= bytes_tol and self.duration_error <= duration_tol
+
+    def summary(self) -> str:
+        return (
+            f"cycle iteration {self.iteration}: measured {self.measured.duration:.3f}s, "
+            f"simulated {self.simulated.duration:.3f}s "
+            f"(duration err {self.duration_error:.1%}, bytes err {self.bytes_error:.1%}), "
+            f"{self.trace_records} trace records, "
+            f"{self.profile.job.files_accessed} files profiled"
+        )
+
+
+class EvaluationCycle:
+    """Runs measure -> model -> simulate -> compare iterations.
+
+    Parameters
+    ----------
+    platform_factory:
+        Zero-argument callable creating a fresh platform (both the
+        measurement and the simulation legs get one, so state never
+        leaks between them).
+    workload_factory:
+        Zero-argument callable creating the workload under study.
+    seed:
+        Seed for the synthesis step.
+    """
+
+    def __init__(
+        self,
+        platform_factory: Callable[[], Platform],
+        workload_factory: Callable[[], Workload],
+        seed: int = 0,
+        include_think_time: bool = True,
+        generator: str = "profile",
+    ):
+        if generator not in ("profile", "trace"):
+            raise ValueError(
+                f"generator must be 'profile' or 'trace', got {generator!r}"
+            )
+        self.platform_factory = platform_factory
+        self.workload_factory = workload_factory
+        self.seed = seed
+        self.include_think_time = include_think_time
+        #: Which Sec. IV-B-4 generation technique phase 2 uses:
+        #: "profile" = IOWA-style synthesis from counters,
+        #: "trace"   = replay-based modeling from the recorded trace.
+        self.generator = generator
+        self.reports: List[CycleReport] = []
+
+    def run_iteration(self) -> CycleReport:
+        """Run one full loop of Fig. 4 and record its report."""
+        iteration = len(self.reports)
+
+        # Phase 1: measurements and statistics collection.
+        platform = self.platform_factory()
+        pfs = build_pfs(platform)
+        workload = self.workload_factory()
+        profiler = DarshanProfiler(job_name=workload.name)
+        tracer = RecorderTracer()
+        measured = run_workload(
+            platform, pfs, workload, observers=[profiler, tracer]
+        )
+        profile = profiler.profile(n_ranks=workload.n_ranks)
+
+        # Phase 2: modeling and prediction -> workload generation.
+        if self.generator == "trace":
+            from repro.simulate.tracesim import trace_to_workload
+
+            synthetic = trace_to_workload(
+                tracer.records,
+                name=f"{workload.name}-replay",
+                preserve_think_time=self.include_think_time,
+            )
+        else:
+            synthetic = synthesize_from_profile(
+                profile,
+                seed=self.seed + iteration,
+                include_think_time=self.include_think_time,
+            )
+
+        # Phase 3: simulation of the generated workload on a fresh system.
+        sim_platform = self.platform_factory()
+        sim_pfs = build_pfs(sim_platform)
+        simulated = run_workload(sim_platform, sim_pfs, synthetic)
+
+        report = CycleReport(
+            iteration=iteration,
+            measured=measured,
+            profile=profile,
+            simulated=simulated,
+            trace_records=len(tracer.records),
+        )
+        self.reports.append(report)
+        return report
+
+    def run(self, iterations: int = 1) -> List[CycleReport]:
+        """Run several iterations; returns all reports."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        for _ in range(iterations):
+            self.run_iteration()
+        return self.reports

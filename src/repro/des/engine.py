@@ -1,0 +1,150 @@
+"""The sequential process-based simulation environment.
+
+The :class:`Environment` owns the virtual clock and a binary-heap event
+queue.  Determinism: queue entries sort by ``(time, priority, sequence)``
+where ``sequence`` is a monotonically increasing insertion counter, so two
+runs of the same simulation program produce identical event orderings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional, Union
+
+from repro.des.events import AllOf, AnyOf, Event, Timeout, NORMAL
+from repro.des.process import Process
+
+
+class SimulationError(Exception):
+    """Raised when the simulation itself is broken (e.g. unhandled failure)."""
+
+
+class EmptySchedule(Exception):
+    """Internal: raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A sequential discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock (seconds).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def hello(env):
+    ...     yield env.timeout(3.0)
+    ...     return env.now
+    >>> p = env.process(hello(env))
+    >>> env.run()
+    >>> p.value
+    3.0
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        #: Number of events processed so far (for engine statistics).
+        self.events_processed = 0
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None outside callbacks)."""
+        return self._active_process
+
+    # -- event construction ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new simulated process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Event that succeeds when all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that succeeds when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Enqueue ``event`` to be processed ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        self.events_processed += 1
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise exc if isinstance(exc, Exception) else SimulationError(repr(exc))
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` -- run until no events remain.
+            * a float -- run until the clock reaches that time.
+            * an :class:`Event` -- run until that event is processed and
+              return its value (raising if it failed).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                return stop_event.value
+            flag = {"done": False}
+            stop_event.add_callback(lambda ev: flag.__setitem__("done", True))
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+        while self._queue:
+            if stop_event is None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+        if stop_event is not None:
+            raise SimulationError(
+                "simulation ran out of events before the 'until' event fired"
+            )
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,219 @@
+"""Core event types for the process-based simulation engine.
+
+An :class:`Event` is a one-shot occurrence in virtual time.  Processes wait
+on events by yielding them; the environment resumes the process when the
+event is *processed* (its callbacks run).  Events may succeed with a value or
+fail with an exception, mirroring the usual future/promise semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+# Scheduling priorities: lower sorts earlier at equal timestamps.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"Interrupt({self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Lifecycle: *pending* -> *triggered* (scheduled on the queue with a value
+    or an exception) -> *processed* (callbacks have run).
+
+    Parameters
+    ----------
+    env:
+        The owning :class:`~repro.des.engine.Environment`.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        #: If True, a failure that nobody waits on will not raise at the
+        #: environment level.  Set by :meth:`defused`.
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value/exception."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError(f"{self!r} has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value`` at the current time."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        A failed event that is never waited upon crashes the simulation
+        (unless :attr:`defused` is set) so that errors do not pass silently.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def trigger(self, source: "Event") -> None:
+        """Copy the outcome of ``source`` onto this event and schedule it."""
+        if source._ok:
+            self.succeed(source._value)
+        else:
+            source.defused = True
+            self.fail(source._value)
+
+    # -- callbacks ---------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (this keeps waiting on completed events race-free).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Unregister a previously-added callback (no-op if absent)."""
+        if self.callbacks is not None:
+            try:
+                self.callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time ``delay``."""
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay, priority=NORMAL)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Composite event over several sub-events.
+
+    Succeeds once ``evaluate(events, n_done)`` returns True.  The value is a
+    dict mapping each *triggered* sub-event to its value, in trigger order.
+    If any sub-event fails, the condition fails with that exception.
+    """
+
+    def __init__(self, env, evaluate: Callable[[list, int], bool], events: Iterable[Event]):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.add_callback(self._check)
+
+    def _collect_values(self) -> dict:
+        # Note: a Timeout is "triggered" from construction (its outcome is
+        # predetermined), so membership is decided by *processed* instead.
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Succeeds when *all* sub-events have succeeded."""
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env, lambda evs, n: n == len(evs), events)
+
+
+class AnyOf(Condition):
+    """Succeeds when *any* sub-event has succeeded."""
+
+    def __init__(self, env, events: Iterable[Event]):
+        super().__init__(env, lambda evs, n: n >= 1, events)

@@ -1,0 +1,111 @@
+"""Simulated processes: generators driven by the event loop.
+
+A :class:`Process` wraps a Python generator.  Whenever the generator yields
+an :class:`~repro.des.events.Event`, the process suspends until that event is
+processed, at which point the event's value is sent back into the generator
+(or its exception thrown in).  A process is itself an event: it succeeds with
+the generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.des.events import Event, Interrupt, URGENT
+
+
+class Process(Event):
+    """A running simulated process.
+
+    Created via :meth:`repro.des.engine.Environment.process`.
+    """
+
+    def __init__(self, env, generator: Generator[Event, Any, Any]):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Bootstrap: resume once via an immediately-processed initialisation
+        # event so that process start is itself an ordinary queue entry.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.add_callback(self._resume)
+        env.schedule(init, delay=0.0, priority=URGENT)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (or None)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a terminated process raises ``RuntimeError``.  The
+        interrupted process stops waiting for its current target event (the
+        event itself is unaffected and may still fire).
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self._target is None:
+            raise RuntimeError(f"{self!r} is not yet waiting and cannot be interrupted")
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev.defused = True
+        # Stop listening on the old target; resume with the interrupt instead.
+        self._target.remove_callback(self._resume)
+        self._target = None
+        interrupt_ev.add_callback(self._resume)
+        self.env.schedule(interrupt_ev, delay=0.0, priority=URGENT)
+
+    # -- engine plumbing ----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.env._active_process = None
+            self._ok = True
+            self._value = stop.value
+            self.env.schedule(self, delay=0.0, priority=URGENT)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.env._active_process = None
+            self._ok = False
+            self._value = exc
+            self.env.schedule(self, delay=0.0, priority=URGENT)
+            return
+        self.env._active_process = None
+        if not isinstance(next_target, Event):
+            # Misuse: kill the process with a descriptive error.
+            err = RuntimeError(
+                f"process yielded a non-event: {next_target!r} "
+                "(yield Timeout/Event/Process/resource requests)"
+            )
+            self._target = None
+            self._ok = False
+            self._value = err
+            self.env.schedule(self, delay=0.0, priority=URGENT)
+            return
+        if next_target.env is not self.env:
+            raise RuntimeError("process yielded an event from another environment")
+        self._target = next_target
+        next_target.add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process {name} at {id(self):#x}>"

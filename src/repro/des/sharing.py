@@ -1,0 +1,169 @@
+"""Processor-sharing bandwidth resources.
+
+A :class:`FairShareLink` models a shared medium (network link, storage
+device channel) of fixed aggregate rate.  All concurrent transfers progress
+simultaneously, each receiving an equal share of the rate (classic
+processor-sharing / fair-queueing fluid model).  This captures the key
+contention effect in parallel I/O: N clients writing through one link each
+see roughly 1/N of its bandwidth -- which is what makes cross-application
+interference (claim C10) and fabric bottlenecks emerge from the model rather
+than being baked in.
+
+Implementation: the link keeps, for every active flow, the number of bytes
+remaining.  Whenever the set of active flows changes, remaining work is
+advanced by the elapsed time at the *old* share, and a single completion
+timer is (re)scheduled for the flow that will finish first at the *new*
+share.  A generation counter invalidates stale timers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.des.events import Event, URGENT
+
+
+class _Flow:
+    __slots__ = ("event", "remaining", "seq")
+
+    def __init__(self, event: Event, remaining: float, seq: int):
+        self.event = event
+        self.remaining = remaining
+        self.seq = seq
+
+
+class FairShareLink:
+    """A shared link with fair (equal-share) bandwidth allocation.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    rate:
+        Aggregate bandwidth in bytes per second.
+    concurrency_limit:
+        Optional cap on simultaneously *active* flows; additional transfers
+        queue FIFO.  ``None`` means unbounded sharing.
+
+    Notes
+    -----
+    Latency is deliberately *not* modelled here; callers add per-message
+    latency separately (see :class:`repro.cluster.network.NetworkFabric`)
+    because latency is paid per message while bandwidth is shared.
+    """
+
+    def __init__(self, env, rate: float, concurrency_limit: Optional[int] = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if concurrency_limit is not None and concurrency_limit <= 0:
+            raise ValueError("concurrency_limit must be positive or None")
+        self.env = env
+        self.rate = float(rate)
+        self.concurrency_limit = concurrency_limit
+        self._active: list[_Flow] = []
+        self._pending: list[_Flow] = []
+        self._last_update = env.now
+        self._timer_generation = 0
+        self._seq = 0
+        # Statistics
+        self.bytes_transferred = 0.0
+        self.busy_time = 0.0
+
+    # -- public API -----------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        """Number of transfers currently sharing the link."""
+        return len(self._active)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed time the link had at least one active flow."""
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._active:
+            busy += self.env.now - self._last_update
+        return min(1.0, busy / elapsed)
+
+    def transfer(self, nbytes: float) -> Event:
+        """Start transferring ``nbytes``; the event fires on completion."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        ev = Event(self.env)
+        if nbytes == 0:
+            ev.succeed(0.0)
+            return ev
+        self.bytes_transferred += nbytes
+        flow = _Flow(ev, float(nbytes), self._seq)
+        self._seq += 1
+        self._advance()
+        if (
+            self.concurrency_limit is not None
+            and len(self._active) >= self.concurrency_limit
+        ):
+            self._pending.append(flow)
+        else:
+            self._active.append(flow)
+        self._reschedule()
+        return ev
+
+    # -- internals --------------------------------------------------------------
+    def _share(self) -> float:
+        return self.rate / len(self._active)
+
+    def _advance(self) -> None:
+        """Progress all active flows from the last update time to now."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt > 0 and self._active:
+            done = dt * self._share()
+            for flow in self._active:
+                flow.remaining -= done
+            self.busy_time += dt
+        self._last_update = now
+
+    def _reschedule(self) -> None:
+        """Arm a completion timer for the earliest-finishing active flow."""
+        self._timer_generation += 1
+        if not self._active:
+            return
+        gen = self._timer_generation
+        min_remaining = min(f.remaining for f in self._active)
+        delay = max(0.0, min_remaining / self._share())
+        timer = Event(self.env)
+        timer._ok = True
+        timer._value = None
+        timer.add_callback(lambda _ev, g=gen: self._on_timer(g))
+        self.env.schedule(timer, delay=delay, priority=URGENT)
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # stale timer: flow set changed since it was armed
+        self._advance()
+        # Sub-millibyte residue is floating-point noise; treating it as done
+        # guarantees progress (otherwise a ~1e-16-byte remainder arms a
+        # zero-delay timer forever because now + delay == now in floats).
+        eps = 1e-3
+        finished = [f for f in self._active if f.remaining <= eps]
+        if not finished and self._active:
+            # The timer fired for *some* flow; float rounding can leave its
+            # remaining marginally positive while the computed delay rounds
+            # to zero.  Force-complete the minimum to preserve liveness.
+            min_flow = min(self._active, key=lambda f: (f.remaining, f.seq))
+            if min_flow.remaining / self._share() + self.env.now <= self.env.now:
+                finished = [min_flow]
+        # Deterministic completion order regardless of float noise.
+        finished.sort(key=lambda f: f.seq)
+        for flow in finished:
+            self._active.remove(flow)
+            flow.event.succeed(self.env.now)
+        while (
+            self._pending
+            and (
+                self.concurrency_limit is None
+                or len(self._active) < self.concurrency_limit
+            )
+        ):
+            self._active.append(self._pending.pop(0))
+        self._reschedule()

@@ -1,0 +1,43 @@
+"""Reproduction experiments.
+
+One function per experiment in DESIGN.md's per-experiment index: E1-E4
+regenerate the paper's figures, C1-C10 reproduce its quantitative claims,
+A1-A3 are ablations of design choices.  Each returns an
+:class:`~repro.core.experiment.ExperimentRecord` whose ``supported`` flag
+states whether the measured *shape* matches the paper's claim (absolute
+numbers are not expected to match -- the substrate is a simulator).
+
+The benchmark harness (``benchmarks/``) wraps these; the CLI
+(``repro-io experiment <id>``) runs them individually.
+"""
+
+from repro.experiments.figures import run_e1, run_e2, run_e3, run_e4
+from repro.experiments.claims_system import run_c1, run_c2, run_c5, run_c10
+from repro.experiments.claims_workloads import run_c3, run_c4, run_c9
+from repro.experiments.claims_modeling import run_c6, run_c7, run_c8
+from repro.experiments.ablations import run_a1, run_a2, run_a3, run_a4, run_a5
+
+#: Every experiment, by id.
+ALL_EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "C1": run_c1,
+    "C2": run_c2,
+    "C3": run_c3,
+    "C4": run_c4,
+    "C5": run_c5,
+    "C6": run_c6,
+    "C7": run_c7,
+    "C8": run_c8,
+    "C9": run_c9,
+    "C10": run_c10,
+    "A1": run_a1,
+    "A2": run_a2,
+    "A3": run_a3,
+    "A4": run_a4,
+    "A5": run_a5,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [f"run_{k.lower()}" for k in ALL_EXPERIMENTS]

@@ -1,0 +1,220 @@
+"""Experiments C1, C2, C5, C10: system-level claims."""
+
+from __future__ import annotations
+
+from repro.cluster import GENERATIONS, tiny_cluster
+from repro.core.experiment import ExperimentRecord
+from repro.des.engine import Environment
+from repro.pfs import build_pfs
+from repro.pfs.interference import SlowdownReport
+from repro.simulate import run_workload
+from repro.simulate.execsim import ExperimentHarness
+from repro.workloads import (
+    AnalyticsConfig,
+    AnalyticsWorkload,
+    CheckpointConfig,
+    CheckpointWorkload,
+    DLIOConfig,
+    DLIOWorkload,
+    IORConfig,
+    IORWorkload,
+    OpStreamWorkload,
+    montage_like_workflow,
+)
+from repro.workloads.workflow import workflow_bootstrap_ops
+
+MiB = 1024 * 1024
+KiB = 1024
+
+
+def run_c1(seed: int = 0) -> ExperimentRecord:
+    """C1: the compute-to-storage performance gap keeps widening (Sec. I).
+
+    Measured on the OLCF generation table: peak FLOPS growth vs. file
+    system bandwidth growth across Jaguar -> Titan -> Summit -> Frontier,
+    and the monotone decline of bytes-per-FLOP.
+    """
+    rec = ExperimentRecord(
+        "C1", "the gap between compute and storage performance keeps growing"
+    )
+    flop_growth = GENERATIONS[-1].peak_flops / GENERATIONS[0].peak_flops
+    bw_growth = GENERATIONS[-1].fs_bandwidth / GENERATIONS[0].fs_bandwidth
+    ratios = [g.bytes_per_flop for g in GENERATIONS]
+    monotone = all(a > b for a, b in zip(ratios, ratios[1:]))
+    rec.measure(
+        flop_growth=flop_growth,
+        bandwidth_growth=bw_growth,
+        gap_factor=flop_growth / bw_growth,
+        first_bytes_per_flop=ratios[0],
+        last_bytes_per_flop=ratios[-1],
+        monotone_decline=monotone,
+    )
+    rec.verdict(monotone and flop_growth > 10 * bw_growth,
+                "compute grew >10x faster than storage bandwidth over 4 generations")
+    return rec
+
+
+def _mix_read_write(workload_specs, seed):
+    """Run a workload sequence on one shared system; return (read, written)."""
+    harness = ExperimentHarness.fresh(lambda: tiny_cluster(seed=seed))
+    for workload in workload_specs:
+        harness.run(workload)
+    return harness.pfs.total_bytes_read(), harness.pfs.total_bytes_written()
+
+
+def run_c2(seed: int = 0) -> ExperimentRecord:
+    """C2: HPC storage is no longer write-dominated (Patel et al. [53]).
+
+    A traditional-only month (checkpoints + write-phase IOR) is compared
+    with a mixed month that adds the emerging workloads of Sec. V (DL
+    training, analytics, workflows).  The read share of total traffic must
+    rise decisively, crossing 50% -- the "unexpected" finding.
+    """
+    rec = ExperimentRecord(
+        "C2", "emerging workloads shift HPC storage from write- to read-dominance"
+    )
+    traditional = [
+        CheckpointWorkload(
+            CheckpointConfig(bytes_per_rank=8 * MiB, steps=2, compute_seconds=0.2,
+                             fsync=False),
+            n_ranks=4,
+        ),
+        IORWorkload(IORConfig(block_size=8 * MiB, transfer_size=MiB), 4),
+    ]
+    t_read, t_written = _mix_read_write(traditional, seed)
+
+    dlio = DLIOWorkload(
+        DLIOConfig(n_samples=256, sample_bytes=128 * KiB, n_shards=4,
+                   batch_size=16, epochs=6, compute_per_batch=0.0),
+        n_ranks=4,
+    )
+    analytics = AnalyticsWorkload(
+        AnalyticsConfig(input_bytes=64 * MiB, compute_per_mb=0.0), n_ranks=4
+    )
+    wf = montage_like_workflow(n_inputs=8, n_ranks=4, input_bytes=2 * MiB)
+    emerging_setup = [
+        OpStreamWorkload("dlio-gen", [list(dlio.generation_ops(r)) for r in range(4)]),
+        OpStreamWorkload("ana-gen", [list(analytics.generation_ops(r)) for r in range(4)]),
+        OpStreamWorkload("wf-boot", [list(workflow_bootstrap_ops(wf, 2 * MiB, 8))]),
+    ]
+    mixed = traditional + emerging_setup + [dlio, analytics, wf]
+    m_read, m_written = _mix_read_write(mixed, seed)
+
+    trad_share = t_read / (t_read + t_written)
+    mixed_share = m_read / (m_read + m_written)
+    rec.measure(
+        traditional_read_share=trad_share,
+        mixed_read_share=mixed_share,
+        mixed_bytes_read=m_read,
+        mixed_bytes_written=m_written,
+    )
+    rec.verdict(
+        trad_share < 0.25 and mixed_share > 0.5,
+        "read share crosses 50% once emerging workloads join the mix",
+    )
+    return rec
+
+
+def run_c5(seed: int = 0) -> ExperimentRecord:
+    """C5: burst buffers absorb checkpoint bursts (Sec. II, [33], [59]).
+
+    The same checkpoint burst is written (a) directly to the disk-backed
+    PFS and (b) into the I/O-node burst buffer with background drain to
+    the same PFS.  The application-visible write time must drop by a large
+    factor while the drain completes asynchronously.
+    """
+    rec = ExperimentRecord(
+        "C5", "a burst-buffer tier absorbs checkpoint bursts at SSD speed"
+    )
+    burst_bytes = 64 * MiB
+
+    # (a) Direct to PFS.
+    platform_a = tiny_cluster(seed=seed)
+    pfs_a = build_pfs(platform_a)
+    direct = run_workload(
+        platform_a,
+        pfs_a,
+        CheckpointWorkload(
+            CheckpointConfig(bytes_per_rank=burst_bytes // 4, steps=1,
+                             compute_seconds=0.0, fsync=False),
+            n_ranks=4,
+        ),
+    )
+
+    # (b) Through the burst-buffer staging client, draining to the same PFS.
+    from repro.pfs.staging import StagingClient
+
+    platform_b = tiny_cluster(seed=seed)
+    pfs_b = build_pfs(platform_b)
+    bb = platform_b.burst_buffers["bb0"]
+    staging = StagingClient(bb, pfs_b.client(platform_b.io_nodes[0].name))
+    env = platform_b.env
+    absorb_done = {}
+
+    def writer(env, rank):
+        yield from staging.write(f"/bb-ckpt.{rank}", 0, burst_bytes // 4)
+        absorb_done[rank] = env.now
+
+    for rank in range(4):
+        env.process(writer(env, rank))
+    env.run()
+    absorb_time = max(absorb_done.values())
+    drain_time = env.now  # the drain completes after the last absorb
+
+    speedup = direct.duration / absorb_time
+    rec.measure(
+        direct_seconds=direct.duration,
+        bb_absorb_seconds=absorb_time,
+        bb_drain_done_seconds=drain_time,
+        app_visible_speedup=speedup,
+        drained_bytes=staging.bytes_drained_total,
+    )
+    rec.verdict(
+        speedup > 2.0
+        and staging.bytes_drained_total == burst_bytes
+        and pfs_b.total_bytes_written() == burst_bytes,
+        "application unblocked at SSD speed; drain finished in the background",
+    )
+    return rec
+
+
+def run_c10(seed: int = 0) -> ExperimentRecord:
+    """C10: cross-application interference degrades I/O (Yildiz et al. [40]).
+
+    An IOR job striped over all OSTs is timed alone, then co-scheduled
+    with an identical competitor sharing the same OSTs.  The slowdown must
+    be substantial (near 2x for two equal jobs on a shared device pool).
+    """
+    rec = ExperimentRecord(
+        "C10", "co-scheduled applications interfere through shared storage"
+    )
+
+    def make_job(path):
+        cfg = IORConfig(
+            block_size=16 * MiB, transfer_size=4 * MiB, stripe_count=-1,
+            test_file=path,
+        )
+        return IORWorkload(cfg, 2)
+
+    harness_alone = ExperimentHarness.fresh(lambda: tiny_cluster(seed=seed))
+    alone = harness_alone.run(make_job("/alone"))
+
+    harness_shared = ExperimentHarness.fresh(lambda: tiny_cluster(seed=seed))
+    together = harness_shared.run_concurrently(
+        [make_job("/jobA"), make_job("/jobB")]
+    )
+    report = SlowdownReport(
+        alone={"jobA": alone.duration, "jobB": alone.duration},
+        together={"jobA": together[0].duration, "jobB": together[1].duration},
+    )
+    rec.measure(
+        alone_seconds=alone.duration,
+        together_seconds=max(r.duration for r in together),
+        mean_slowdown=report.mean_slowdown,
+        max_slowdown=report.max_slowdown,
+    )
+    rec.verdict(
+        report.interference_detected(threshold=1.4),
+        "sharing the OST pool inflates runtimes significantly",
+    )
+    return rec

@@ -1,0 +1,162 @@
+"""Experiments E1-E4: regenerate and validate the paper's figures."""
+
+from __future__ import annotations
+
+from repro.cluster import medium_cluster, tiny_cluster
+from repro.core.cycle import EvaluationCycle
+from repro.core.experiment import ExperimentRecord
+from repro.monitoring.tracer import RecorderTracer
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.survey.analysis import (
+    distribution_by_publisher,
+    distribution_by_type,
+)
+from repro.survey.corpus import CORPUS
+from repro.survey.figures import (
+    fig1_platform,
+    fig2_stack,
+    fig3_distribution,
+    fig4_cycle,
+)
+from repro.workloads import IORConfig, IORWorkload
+
+MiB = 1024 * 1024
+
+
+def run_e1(seed: int = 0) -> ExperimentRecord:
+    """E1 / Fig. 1: the HPC-system-with-center-wide-PFS rendering.
+
+    Validated structurally: every node class of the paper's figure
+    (compute, I/O + burst buffer, MDS, OSS, OSTs, both fabrics) appears,
+    with counts matching the live platform object.
+    """
+    rec = ExperimentRecord(
+        "E1", "Fig. 1: HPC system with a center-wide parallel file system"
+    )
+    platform = medium_cluster(seed=seed)
+    text = fig1_platform(platform)
+    checks = {
+        "has_compute": all(n.name in text for n in platform.compute_nodes[:4]),
+        "has_io_nodes": all(n.name in text for n in platform.io_nodes),
+        "has_mds": all(n.name in text for n in platform.mds_nodes),
+        "has_oss": all(n.name in text for n in platform.oss_nodes),
+        "has_burst_buffer": "burst buffer" in text,
+        "has_both_fabrics": "compute fabric" in text and "storage fabric" in text,
+    }
+    rec.measure(
+        n_compute=len(platform.compute_nodes),
+        n_io=len(platform.io_nodes),
+        n_oss=len(platform.oss_nodes),
+        render_lines=len(text.splitlines()),
+        **checks,
+    )
+    rec.verdict(all(checks.values()))
+    rec.notes = text
+    return rec
+
+
+def run_e2(seed: int = 0) -> ExperimentRecord:
+    """E2 / Fig. 2: the layered I/O architecture.
+
+    Beyond rendering, validates the figure *live*: one HDF5 collective
+    write is traced and must produce records at the hdf5, mpiio, posix and
+    pfs layers -- proving the stack really is layered as drawn.
+    """
+    rec = ExperimentRecord("E2", "Fig. 2: layered parallel I/O architecture")
+    text = fig2_stack()
+    order_ok = text.index("HDF5") < text.index("MPI-IO") < text.index("POSIX")
+
+    # Live validation: drive the stack once and observe each layer.
+    from repro.iostack.stack import IOStackBuilder
+    from repro.mpi import MPIRuntime
+    from repro.mpi.runtime import round_robin_nodes
+
+    platform = tiny_cluster(seed=seed)
+    pfs = build_pfs(platform)
+    nodes = round_robin_nodes([n.name for n in platform.compute_nodes], 2)
+    runtime = MPIRuntime(platform.env, platform.compute_fabric, nodes)
+    tracer = RecorderTracer()
+    builder = IOStackBuilder(pfs, runtime, observers=[tracer])
+
+    def program(ctx):
+        h5 = ctx.io.h5
+        yield from h5.create("/fig2.h5")
+        dset = yield from h5.create_dataset("x", (256, 64), 8)
+        yield from h5.write(dset, (ctx.rank * 128, 0), (128, 64), collective=True)
+        yield from h5.close()
+
+    runtime.run(program, io_factory=builder.io_factory)
+    layers = set(tracer.archive.layers())
+    expected = {"hdf5", "mpiio", "posix", "pfs"}
+    rec.measure(
+        render_order_ok=order_ok,
+        layers_observed=sorted(layers),
+        records=len(tracer.records),
+    )
+    rec.verdict(order_ok and expected <= layers)
+    rec.notes = text
+    return rec
+
+
+def run_e3(seed: int = 0) -> ExperimentRecord:
+    """E3 / Fig. 3: the survey-corpus distribution.
+
+    The paper's figure is an image without printed values; the corpus here
+    is reconstructed from the reference list (see
+    :mod:`repro.survey.corpus`), so validation is structural: exactly 51
+    articles, distributions summing to 100%, conference-dominant with IEEE
+    the largest publisher (visually evident in the paper's pie charts).
+    """
+    rec = ExperimentRecord("E3", "Fig. 3: distribution of the 51 surveyed articles")
+    by_type = distribution_by_type()
+    by_pub = distribution_by_publisher()
+    ok = (
+        len(CORPUS) == 51
+        and abs(sum(by_type.values()) - 100.0) < 1e-9
+        and abs(sum(by_pub.values()) - 100.0) < 1e-9
+        and by_type["conference"] == max(by_type.values())
+        and by_pub["IEEE"] == max(by_pub.values())
+    )
+    rec.measure(
+        n_articles=len(CORPUS),
+        pct_conference=by_type.get("conference", 0.0),
+        pct_journal=by_type.get("journal", 0.0),
+        pct_workshop=by_type.get("workshop", 0.0),
+        pct_ieee=by_pub.get("IEEE", 0.0),
+        pct_acm=by_pub.get("ACM", 0.0),
+    )
+    rec.verdict(ok)
+    rec.notes = fig3_distribution()
+    return rec
+
+
+def run_e4(seed: int = 0) -> ExperimentRecord:
+    """E4 / Fig. 4: the iterative evaluation cycle, rendered AND executed.
+
+    One full measure -> model -> simulate -> compare loop must run and
+    converge (the generated workload reproduces the measured volumes).
+    """
+    rec = ExperimentRecord("E4", "Fig. 4: the iterative evaluation cycle (executed)")
+    text = fig4_cycle()
+    cycle = EvaluationCycle(
+        platform_factory=lambda: tiny_cluster(seed=seed),
+        workload_factory=lambda: IORWorkload(
+            IORConfig(block_size=2 * MiB, transfer_size=512 * 1024), 2
+        ),
+        seed=seed,
+        include_think_time=False,
+    )
+    report = cycle.run_iteration()
+    render_ok = all(
+        marker in text for marker in ("(1) Measurements", "(2) Modeling", "(3) Simulation")
+    )
+    rec.measure(
+        render_ok=render_ok,
+        bytes_error=report.bytes_error,
+        duration_error=report.duration_error,
+        trace_records=report.trace_records,
+    )
+    rec.verdict(render_ok and report.converged(bytes_tol=0.01, duration_tol=2.0))
+    rec.notes = report.summary()
+    return rec

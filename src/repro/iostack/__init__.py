@@ -1,0 +1,29 @@
+"""The layered parallel I/O stack (paper Fig. 2).
+
+"An application can use a high-level library such as HDF5 ... implemented
+on top of MPI-IO which, in turn, performs POSIX I/O calls against a
+parallel file system."  Each layer here is a real transformation of the
+request stream, and each emits its own observation records so that
+multi-level tracing (Recorder-like, [25], [26]) sees genuinely different
+streams at different levels:
+
+* :mod:`repro.iostack.posix` -- file descriptors, positions, and the
+  POSIX call surface over the PFS client.
+* :mod:`repro.iostack.mpiio` -- independent and collective (two-phase)
+  I/O, data sieving for non-contiguous independent access.
+* :mod:`repro.iostack.hdf5` -- datasets, contiguous and chunked layouts,
+  hyperslab selections, and library metadata traffic.
+"""
+
+from repro.iostack.posix import PosixFile, PosixLayer
+from repro.iostack.mpiio import MPIIOFile, MPIIOLayer
+from repro.iostack.hdf5 import Dataset, H5File
+
+__all__ = [
+    "Dataset",
+    "H5File",
+    "MPIIOFile",
+    "MPIIOLayer",
+    "PosixFile",
+    "PosixLayer",
+]

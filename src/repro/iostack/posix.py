@@ -1,0 +1,199 @@
+"""POSIX-like layer: descriptors and positions over the PFS client.
+
+The bottom application-visible layer of paper Fig. 2.  It adds what POSIX
+adds over an object store -- file descriptors, per-descriptor positions,
+``lseek`` -- and emits an :class:`~repro.ops.IORecord` (layer ``"posix"``)
+for every call, which is where Darshan-style POSIX counters come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.ops import IORecord, OpKind
+from repro.pfs.client import PFSClient
+
+# lseek whence values (mirroring os.SEEK_*).
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+@dataclass
+class PosixFile:
+    """An open descriptor."""
+
+    fd: int
+    path: str
+    pos: int = 0
+    closed: bool = False
+
+
+class PosixLayer:
+    """Per-rank POSIX call surface.
+
+    Parameters
+    ----------
+    client:
+        The node's PFS client.
+    rank:
+        Rank recorded on emitted records.
+    """
+
+    def __init__(self, client: PFSClient, rank: int = 0):
+        self.client = client
+        self.env = client.env
+        self.rank = rank
+        self._next_fd = 3  # 0-2 reserved, as in POSIX
+        self._files: Dict[int, PosixFile] = {}
+        self.observers: List[Callable[[IORecord], None]] = []
+        #: Free-form annotations merged into every emitted record's extra
+        #: (e.g. the training epoch/step a read belongs to).  This is how
+        #: framework-level context reaches POSIX-level traces, the linkage
+        #: tf-Darshan [24] builds for TensorFlow workloads.
+        self.context: Dict[str, object] = {}
+
+    # -- record emission -------------------------------------------------------
+    def _emit(
+        self,
+        kind: OpKind,
+        path: str,
+        offset: int,
+        nbytes: int,
+        start: float,
+        extra: Optional[dict] = None,
+    ):
+        if not self.observers:
+            return
+        merged = dict(self.context)
+        if extra:
+            merged.update(extra)
+        rec = IORecord(
+            layer="posix",
+            kind=kind,
+            path=path,
+            offset=offset,
+            nbytes=nbytes,
+            rank=self.rank,
+            start=start,
+            end=self.env.now,
+            extra=merged,
+        )
+        for obs in self.observers:
+            obs(rec)
+
+    def _resolve(self, fd: int) -> PosixFile:
+        f = self._files.get(fd)
+        if f is None or f.closed:
+            raise OSError(f"bad file descriptor {fd}")
+        return f
+
+    # -- descriptor lifecycle ------------------------------------------------------
+    def open(self, path: str, create: bool = False, **create_kwargs):
+        """Generator: open ``path``; returns a file descriptor (int)."""
+        start = self.env.now
+        inode = yield from self.client.open(
+            path, create=create, rank=self.rank, **create_kwargs
+        )
+        fd = self._next_fd
+        self._next_fd += 1
+        self._files[fd] = PosixFile(fd=fd, path=path)
+        # Layout info rides on the OPEN record so replayed traces can
+        # recreate files with the original striping.
+        self._emit(
+            OpKind.OPEN, path, 0, 0, start,
+            extra={
+                "stripe_count": inode.layout.stripe_count,
+                "stripe_size": inode.layout.stripe_size,
+            },
+        )
+        return fd
+
+    def close(self, fd: int):
+        """Generator: close a descriptor."""
+        f = self._resolve(fd)
+        start = self.env.now
+        yield from self.client.close(f.path, rank=self.rank)
+        f.closed = True
+        self._emit(OpKind.CLOSE, f.path, 0, 0, start)
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET) -> int:
+        """Reposition a descriptor (no simulated cost, like the real call)."""
+        f = self._resolve(fd)
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = f.pos + offset
+        elif whence == SEEK_END:
+            new = self.client.fs.namespace.lookup(f.path).size + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        if new < 0:
+            raise ValueError("resulting position is negative")
+        f.pos = new
+        return new
+
+    # -- data ----------------------------------------------------------------------
+    def write(self, fd: int, nbytes: int):
+        """Generator: write at the current position, advancing it."""
+        f = self._resolve(fd)
+        result = yield from self.pwrite(fd, f.pos, nbytes)
+        f.pos += nbytes
+        return result
+
+    def read(self, fd: int, nbytes: int):
+        """Generator: read at the current position, advancing it."""
+        f = self._resolve(fd)
+        result = yield from self.pread(fd, f.pos, nbytes)
+        f.pos += nbytes
+        return result
+
+    def pwrite(self, fd: int, offset: int, nbytes: int):
+        """Generator: positional write (does not move the position)."""
+        f = self._resolve(fd)
+        start = self.env.now
+        dt = yield from self.client.write(f.path, offset, nbytes, rank=self.rank)
+        self._emit(OpKind.WRITE, f.path, offset, nbytes, start)
+        return dt
+
+    def pread(self, fd: int, offset: int, nbytes: int):
+        """Generator: positional read (does not move the position)."""
+        f = self._resolve(fd)
+        start = self.env.now
+        dt = yield from self.client.read(f.path, offset, nbytes, rank=self.rank)
+        self._emit(OpKind.READ, f.path, offset, nbytes, start)
+        return dt
+
+    def fsync(self, fd: int):
+        f = self._resolve(fd)
+        start = self.env.now
+        yield from self.client.fsync(f.path, rank=self.rank)
+        self._emit(OpKind.FSYNC, f.path, 0, 0, start)
+
+    # -- metadata passthrough ---------------------------------------------------------
+    def _meta(self, kind: OpKind, fn, path: str):
+        start = self.env.now
+        result = yield from fn(path, rank=self.rank)
+        self._emit(kind, path, 0, 0, start)
+        return result
+
+    def stat(self, path: str):
+        return self._meta(OpKind.STAT, self.client.stat, path)
+
+    def unlink(self, path: str):
+        return self._meta(OpKind.UNLINK, self.client.unlink, path)
+
+    def mkdir(self, path: str):
+        return self._meta(OpKind.MKDIR, self.client.mkdir, path)
+
+    def rmdir(self, path: str):
+        return self._meta(OpKind.RMDIR, self.client.rmdir, path)
+
+    def readdir(self, path: str):
+        return self._meta(OpKind.READDIR, self.client.readdir, path)
+
+    def creat(self, path: str, **create_kwargs):
+        """Generator: create + open (the POSIX ``creat`` call)."""
+        fd = yield from self.open(path, create=True, **create_kwargs)
+        return fd

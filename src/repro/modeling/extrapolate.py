@@ -1,0 +1,208 @@
+"""ScalaIOExtrap-style trace extrapolation across rank counts.
+
+Luo et al. [16], [17] "gather I/O traces on a small system, ... analyze
+the traces and extrapolate them, and then ... enable I/O replay to verify
+the correctness of the projected extrapolation."
+
+The extrapolator consumes per-rank op streams recorded at several small
+rank counts and fits, for every op position ``j`` in the (SPMD-regular)
+stream, an affine model of each numeric field over the regressors
+``[1, rank, N, rank*N]`` -- which spans the offset arithmetic of
+shared-file striding (``offset = seg*N*b + r*b + i*t``), file-per-process
+layouts, and constant fields.  File paths that embed the rank number are
+detected and re-parameterised.  ``generate(N)`` then produces the
+predicted per-rank streams for an unseen (larger) scale; claim C8
+validates the prediction against directly-simulated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ops import IOOp, OpKind
+from repro.workloads.base import OpStreamWorkload
+
+#: Zero-paddings tried when searching for rank-parameterised path names.
+_PAD_WIDTHS = (8, 6, 5, 4, 3, 2, 1)
+
+
+def _path_template(path: str, rank: int) -> str:
+    """Replace an embedded rank number with a format placeholder.
+
+    Returns the path unchanged when the rank does not appear (shared
+    files).  Rank 0 is ambiguous ("00000000" appears in many names), so
+    templates are derived from non-zero ranks wherever possible.
+    """
+    for width in _PAD_WIDTHS:
+        token = f"{rank:0{width}d}"
+        placeholder = f"{{rank:0{width}d}}"
+        if token in path:
+            return path.replace(token, placeholder, 1)
+    return path
+
+
+def _render_path(template: str, rank: int) -> str:
+    if "{rank" in template:
+        return template.format(rank=rank)
+    return template
+
+
+@dataclass
+class _FieldModel:
+    """Affine model of one numeric field over [1, r, N, r*N]."""
+
+    coeffs: np.ndarray
+    exact: bool
+
+    def predict(self, rank: int, n_ranks: int) -> float:
+        x = np.array([1.0, rank, n_ranks, rank * n_ranks])
+        return float(self.coeffs @ x)
+
+
+def _fit_field(samples: List[tuple]) -> _FieldModel:
+    """Fit value ~ 1 + r + N + r*N from (rank, N, value) samples."""
+    A = np.array([[1.0, r, n, r * n] for r, n, _ in samples])
+    y = np.array([v for _, _, v in samples], dtype=float)
+    coeffs, *_ = np.linalg.lstsq(A, y, rcond=None)
+    pred = A @ coeffs
+    exact = bool(np.allclose(pred, y, atol=0.5))
+    return _FieldModel(coeffs=coeffs, exact=exact)
+
+
+@dataclass
+class _OpModel:
+    """Per-position model of the op stream."""
+
+    kind: OpKind
+    path_template: str
+    offset: _FieldModel
+    nbytes: _FieldModel
+    duration: _FieldModel
+    meta: Dict = field(default_factory=dict)
+
+
+class TraceExtrapolator:
+    """Fits small-scale traces and generates large-scale ones.
+
+    Usage::
+
+        ex = TraceExtrapolator()
+        ex.fit({4: ops_at_4_ranks, 8: ops_at_8_ranks})   # per-rank lists
+        predicted = ex.generate(64)                      # OpStreamWorkload
+    """
+
+    def __init__(self):
+        self._models: List[_OpModel] = []
+        self._fitted_scales: List[int] = []
+        self.exact_fraction_: float = 0.0
+
+    def fit(self, traces: Dict[int, List[List[IOOp]]]) -> "TraceExtrapolator":
+        """Fit from {n_ranks: [ops_of_rank_0, ops_of_rank_1, ...]}.
+
+        Requires at least two scales and an identical per-rank op count
+        everywhere (the SPMD regularity assumption ScalaIOExtrap makes).
+        """
+        if len(traces) < 2:
+            raise ValueError("need traces from at least two rank counts")
+        lengths = {
+            len(ops) for per_rank in traces.values() for ops in per_rank
+        }
+        if len(lengths) != 1:
+            raise ValueError(
+                f"irregular op streams (per-rank op counts {sorted(lengths)}); "
+                "extrapolation requires SPMD-regular traces"
+            )
+        for n_ranks, per_rank in traces.items():
+            if len(per_rank) != n_ranks:
+                raise ValueError(
+                    f"trace for N={n_ranks} has {len(per_rank)} rank streams"
+                )
+        stream_len = lengths.pop()
+        self._fitted_scales = sorted(traces)
+        self._models = []
+        n_exact = 0
+        for j in range(stream_len):
+            kinds = set()
+            templates = set()
+            off_samples: List[tuple] = []
+            nbytes_samples: List[tuple] = []
+            dur_samples: List[tuple] = []
+            meta: Dict = {}
+            for n_ranks, per_rank in traces.items():
+                for rank, ops in enumerate(per_rank):
+                    op = ops[j]
+                    kinds.add(op.kind)
+                    templates.add(_path_template(op.path, rank) if rank else op.path)
+                    off_samples.append((rank, n_ranks, op.offset))
+                    nbytes_samples.append((rank, n_ranks, op.nbytes))
+                    dur_samples.append((rank, n_ranks, op.duration))
+                    if op.meta:
+                        meta = dict(op.meta)
+            if len(kinds) != 1:
+                raise ValueError(f"op position {j} has mixed kinds {kinds}")
+            # Path: prefer a template that renders rank-0's literal path too.
+            template = self._choose_template(templates, traces, j)
+            model = _OpModel(
+                kind=kinds.pop(),
+                path_template=template,
+                offset=_fit_field(off_samples),
+                nbytes=_fit_field(nbytes_samples),
+                duration=_fit_field(dur_samples),
+                meta=meta,
+            )
+            if model.offset.exact and model.nbytes.exact:
+                n_exact += 1
+            self._models.append(model)
+        self.exact_fraction_ = n_exact / stream_len if stream_len else 1.0
+        return self
+
+    @staticmethod
+    def _choose_template(templates: set, traces, j) -> str:
+        """Pick the path template consistent with every observed path."""
+        parametric = [t for t in templates if "{rank" in t]
+        candidates = parametric or sorted(templates)
+        for template in candidates:
+            ok = True
+            for _n, per_rank in traces.items():
+                for rank, ops in enumerate(per_rank):
+                    if _render_path(template, rank) != ops[j].path:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok:
+                return template
+        # Fall back to the most common literal (inexact path model).
+        return sorted(templates)[0]
+
+    def generate(self, n_ranks: int, name: Optional[str] = None) -> OpStreamWorkload:
+        """Predict the op streams at an unseen scale."""
+        if not self._models:
+            raise RuntimeError("extrapolator is not fitted")
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        per_rank: List[List[IOOp]] = []
+        for rank in range(n_ranks):
+            stream: List[IOOp] = []
+            for m in self._models:
+                stream.append(
+                    IOOp(
+                        kind=m.kind,
+                        path=_render_path(m.path_template, rank),
+                        offset=max(0, round(m.offset.predict(rank, n_ranks))),
+                        nbytes=max(0, round(m.nbytes.predict(rank, n_ranks))),
+                        rank=rank,
+                        duration=max(0.0, m.duration.predict(rank, n_ranks)),
+                        meta=dict(m.meta),
+                    )
+                )
+            per_rank.append(stream)
+        label = name or f"extrapolated[{'x'.join(map(str, self._fitted_scales))}->{n_ranks}]"
+        return OpStreamWorkload(label, per_rank)
+
+    def is_exact(self) -> bool:
+        """Whether every offset/size model reproduced the fits exactly."""
+        return self.exact_fraction_ == 1.0

@@ -1,0 +1,207 @@
+"""Decision trees and random forests, from scratch on NumPy.
+
+Sun et al. [57] build their empirical performance model with "a random
+forest machine learning approach".  This module implements CART-style
+regression trees (variance-reduction splits) and bagged forests with
+feature subsampling, sufficient to reproduce the claim that forests beat
+linear baselines on non-linear I/O response surfaces (claim C6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """CART regression tree with variance-reduction splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth.
+    min_samples_split:
+        Minimum samples in a node to consider splitting.
+    max_features:
+        Features examined per split (``None`` = all); the randomness hook
+        used by forests.
+    seed:
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if max_depth <= 0 or min_samples_split < 2:
+            raise ValueError("invalid tree hyperparameters")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_Node] = None
+        self.n_features_: int = 0
+
+    def fit(self, X: Sequence, y: Sequence) -> "DecisionTreeRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._root = self._build(X, y, depth=0, rng=rng)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int, rng) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or np.allclose(y, y[0])
+        ):
+            return node
+        n_feat = X.shape[1]
+        k = self.max_features or n_feat
+        features = rng.choice(n_feat, size=min(k, n_feat), replace=False)
+        best_gain = 0.0
+        best: Optional[tuple] = None
+        parent_var = y.var() * len(y)
+        for f in features:
+            values = np.unique(X[:, f])
+            if len(values) < 2:
+                continue
+            # Candidate thresholds: midpoints (capped for speed).
+            mids = (values[:-1] + values[1:]) / 2
+            if len(mids) > 32:
+                mids = mids[:: max(1, len(mids) // 32)]
+            for thr in mids:
+                mask = X[:, f] <= thr
+                n_l = int(mask.sum())
+                if n_l == 0 or n_l == len(y):
+                    continue
+                var_l = y[mask].var() * n_l
+                var_r = y[~mask].var() * (len(y) - n_l)
+                gain = parent_var - var_l - var_r
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (f, float(thr), mask)
+        if best is None:
+            return node
+        f, thr, mask = best
+        node.feature = int(f)
+        node.threshold = thr
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X: Sequence) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.n_features_:
+            raise ValueError(f"expected {self.n_features_} features")
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    def depth(self) -> int:
+        def _d(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return _d(self._root)
+
+
+class RandomForestRegressor:
+    """Bagged trees with feature subsampling.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size.
+    max_depth / min_samples_split:
+        Per-tree limits.
+    max_features:
+        Features per split (default: ceil(sqrt(n_features))).
+    seed:
+        Bootstrap and subsampling seed.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 10,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if n_trees <= 0:
+            raise ValueError("n_trees must be positive")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: List[DecisionTreeRegressor] = []
+
+    def fit(self, X: Sequence, y: Sequence) -> "RandomForestRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        k = self.max_features or int(np.ceil(np.sqrt(X.shape[1])))
+        self.trees_ = []
+        for t in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=k,
+                seed=self.seed + 1000 + t,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: Sequence) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        preds = np.stack([tree.predict(X) for tree in self.trees_])
+        return preds.mean(axis=0)
+
+    def score(self, X: Sequence, y: Sequence) -> float:
+        """R^2 on held-out data."""
+        y = np.asarray(y, dtype=float).ravel()
+        pred = self.predict(X)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0

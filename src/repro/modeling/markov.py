@@ -1,0 +1,101 @@
+"""Markov-chain models of operation streams.
+
+One of the classic statistics techniques Sec. IV-B-1 lists.  Fitted over a
+job's operation-kind sequence, the chain captures the short-range structure
+of the stream (write bursts, read-stat alternation, ...) and can generate
+synthetic sequences with the same transition behaviour -- a lightweight
+workload model (used by the grammar/pattern-prediction line of work,
+Omnisc'IO [55]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+
+class MarkovChain:
+    """First-order Markov chain over an arbitrary finite alphabet.
+
+    Parameters
+    ----------
+    smoothing:
+        Laplace smoothing added to every transition count (keeps held-out
+        log-likelihood finite).
+    """
+
+    def __init__(self, smoothing: float = 0.0):
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.smoothing = smoothing
+        self.states: List[Hashable] = []
+        self._index: Dict[Hashable, int] = {}
+        self.transition_: Optional[np.ndarray] = None
+        self.initial_: Optional[np.ndarray] = None
+
+    def fit(self, sequence: Sequence[Hashable]) -> "MarkovChain":
+        seq = list(sequence)
+        if len(seq) < 2:
+            raise ValueError("need a sequence of at least 2 symbols")
+        self.states = sorted(set(seq), key=repr)
+        self._index = {s: i for i, s in enumerate(self.states)}
+        k = len(self.states)
+        counts = np.full((k, k), self.smoothing, dtype=float)
+        for a, b in zip(seq, seq[1:]):
+            counts[self._index[a], self._index[b]] += 1
+        row_sums = counts.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0] = 1.0
+        self.transition_ = counts / row_sums
+        init = np.full(k, self.smoothing, dtype=float)
+        init[self._index[seq[0]]] += 1
+        self.initial_ = init / init.sum()
+        return self
+
+    def _require_fit(self) -> None:
+        if self.transition_ is None:
+            raise RuntimeError("chain is not fitted")
+
+    def transition_probability(self, a: Hashable, b: Hashable) -> float:
+        self._require_fit()
+        if a not in self._index or b not in self._index:
+            return 0.0
+        return float(self.transition_[self._index[a], self._index[b]])
+
+    def stationary_distribution(self) -> Dict[Hashable, float]:
+        """Left eigenvector of the transition matrix for eigenvalue 1."""
+        self._require_fit()
+        vals, vecs = np.linalg.eig(self.transition_.T)
+        idx = int(np.argmin(np.abs(vals - 1.0)))
+        vec = np.real(vecs[:, idx])
+        vec = np.abs(vec)
+        vec = vec / vec.sum()
+        return {s: float(vec[i]) for i, s in enumerate(self.states)}
+
+    def log_likelihood(self, sequence: Sequence[Hashable]) -> float:
+        """Log probability of a sequence under the fitted chain."""
+        self._require_fit()
+        seq = list(sequence)
+        if len(seq) < 2:
+            raise ValueError("need at least 2 symbols")
+        ll = 0.0
+        for a, b in zip(seq, seq[1:]):
+            p = self.transition_probability(a, b)
+            if p <= 0:
+                return float("-inf")
+            ll += float(np.log(p))
+        return ll
+
+    def generate(self, n: int, rng: Optional[np.random.Generator] = None) -> List[Hashable]:
+        """Sample a synthetic sequence of length ``n``."""
+        self._require_fit()
+        if n <= 0:
+            raise ValueError("n must be positive")
+        rng = rng or np.random.default_rng(0)
+        out: List[Hashable] = []
+        state = int(rng.choice(len(self.states), p=self.initial_))
+        out.append(self.states[state])
+        for _ in range(n - 1):
+            state = int(rng.choice(len(self.states), p=self.transition_[state]))
+            out.append(self.states[state])
+        return out

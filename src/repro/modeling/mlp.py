@@ -1,0 +1,161 @@
+"""A multi-layer perceptron regressor, from scratch on NumPy.
+
+Schmid & Kunkel [56] "use neural networks to analyze and predict file
+access times ... and show that the average prediction error can be
+significantly improved in comparison to linear models."  This is the
+reproduction's network: dense layers, ReLU activations, mean-squared-error
+loss, Adam optimiser, input/output standardisation, deterministic seeding.
+No autograd framework -- the backward pass is written out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class MLPRegressor:
+    """Feed-forward regressor.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths, e.g. ``(32, 16)``.
+    epochs:
+        Training epochs.
+    batch_size:
+        Mini-batch size.
+    lr:
+        Adam learning rate.
+    l2:
+        L2 weight penalty.
+    seed:
+        Initialisation and shuffling seed.
+    """
+
+    def __init__(
+        self,
+        hidden: Tuple[int, ...] = (32, 16),
+        epochs: int = 300,
+        batch_size: int = 32,
+        lr: float = 1e-2,
+        l2: float = 1e-5,
+        seed: int = 0,
+    ):
+        if any(h <= 0 for h in hidden):
+            raise ValueError("hidden widths must be positive")
+        if epochs <= 0 or batch_size <= 0 or lr <= 0:
+            raise ValueError("epochs, batch_size and lr must be positive")
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.l2 = l2
+        self.seed = seed
+        self._W: List[np.ndarray] = []
+        self._b: List[np.ndarray] = []
+        self._x_mean: Optional[np.ndarray] = None
+        self._x_std: Optional[np.ndarray] = None
+        self._y_mean: float = 0.0
+        self._y_std: float = 1.0
+        self.loss_history_: List[float] = []
+
+    # -- plumbing -------------------------------------------------------------
+    def _init_params(self, n_in: int, rng: np.random.Generator) -> None:
+        sizes = [n_in, *self.hidden, 1]
+        self._W = []
+        self._b = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialisation for ReLU
+            self._W.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._b.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        acts = [X]
+        h = X
+        for i, (W, b) in enumerate(zip(self._W, self._b)):
+            z = h @ W + b
+            h = z if i == len(self._W) - 1 else np.maximum(z, 0.0)
+            acts.append(h)
+        return h, acts
+
+    # -- API ----------------------------------------------------------------------
+    def fit(self, X: Sequence, y: Sequence) -> "MLPRegressor":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        if X.shape[0] < 2:
+            raise ValueError("need at least two training samples")
+        rng = np.random.default_rng(self.seed)
+
+        self._x_mean = X.mean(axis=0)
+        self._x_std = X.std(axis=0)
+        self._x_std[self._x_std == 0] = 1.0
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        Xs = (X - self._x_mean) / self._x_std
+        ys = (y - self._y_mean) / self._y_std
+
+        self._init_params(X.shape[1], rng)
+        # Adam state.
+        mW = [np.zeros_like(W) for W in self._W]
+        vW = [np.zeros_like(W) for W in self._W]
+        mb = [np.zeros_like(b) for b in self._b]
+        vb = [np.zeros_like(b) for b in self._b]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n = Xs.shape[0]
+        self.loss_history_ = []
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo : lo + self.batch_size]
+                xb, yb = Xs[idx], ys[idx]
+                pred, acts = self._forward(xb)
+                err = pred.ravel() - yb
+                epoch_loss += float((err**2).sum())
+                # Backward pass.
+                grad = (2.0 / len(idx)) * err.reshape(-1, 1)
+                gW = [np.zeros_like(W) for W in self._W]
+                gb = [np.zeros_like(b) for b in self._b]
+                for i in range(len(self._W) - 1, -1, -1):
+                    gW[i] = acts[i].T @ grad + self.l2 * self._W[i]
+                    gb[i] = grad.sum(axis=0)
+                    if i > 0:
+                        grad = grad @ self._W[i].T
+                        grad = grad * (acts[i] > 0)  # ReLU derivative
+                # Adam update.
+                step += 1
+                for i in range(len(self._W)):
+                    mW[i] = beta1 * mW[i] + (1 - beta1) * gW[i]
+                    vW[i] = beta2 * vW[i] + (1 - beta2) * gW[i] ** 2
+                    mb[i] = beta1 * mb[i] + (1 - beta1) * gb[i]
+                    vb[i] = beta2 * vb[i] + (1 - beta2) * gb[i] ** 2
+                    m_hat = mW[i] / (1 - beta1**step)
+                    v_hat = vW[i] / (1 - beta2**step)
+                    self._W[i] -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+                    mb_hat = mb[i] / (1 - beta1**step)
+                    vb_hat = vb[i] / (1 - beta2**step)
+                    self._b[i] -= self.lr * mb_hat / (np.sqrt(vb_hat) + eps)
+            self.loss_history_.append(epoch_loss / n)
+        return self
+
+    def predict(self, X: Sequence) -> np.ndarray:
+        if self._x_mean is None:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Xs = (X - self._x_mean) / self._x_std
+        pred, _ = self._forward(Xs)
+        return pred.ravel() * self._y_std + self._y_mean
+
+    def score(self, X: Sequence, y: Sequence) -> float:
+        """R^2 on held-out data."""
+        y = np.asarray(y, dtype=float).ravel()
+        pred = self.predict(X)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0

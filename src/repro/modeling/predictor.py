@@ -1,0 +1,119 @@
+"""The I/O performance prediction harness (claim C6).
+
+Trains linear, MLP and random-forest models on (configuration features ->
+measured I/O time) pairs and compares their held-out error, reproducing
+the surveyed result that learned models beat linear baselines on the
+non-linear I/O response surface (Schmid & Kunkel [56], Sun et al. [57]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.modeling.forest import RandomForestRegressor
+from repro.modeling.mlp import MLPRegressor
+from repro.modeling.regression import LinearModel
+
+
+def mean_absolute_percentage_error(y_true: Sequence, y_pred: Sequence) -> float:
+    """MAPE, the error metric the prediction papers report."""
+    yt = np.asarray(y_true, dtype=float).ravel()
+    yp = np.asarray(y_pred, dtype=float).ravel()
+    if yt.shape != yp.shape:
+        raise ValueError("shape mismatch")
+    if np.any(yt == 0):
+        raise ValueError("MAPE undefined for zero targets")
+    return float(np.mean(np.abs((yt - yp) / yt)))
+
+
+@dataclass
+class ModelComparison:
+    """Held-out errors of each model family."""
+
+    mape: Dict[str, float] = field(default_factory=dict)
+    r2: Dict[str, float] = field(default_factory=dict)
+
+    def best(self) -> str:
+        """Model with the lowest held-out MAPE."""
+        if not self.mape:
+            raise ValueError("no models compared")
+        return min(self.mape, key=self.mape.get)
+
+    def learned_beats_linear(self) -> bool:
+        """The claim under test: some learned model has lower MAPE."""
+        linear = self.mape.get("linear")
+        if linear is None:
+            raise ValueError("no linear baseline in the comparison")
+        return any(v < linear for k, v in self.mape.items() if k != "linear")
+
+    def summary(self) -> str:
+        lines = ["model            MAPE      R2"]
+        for name in sorted(self.mape):
+            lines.append(
+                f"{name:<14} {self.mape[name]:>7.2%} {self.r2.get(name, float('nan')):>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+class PerformancePredictor:
+    """Train/evaluate the three model families on one dataset.
+
+    Parameters
+    ----------
+    seed:
+        Controls the train/test split and all model seeds.
+    test_fraction:
+        Held-out fraction.
+    """
+
+    def __init__(self, seed: int = 0, test_fraction: float = 0.25):
+        if not 0 < test_fraction < 1:
+            raise ValueError("test_fraction must be in (0, 1)")
+        self.seed = seed
+        self.test_fraction = test_fraction
+        self.models: Dict[str, object] = {}
+
+    def split(self, X: np.ndarray, y: np.ndarray) -> Tuple:
+        rng = np.random.default_rng(self.seed)
+        n = X.shape[0]
+        order = rng.permutation(n)
+        n_test = max(1, int(n * self.test_fraction))
+        test_idx, train_idx = order[:n_test], order[n_test:]
+        return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+
+    def compare(
+        self,
+        X: Sequence,
+        y: Sequence,
+        mlp_epochs: int = 300,
+        n_trees: int = 30,
+    ) -> ModelComparison:
+        """Fit all model families; return held-out errors."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] < 8:
+            raise ValueError("need at least 8 samples for a meaningful split")
+        Xtr, ytr, Xte, yte = self.split(X, y)
+
+        self.models = {
+            "linear": LinearModel().fit(Xtr, ytr),
+            "mlp": MLPRegressor(epochs=mlp_epochs, seed=self.seed).fit(Xtr, ytr),
+            "forest": RandomForestRegressor(n_trees=n_trees, seed=self.seed).fit(
+                Xtr, ytr
+            ),
+        }
+        cmp = ModelComparison()
+        for name, model in self.models.items():
+            pred = model.predict(Xte)
+            cmp.mape[name] = mean_absolute_percentage_error(yte, pred)
+            cmp.r2[name] = model.score(Xte, yte)
+        return cmp
+
+    def predict(self, name: str, X: Sequence) -> np.ndarray:
+        model = self.models.get(name)
+        if model is None:
+            raise KeyError(f"model {name!r} has not been trained")
+        return model.predict(X)

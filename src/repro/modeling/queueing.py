@@ -1,0 +1,105 @@
+"""Analytic queueing models for storage servers.
+
+The classic counterpart to simulation in the paper's taxonomy: before (or
+instead of) simulating, analysts model a storage server as an M/M/c queue
+and predict response times from arrival and service rates.  This module
+provides the closed-form models -- and, used together with the DES kernel,
+the cross-validation that gives confidence in *both*: the simulator's
+measured waiting times must match Erlang's formulas on Markovian traffic
+(see ``tests/modeling/test_queueing.py``).
+
+Formulas: standard M/M/1 and M/M/c (Erlang-C) steady-state results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueueMetrics:
+    """Steady-state metrics of a queueing station."""
+
+    utilization: float  # rho
+    mean_wait: float  # Wq: time in queue (excluding service)
+    mean_response: float  # W: queue + service
+    mean_queue_length: float  # Lq
+    prob_wait: float  # probability an arrival must wait
+
+
+def mm1(arrival_rate: float, service_rate: float) -> QueueMetrics:
+    """M/M/1 steady state.
+
+    Parameters
+    ----------
+    arrival_rate:
+        lambda, requests/second.
+    service_rate:
+        mu, requests/second the single server completes.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    rho = arrival_rate / service_rate
+    if rho >= 1:
+        raise ValueError(f"unstable queue: rho = {rho:.3f} >= 1")
+    wq = rho / (service_rate - arrival_rate)
+    return QueueMetrics(
+        utilization=rho,
+        mean_wait=wq,
+        mean_response=wq + 1 / service_rate,
+        mean_queue_length=arrival_rate * wq,
+        prob_wait=rho,
+    )
+
+
+def erlang_c(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Probability an arrival waits in an M/M/c system (Erlang-C)."""
+    if servers <= 0:
+        raise ValueError("servers must be positive")
+    a = arrival_rate / service_rate  # offered load in Erlangs
+    rho = a / servers
+    if rho >= 1:
+        raise ValueError(f"unstable queue: rho = {rho:.3f} >= 1")
+    summation = sum(a**k / math.factorial(k) for k in range(servers))
+    top = a**servers / (math.factorial(servers) * (1 - rho))
+    return top / (summation + top)
+
+
+def mmc(arrival_rate: float, service_rate: float, servers: int) -> QueueMetrics:
+    """M/M/c steady state (service_rate is per server)."""
+    pw = erlang_c(arrival_rate, service_rate, servers)
+    a = arrival_rate / service_rate
+    rho = a / servers
+    wq = pw / (servers * service_rate - arrival_rate)
+    return QueueMetrics(
+        utilization=rho,
+        mean_wait=wq,
+        mean_response=wq + 1 / service_rate,
+        mean_queue_length=arrival_rate * wq,
+        prob_wait=pw,
+    )
+
+
+def required_servers(
+    arrival_rate: float, service_rate: float, max_wait: float
+) -> int:
+    """Smallest server count keeping mean queueing delay below ``max_wait``.
+
+    The provisioning question ("how many OSS threads / service targets do
+    we need for this load?") answered analytically.
+    """
+    if max_wait <= 0:
+        raise ValueError("max_wait must be positive")
+    c = max(1, math.ceil(arrival_rate / service_rate) )
+    while True:
+        try:
+            metrics = mmc(arrival_rate, service_rate, c)
+        except ValueError:
+            c += 1
+            continue
+        if metrics.mean_wait <= max_wait:
+            return c
+        c += 1
+        if c > 10_000:
+            raise RuntimeError("no reasonable server count satisfies the target")

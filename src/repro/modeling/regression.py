@@ -1,0 +1,76 @@
+"""Linear regression with diagnostics (from scratch on numpy).
+
+The linear baseline the surveyed learned models are compared against
+(Schmid & Kunkel [56] report that neural networks "significantly improve"
+over linear models for file-access-time prediction; claim C6 reproduces
+that comparison, so the baseline must be a respectable least-squares fit).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def polynomial_features(X: np.ndarray, degree: int = 2) -> np.ndarray:
+    """Expand features with powers up to ``degree`` (no cross terms)."""
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    cols = [X]
+    for d in range(2, degree + 1):
+        cols.append(X**d)
+    return np.hstack(cols)
+
+
+class LinearModel:
+    """Ordinary least squares with intercept.
+
+    Attributes after :meth:`fit`: ``coef_`` (weights), ``intercept_``,
+    ``r2_`` (training R^2), ``residual_std_``.
+    """
+
+    def __init__(self):
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self.r2_: float = 0.0
+        self.residual_std_: float = 0.0
+
+    def fit(self, X: Sequence, y: Sequence) -> "LinearModel":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        if X.shape[0] < X.shape[1] + 1:
+            raise ValueError("need more samples than features")
+        A = np.hstack([np.ones((X.shape[0], 1)), X])
+        theta, *_ = np.linalg.lstsq(A, y, rcond=None)
+        self.intercept_ = float(theta[0])
+        self.coef_ = theta[1:]
+        pred = A @ theta
+        resid = y - pred
+        ss_res = float(resid @ resid)
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        self.r2_ = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        dof = max(1, X.shape[0] - X.shape[1] - 1)
+        self.residual_std_ = float(np.sqrt(ss_res / dof))
+        return self
+
+    def predict(self, X: Sequence) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"expected {self.coef_.shape[0]} features, got {X.shape[1]}"
+            )
+        return self.intercept_ + X @ self.coef_
+
+    def score(self, X: Sequence, y: Sequence) -> float:
+        """R^2 on held-out data."""
+        y = np.asarray(y, dtype=float).ravel()
+        pred = self.predict(X)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0

@@ -1,0 +1,102 @@
+"""Replay-based modeling (paper Sec. IV-B-3).
+
+"Replay-based modeling relies on historical I/O traces ... Through the
+analysis of these traces, an I/O replication workload can be automatically
+generated, which is able to replay the I/O behavior of the original
+application, and in turn is also able to predict the application's I/O
+performance."
+
+:class:`ReplayModel` is that pipeline in one object: trace in, compressed
+representation stored, replay workload out, predicted runtime by replaying
+against a simulated system.  It also quantifies its own storage savings
+(Hao et al.'s [15] selling point, claim C7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.platform import Platform
+from repro.modeling.trace_compress import CompressedTrace, compress_ops, decompress
+from repro.ops import IOOp, IORecord
+from repro.pfs.filesystem import ParallelFileSystem
+from repro.simulate.tracesim import trace_to_workload
+from repro.simulate.execsim import run_workload
+from repro.workloads.base import OpStreamWorkload, WorkloadResult
+
+
+@dataclass
+class ReplayModel:
+    """A compressed, replayable model of one traced application."""
+
+    name: str
+    compressed: Dict[int, CompressedTrace]
+    think_time: Dict[int, List[float]]
+
+    @classmethod
+    def from_records(
+        cls, records: List[IORecord], name: str = "replay-model", layer: str = "posix"
+    ) -> "ReplayModel":
+        """Build the model from trace records (one rank at a time)."""
+        workload = trace_to_workload(
+            records, name=name, layer=layer, preserve_think_time=True
+        )
+        compressed: Dict[int, CompressedTrace] = {}
+        think: Dict[int, List[float]] = {}
+        for rank in range(workload.n_ranks):
+            ops = list(workload.ops(rank))
+            io_ops = [op for op in ops if op.kind.value != "compute"]
+            think[rank] = [op.duration for op in ops if op.kind.value == "compute"]
+            compressed[rank] = compress_ops(io_ops)
+        return cls(name=name, compressed=compressed, think_time=think)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.compressed)
+
+    @property
+    def original_ops(self) -> int:
+        return sum(c.original_ops for c in self.compressed.values())
+
+    @property
+    def compressed_size(self) -> int:
+        return sum(c.compressed_size for c in self.compressed.values())
+
+    @property
+    def compression_ratio(self) -> float:
+        size = self.compressed_size
+        return self.original_ops / size if size else 1.0
+
+    def to_workload(self, include_think_time: bool = True) -> OpStreamWorkload:
+        """Expand back into a runnable replication workload."""
+        from repro.ops import OpKind
+
+        per_rank: List[List[IOOp]] = []
+        for rank in sorted(self.compressed):
+            ops = decompress(self.compressed[rank])
+            if include_think_time and self.think_time.get(rank):
+                # Re-interleave think time uniformly between I/O ops: the
+                # compressed model keeps total think time, not placement.
+                total = sum(self.think_time[rank])
+                if ops and total > 0:
+                    gap = total / len(ops)
+                    interleaved: List[IOOp] = []
+                    for op in ops:
+                        interleaved.append(IOOp(OpKind.COMPUTE, duration=gap, rank=rank))
+                        interleaved.append(op)
+                    ops = interleaved
+            per_rank.append(ops)
+        return OpStreamWorkload(self.name, per_rank)
+
+    def predict_runtime(
+        self,
+        platform: Platform,
+        pfs: ParallelFileSystem,
+        include_think_time: bool = True,
+        **run_kwargs,
+    ) -> WorkloadResult:
+        """Predict performance by replaying against a simulated system."""
+        return run_workload(
+            platform, pfs, self.to_workload(include_think_time), **run_kwargs
+        )

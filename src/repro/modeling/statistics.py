@@ -1,0 +1,128 @@
+"""Descriptive statistics for I/O performance data.
+
+Paper Sec. IV-B-1 enumerates the working statistician's toolbox for I/O
+analysis: "arithmetic mean, standard deviation, linear regression, Markov
+models, hypothesis testing, probability density and cumulative density
+functions, coefficient of variance, and coefficient of correlation."  This
+module covers the distributional pieces; regression, Markov models and
+tests live in their own modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DescriptiveStats:
+    """Summary statistics of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"cv={self.cv:.3f} min={self.minimum:.4g} med={self.median:.4g} "
+            f"p95={self.p95:.4g} max={self.maximum:.4g}"
+        )
+
+
+def describe(values: Sequence[float]) -> DescriptiveStats:
+    """Compute summary statistics (sample standard deviation, ddof=1)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot describe an empty sample")
+    return DescriptiveStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        p25=float(np.percentile(arr, 25)),
+        median=float(np.percentile(arr, 50)),
+        p75=float(np.percentile(arr, 75)),
+        p95=float(np.percentile(arr, 95)),
+        maximum=float(arr.max()),
+    )
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean -- the standard I/O variability metric (Lockwood et al. [47])."""
+    return describe(values).cv
+
+
+def ecdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative probabilities)."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build an ECDF from an empty sample")
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Coefficient of correlation between two equal-length samples."""
+    ax = np.asarray(list(x), dtype=float)
+    ay = np.asarray(list(y), dtype=float)
+    if ax.shape != ay.shape:
+        raise ValueError("samples must have equal length")
+    if ax.size < 2:
+        raise ValueError("need at least two points")
+    if ax.std() == 0 or ay.std() == 0:
+        return 0.0
+    return float(np.corrcoef(ax, ay)[0, 1])
+
+
+def histogram_pdf(
+    values: Sequence[float], bins: int = 20
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram as (bin_centers, densities)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot build a PDF from an empty sample")
+    densities, edges = np.histogram(arr, bins=bins, density=True)
+    centers = (edges[:-1] + edges[1:]) / 2
+    return centers, densities
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    stat=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Bootstrap confidence interval for an arbitrary statistic."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    stats = np.array(
+        [stat(rng.choice(arr, size=arr.size, replace=True)) for _ in range(n_resamples)]
+    )
+    alpha = (1 - confidence) / 2
+    return (
+        float(np.percentile(stats, 100 * alpha)),
+        float(np.percentile(stats, 100 * (1 - alpha))),
+    )

@@ -1,0 +1,215 @@
+"""Trace compression via arithmetic runs and tandem-repeat folding.
+
+Hao et al. [15] compress I/O traces with a suffix-tree repeat detector
+before generating replay benchmarks; the same idea is implemented here in
+two passes suited to I/O op streams:
+
+1. **Run collapsing**: maximal runs of operations identical except for an
+   arithmetically increasing offset (the signature of sequential I/O)
+   become one :class:`Run` node -- IOR-style streams collapse by a factor
+   of the transfer count.
+2. **Tandem-repeat folding**: the node list is scanned for adjacent
+   repeated blocks (``ABAB...`` -> ``Loop([A, B], k)``), applied greedily
+   by best savings until no fold helps -- capturing outer iteration
+   structure (time-step loops, epoch loops).
+
+Decompression is exact: ``decompress(compress_ops(ops)) == ops``, which is
+the correctness property the replay path relies on (claim C7) and which
+property-based tests enforce.
+
+Limitation (documented): patterns that vary *path names* per iteration
+(file-per-step checkpoints) only compress within each step, not across
+steps; parameterising paths across iterations is what
+:mod:`repro.modeling.extrapolate` does in the rank dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence, Tuple, Union
+
+from repro.ops import IOOp
+
+
+def _meta_key(meta: dict) -> tuple:
+    """Hashable stand-in for an op's meta dict (exactness of folding)."""
+    return tuple(sorted((str(k), str(v)) for k, v in meta.items()))
+
+
+@dataclass(frozen=True)
+class Run:
+    """``count`` copies of ``op`` with offsets stepping by ``stride``."""
+
+    op: IOOp
+    count: int
+    stride: int
+
+    def expand(self) -> List[IOOp]:
+        return [
+            replace(self.op, offset=self.op.offset + i * self.stride)
+            for i in range(self.count)
+        ]
+
+    def key(self) -> tuple:
+        # The start offset is part of the key: folding two runs that differ
+        # only in their base offset would break exact decompression.
+        return (
+            ("run",)
+            + self.op.signature()
+            + (self.op.rank, _meta_key(self.op.meta), self.stride, self.count)
+        )
+
+    @property
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """A single literal operation."""
+
+    op: IOOp
+
+    def expand(self) -> List[IOOp]:
+        return [self.op]
+
+    def key(self) -> tuple:
+        return ("op",) + self.op.signature() + (self.op.rank, _meta_key(self.op.meta))
+
+    @property
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``count`` repetitions of a node sequence."""
+
+    body: Tuple = ()
+    count: int = 1
+
+    def expand(self) -> List[IOOp]:
+        once = [op for node in self.body for op in node.expand()]
+        return once * self.count
+
+    def key(self) -> tuple:
+        return ("loop", self.count) + tuple(n.key() for n in self.body)
+
+    @property
+    def size(self) -> int:
+        return 1 + sum(n.size for n in self.body)
+
+
+Node = Union[OpNode, Run, Loop]
+
+
+@dataclass
+class CompressedTrace:
+    """The compressed form of one rank's op stream."""
+
+    nodes: List[Node] = field(default_factory=list)
+    original_ops: int = 0
+
+    @property
+    def compressed_size(self) -> int:
+        """Node count (the storage proxy the ratio is measured against)."""
+        return sum(n.size for n in self.nodes)
+
+    @property
+    def ratio(self) -> float:
+        """Original ops per compressed node (higher = better)."""
+        size = self.compressed_size
+        return self.original_ops / size if size else 1.0
+
+
+def _collapse_runs(ops: Sequence[IOOp]) -> List[Node]:
+    """Pass 1: fold arithmetic offset runs into Run nodes."""
+    nodes: List[Node] = []
+    i = 0
+    n = len(ops)
+    while i < n:
+        op = ops[i]
+        j = i + 1
+        stride = None
+        sig = (op.kind, op.path, op.nbytes, op.rank, round(op.duration, 9))
+        while j < n:
+            nxt = ops[j]
+            if (nxt.kind, nxt.path, nxt.nbytes, nxt.rank, round(nxt.duration, 9)) != sig:
+                break
+            if nxt.meta != op.meta:
+                break
+            step = nxt.offset - ops[j - 1].offset
+            if stride is None:
+                stride = step
+            elif step != stride:
+                break
+            j += 1
+        count = j - i
+        # Runs shorter than 3 do not pay for their (op, stride, count)
+        # representation and would make accidentally-arithmetic pairs in
+        # random streams look compressible.
+        if count >= 3 and stride is not None:
+            nodes.append(Run(op=op, count=count, stride=stride))
+            i = j
+        else:
+            nodes.append(OpNode(op=op))
+            i += 1
+    return nodes
+
+
+def _best_tandem_repeat(
+    keys: List[tuple], max_pattern: int
+) -> Tuple[int, int, int, int]:
+    """Find (start, pattern_len, repeats, savings) of the best fold."""
+    n = len(keys)
+    best = (-1, 0, 0, 0)
+    for plen in range(1, min(max_pattern, n // 2) + 1):
+        i = 0
+        while i + 2 * plen <= n:
+            if keys[i : i + plen] == keys[i + plen : i + 2 * plen]:
+                reps = 2
+                while (
+                    i + (reps + 1) * plen <= n
+                    and keys[i : i + plen]
+                    == keys[i + reps * plen : i + (reps + 1) * plen]
+                ):
+                    reps += 1
+                savings = (reps - 1) * plen - 1
+                if savings > best[3]:
+                    best = (i, plen, reps, savings)
+                i += reps * plen
+            else:
+                i += 1
+    return best
+
+
+def compress_ops(
+    ops: Sequence[IOOp], max_pattern: int = 64, max_passes: int = 32
+) -> CompressedTrace:
+    """Compress one rank's op stream.
+
+    Parameters
+    ----------
+    ops:
+        The operation stream (one rank).
+    max_pattern:
+        Longest repeated block considered by the tandem folder.
+    max_passes:
+        Safety bound on folding iterations.
+    """
+    ops = list(ops)
+    nodes: List[Node] = _collapse_runs(ops)
+    for _ in range(max_passes):
+        keys = [n.key() for n in nodes]
+        start, plen, reps, savings = _best_tandem_repeat(keys, max_pattern)
+        if savings <= 0:
+            break
+        body = tuple(nodes[start : start + plen])
+        loop = Loop(body=body, count=reps)
+        nodes = nodes[:start] + [loop] + nodes[start + plen * reps :]
+    return CompressedTrace(nodes=nodes, original_ops=len(ops))
+
+
+def decompress(trace: CompressedTrace) -> List[IOOp]:
+    """Expand a compressed trace back to the exact original op stream."""
+    return [op for node in trace.nodes for op in node.expand()]

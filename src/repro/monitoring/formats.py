@@ -1,0 +1,55 @@
+"""Persistence of traces and profiles.
+
+Traces are stored as gzipped JSON-lines (one record per line, streaming-
+friendly, mirroring Recorder's per-record layout); profiles as a single
+JSON document (mirroring Darshan's one-file-per-job logs).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.monitoring.profiler import JobProfile
+from repro.ops import IORecord
+
+PathLike = Union[str, Path]
+
+
+def save_trace(records: Iterable[IORecord], path: PathLike) -> int:
+    """Write records as gzipped JSONL; returns the record count."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with gzip.open(p, "wt", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec.to_dict()) + "\n")
+            n += 1
+    return n
+
+
+def load_trace(path: PathLike) -> List[IORecord]:
+    """Read a gzipped JSONL trace back into records."""
+    out: List[IORecord] = []
+    with gzip.open(Path(path), "rt", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(IORecord.from_dict(json.loads(line)))
+    return out
+
+
+def save_profile(profile: JobProfile, path: PathLike) -> None:
+    """Write a job profile as JSON."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(p, "w", encoding="utf-8") as fh:
+        json.dump(profile.to_dict(), fh, indent=1)
+
+
+def load_profile(path: PathLike) -> JobProfile:
+    """Read a job profile back."""
+    with open(Path(path), "r", encoding="utf-8") as fh:
+        return JobProfile.from_dict(json.load(fh))

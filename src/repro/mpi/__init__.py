@@ -1,0 +1,19 @@
+"""Simulated MPI runtime.
+
+Execution-driven simulation (paper Sec. IV-C-3) interleaves the application
+with the simulator: the application *is executed inside* the simulation.
+This package provides the substrate: SPMD Python generator functions run as
+simulated processes, one per rank, communicating through a
+:class:`Communicator` whose point-to-point operations move bytes over the
+simulated compute fabric and whose collectives charge standard
+log-tree/ring cost models while enforcing real synchronisation semantics
+(every rank must arrive before any rank leaves a collective).
+
+This is the moral equivalent of mpi4py's API surface shrunk to what the
+I/O stack and the workloads need: ``barrier``, ``bcast``, ``gather``,
+``allgather``, ``allreduce``, ``alltoall``, ``send``/``recv``.
+"""
+
+from repro.mpi.runtime import Communicator, MPIRuntime
+
+__all__ = ["Communicator", "MPIRuntime"]

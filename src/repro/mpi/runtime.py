@@ -1,0 +1,269 @@
+"""SPMD runtime: ranks as simulated processes, collectives with cost models.
+
+Design notes
+------------
+* A *program* is a Python generator function ``fn(ctx) -> generator``; the
+  runtime instantiates it once per rank with a per-rank :class:`RankContext`
+  and runs all instances as concurrent simulated processes.
+* Point-to-point ``send``/``recv`` moves real simulated bytes across the
+  compute fabric between the ranks' host nodes (ranks on the same node pay
+  nothing, as with shared-memory transports).
+* Collectives synchronise all ranks (arrival barrier), then charge an
+  analytic cost based on standard algorithms: log-tree for
+  barrier/bcast/reduce-style, linear/ring terms for the data volume, using
+  the fabric's latency and NIC bandwidth.  This matches how codesign
+  simulators (the paper's Sec. IV-C-1 frameworks) model communication.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.network import NetworkFabric
+from repro.des.engine import Environment
+from repro.des.resources import Store
+
+
+class _CollectiveGate:
+    """Reusable all-arrive/all-leave synchronisation point."""
+
+    def __init__(self, env: Environment, size: int):
+        self.env = env
+        self.size = size
+        self._arrived = 0
+        self._release = env.event()
+
+    def arrive(self):
+        """Generator: wait until all ranks have arrived."""
+        self._arrived += 1
+        if self._arrived == self.size:
+            release, self._release = self._release, self.env.event()
+            self._arrived = 0
+            release.succeed()
+            # The last arrival does not wait.
+            return
+            yield  # pragma: no cover
+        else:
+            yield self._release
+
+
+class Communicator:
+    """The communicator shared by all ranks of one program run.
+
+    Rank-facing operations are *generators*: call them via
+    ``yield from ctx.comm.barrier(rank)`` etc.  (The per-rank
+    :class:`RankContext` wraps them so application code does not pass its
+    own rank explicitly.)
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        rank_nodes: List[str],
+        eager_latency: float = 1e-6,
+    ):
+        if not rank_nodes:
+            raise ValueError("communicator needs at least one rank")
+        for node in rank_nodes:
+            if not fabric.has_endpoint(node):
+                raise KeyError(f"rank node {node!r} not attached to fabric {fabric.name!r}")
+        self.env = env
+        self.fabric = fabric
+        self.rank_nodes = list(rank_nodes)
+        self.size = len(rank_nodes)
+        self.eager_latency = eager_latency
+        self._gates: Dict[str, _CollectiveGate] = {}
+        self._mailboxes: Dict[tuple, Store] = {}
+        # Statistics.
+        self.collective_count = 0
+        self.p2p_messages = 0
+        self.p2p_bytes = 0.0
+
+    # -- cost model -----------------------------------------------------------
+    def _alpha(self) -> float:
+        """Per-message latency term."""
+        return self.fabric.base_latency + self.eager_latency
+
+    def _beta(self) -> float:
+        """Per-byte transfer term (inverse NIC bandwidth)."""
+        return 1.0 / self.fabric.nic_bandwidth
+
+    def _log_steps(self) -> int:
+        return max(1, math.ceil(math.log2(max(2, self.size))))
+
+    def collective_cost(self, kind: str, nbytes: float = 0.0) -> float:
+        """Analytic duration of one collective for the full communicator."""
+        a, b = self._alpha(), self._beta()
+        log_p = self._log_steps()
+        if self.size == 1:
+            return 0.0
+        if kind == "barrier":
+            return log_p * a
+        if kind == "bcast":
+            return log_p * (a + nbytes * b)
+        if kind in ("reduce", "allreduce"):
+            factor = 2 if kind == "allreduce" else 1
+            return factor * log_p * (a + nbytes * b)
+        if kind in ("gather", "allgather", "scatter"):
+            # Linear data term: root receives (p-1) contributions.
+            total = (self.size - 1) * nbytes
+            steps = log_p * a
+            if kind == "allgather":
+                steps *= 2
+            return steps + total * b
+        if kind == "alltoall":
+            total = (self.size - 1) * nbytes
+            return log_p * a + total * b
+        raise ValueError(f"unknown collective {kind!r}")
+
+    # -- collectives ---------------------------------------------------------
+    def _gate(self, key: str) -> _CollectiveGate:
+        if key not in self._gates:
+            self._gates[key] = _CollectiveGate(self.env, self.size)
+        return self._gates[key]
+
+    def _collective(self, kind: str, rank: int, nbytes: float, tag: str):
+        gate = self._gate(tag)
+        yield from gate.arrive()
+        cost = self.collective_cost(kind, nbytes)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        if rank == 0:
+            self.collective_count += 1
+
+    def barrier(self, rank: int, tag: str = "barrier"):
+        yield from self._collective("barrier", rank, 0.0, tag)
+
+    def bcast(self, rank: int, nbytes: float = 8.0, tag: str = "bcast"):
+        yield from self._collective("bcast", rank, nbytes, tag)
+
+    def allreduce(self, rank: int, nbytes: float = 8.0, tag: str = "allreduce"):
+        yield from self._collective("allreduce", rank, nbytes, tag)
+
+    def gather(self, rank: int, nbytes: float = 8.0, tag: str = "gather"):
+        yield from self._collective("gather", rank, nbytes, tag)
+
+    def allgather(self, rank: int, nbytes: float = 8.0, tag: str = "allgather"):
+        yield from self._collective("allgather", rank, nbytes, tag)
+
+    def alltoall(self, rank: int, nbytes_per_peer: float, tag: str = "alltoall"):
+        yield from self._collective("alltoall", rank, nbytes_per_peer, tag)
+
+    # -- point-to-point ---------------------------------------------------------
+    def _mailbox(self, src: int, dst: int, tag: int) -> Store:
+        key = (src, dst, tag)
+        if key not in self._mailboxes:
+            self._mailboxes[key] = Store(self.env)
+        return self._mailboxes[key]
+
+    def send(self, rank: int, dest: int, nbytes: float, payload: Any = None, tag: int = 0):
+        """Generator: blocking send of ``nbytes`` (+ optional payload)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        src_node = self.rank_nodes[rank]
+        dst_node = self.rank_nodes[dest]
+        yield from self.fabric.send(src_node, dst_node, nbytes)
+        self.p2p_messages += 1
+        self.p2p_bytes += nbytes
+        self._mailbox(rank, dest, tag).put((nbytes, payload))
+
+    def recv(self, rank: int, source: int, tag: int = 0):
+        """Generator: blocking receive; returns ``(nbytes, payload)``."""
+        if not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        item = yield self._mailbox(source, rank, tag).get()
+        return item
+
+
+@dataclass
+class RankContext:
+    """What one rank's program sees: its rank, the comm, and helpers."""
+
+    rank: int
+    comm: Communicator
+    env: Environment
+    node: str
+    #: Slot for an attached I/O stack (set by the execution driver).
+    io: Any = None
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def compute(self, seconds: float):
+        """Generator: spend ``seconds`` of pure computation."""
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        if seconds > 0:
+            yield self.env.timeout(seconds)
+
+    def barrier(self):
+        yield from self.comm.barrier(self.rank)
+
+
+class MPIRuntime:
+    """Launches SPMD programs on a platform's compute nodes.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    fabric:
+        Compute fabric used for communication.
+    rank_nodes:
+        Host node (fabric endpoint) of each rank, e.g. round-robin over
+        compute nodes.
+    """
+
+    def __init__(self, env: Environment, fabric: NetworkFabric, rank_nodes: List[str]):
+        self.env = env
+        self.fabric = fabric
+        self.rank_nodes = list(rank_nodes)
+        self.comm = Communicator(env, fabric, rank_nodes)
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def launch(
+        self,
+        program: Callable[[RankContext], Any],
+        io_factory: Optional[Callable[[RankContext], Any]] = None,
+    ):
+        """Start one process per rank; returns the list of rank processes.
+
+        ``io_factory(ctx)``, when given, builds the per-rank I/O stack
+        (attached as ``ctx.io``) before the program starts.
+        """
+        procs = []
+        for rank in range(self.size):
+            ctx = RankContext(
+                rank=rank, comm=self.comm, env=self.env, node=self.rank_nodes[rank]
+            )
+            if io_factory is not None:
+                ctx.io = io_factory(ctx)
+            procs.append(self.env.process(program(ctx)))
+        return procs
+
+    def run(
+        self,
+        program: Callable[[RankContext], Any],
+        io_factory: Optional[Callable[[RankContext], Any]] = None,
+    ) -> List[Any]:
+        """Launch, run to completion, and return per-rank results."""
+        procs = self.launch(program, io_factory=io_factory)
+        done = self.env.all_of(procs)
+        self.env.run(until=done)
+        return [p.value for p in procs]
+
+
+def round_robin_nodes(node_names: List[str], n_ranks: int) -> List[str]:
+    """Assign ``n_ranks`` ranks round-robin over the given nodes."""
+    if not node_names:
+        raise ValueError("need at least one node")
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    return [node_names[i % len(node_names)] for i in range(n_ranks)]

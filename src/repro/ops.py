@@ -1,0 +1,187 @@
+"""Shared I/O operation vocabulary.
+
+Every layer of the toolkit speaks in terms of these types:
+
+* :class:`OpKind` -- the operation alphabet (data ops, metadata ops, and the
+  synthetic ``COMPUTE``/``BARRIER`` markers used by workload descriptions).
+* :class:`IOOp` -- an *intended* operation, as emitted by a workload source
+  (the IOWA-style "workload produce" stream, paper Sec. IV-B-4 / [20]).
+* :class:`IORecord` -- an *observed* operation, as captured by monitoring
+  (a trace record with timestamps; paper Sec. IV-A-2).
+
+Keeping these in one dependency-free module lets workloads, the I/O stack,
+the file system, monitoring and modeling interoperate without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Dict, Optional
+
+
+class OpKind(str, Enum):
+    """Operation types across the whole I/O stack."""
+
+    # Data operations.
+    READ = "read"
+    WRITE = "write"
+    # Metadata operations (the mdtest alphabet).
+    CREATE = "create"
+    OPEN = "open"
+    CLOSE = "close"
+    STAT = "stat"
+    UNLINK = "unlink"
+    MKDIR = "mkdir"
+    RMDIR = "rmdir"
+    READDIR = "readdir"
+    FSYNC = "fsync"
+    # Workload-description markers (never reach the file system).
+    COMPUTE = "compute"
+    BARRIER = "barrier"
+
+    @property
+    def is_data(self) -> bool:
+        return self in (OpKind.READ, OpKind.WRITE)
+
+    @property
+    def is_metadata(self) -> bool:
+        return self in (
+            OpKind.CREATE,
+            OpKind.OPEN,
+            OpKind.CLOSE,
+            OpKind.STAT,
+            OpKind.UNLINK,
+            OpKind.MKDIR,
+            OpKind.RMDIR,
+            OpKind.READDIR,
+            OpKind.FSYNC,
+        )
+
+    @property
+    def is_marker(self) -> bool:
+        return self in (OpKind.COMPUTE, OpKind.BARRIER)
+
+
+@dataclass(frozen=True)
+class IOOp:
+    """An intended I/O operation in a workload stream.
+
+    Attributes
+    ----------
+    kind:
+        Operation type.
+    path:
+        Target file path ("" for markers).
+    offset:
+        Byte offset for data ops (ignored otherwise).
+    nbytes:
+        Transfer size for data ops; for ``COMPUTE`` the field ``duration``
+        carries the think time instead.
+    rank:
+        Issuing MPI rank.
+    duration:
+        For ``COMPUTE`` markers: seconds of computation.
+    meta:
+        Free-form annotations (e.g. dataset name, epoch number).
+    """
+
+    kind: OpKind
+    path: str = ""
+    offset: int = 0
+    nbytes: int = 0
+    rank: int = 0
+    duration: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def with_rank(self, rank: int) -> "IOOp":
+        """Copy of this op re-targeted at another rank."""
+        return replace(self, rank=rank)
+
+    def signature(self) -> tuple:
+        """Content identity ignoring rank (used by trace compression)."""
+        return (self.kind.value, self.path, self.offset, self.nbytes, round(self.duration, 9))
+
+
+@dataclass
+class IORecord:
+    """An observed I/O operation with timing.
+
+    Produced by tracers (Recorder-like) and consumed by replay, modeling
+    and analysis.  ``layer`` names the stack level at which the record was
+    captured (``"hdf5"``, ``"mpiio"``, ``"posix"``, ``"pfs"``).
+    """
+
+    layer: str
+    kind: OpKind
+    path: str
+    offset: int
+    nbytes: int
+    rank: int
+    start: float
+    end: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_op(self) -> IOOp:
+        """Project back to an intended operation (drops timing)."""
+        return IOOp(
+            kind=self.kind,
+            path=self.path,
+            offset=self.offset,
+            nbytes=self.nbytes,
+            rank=self.rank,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (used by trace file formats)."""
+        return {
+            "layer": self.layer,
+            "kind": self.kind.value,
+            "path": self.path,
+            "offset": self.offset,
+            "nbytes": self.nbytes,
+            "rank": self.rank,
+            "start": self.start,
+            "end": self.end,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "IORecord":
+        return cls(
+            layer=d["layer"],
+            kind=OpKind(d["kind"]),
+            path=d["path"],
+            offset=d["offset"],
+            nbytes=d["nbytes"],
+            rank=d["rank"],
+            start=d["start"],
+            end=d["end"],
+            extra=d.get("extra", {}),
+        )
+
+
+#: Size-histogram bucket upper bounds (bytes), mirroring Darshan's buckets.
+SIZE_BUCKETS = [
+    100,
+    1024,
+    10 * 1024,
+    100 * 1024,
+    1024 * 1024,
+    4 * 1024 * 1024,
+    10 * 1024 * 1024,
+    100 * 1024 * 1024,
+    1024 * 1024 * 1024,
+]
+
+
+def size_bucket(nbytes: int) -> int:
+    """Index of the Darshan-style size histogram bucket for ``nbytes``."""
+    for i, ub in enumerate(SIZE_BUCKETS):
+        if nbytes <= ub:
+            return i
+    return len(SIZE_BUCKETS)

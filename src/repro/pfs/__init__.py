@@ -1,0 +1,41 @@
+"""Lustre-like parallel file system model.
+
+Implements the server side of paper Fig. 1's storage cluster and the
+client-side striping logic of Fig. 2's bottom layer:
+
+* :mod:`repro.pfs.layout` -- stripe arithmetic (offset -> (OST, object
+  offset) mapping), the invariant-rich core that property-based tests pound.
+* :mod:`repro.pfs.namespace` -- the file-system namespace (directories,
+  inodes) owned by the metadata server.
+* :mod:`repro.pfs.mds` -- the metadata server: a queued service handling
+  create/open/stat/unlink/mkdir/readdir, emitting FSMonitor-able events.
+* :mod:`repro.pfs.oss` -- object storage servers fronting OST block devices.
+* :mod:`repro.pfs.client` -- the client: metadata RPCs to the MDS, striped
+  data RPCs fanned out to the OSSes, optional read cache.
+* :mod:`repro.pfs.filesystem` -- assembly: ``build_pfs(platform)`` attaches
+  a file system to a platform's storage nodes.
+* :mod:`repro.pfs.interference` -- cross-application interference analysis
+  helpers (Yildiz et al. [40]; claim C10).
+"""
+
+from repro.pfs.layout import StripeLayout, StripeSlice
+from repro.pfs.namespace import Inode, Namespace
+from repro.pfs.mds import MetadataServer
+from repro.pfs.oss import ObjectStorageServer
+from repro.pfs.client import PFSClient
+from repro.pfs.filesystem import ParallelFileSystem, build_pfs
+from repro.pfs.interference import SlowdownReport, ost_overlap
+
+__all__ = [
+    "Inode",
+    "MetadataServer",
+    "Namespace",
+    "ObjectStorageServer",
+    "PFSClient",
+    "ParallelFileSystem",
+    "SlowdownReport",
+    "StripeLayout",
+    "StripeSlice",
+    "build_pfs",
+    "ost_overlap",
+]

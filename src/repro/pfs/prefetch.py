@@ -1,0 +1,128 @@
+"""Prediction-driven read prefetching.
+
+Omnisc'IO's [55] motivation for predicting I/O behaviour is acting on the
+prediction -- prefetching and scheduling.  The :class:`PrefetchingReader`
+closes that loop inside the simulation: it wraps a cached
+:class:`~repro.pfs.client.PFSClient`, feeds every observed read into an
+:class:`~repro.modeling.patterns.OpPredictor`, and speculatively issues
+the predicted next reads in the background so they land in the client's
+read cache before the application asks.
+
+On predictable streams (sequential scans, strided sweeps) the prefetcher
+overlaps I/O with the application's compute time and turns most reads
+into cache hits; on shuffled streams (DL training without staging) the
+predictions miss and the prefetcher is wasted work -- exactly the
+trade-off the prediction literature quantifies.  Both regimes are covered
+by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.modeling.patterns import OpPrediction, OpPredictor
+from repro.ops import IOOp, OpKind
+from repro.pfs.client import PFSClient
+
+
+@dataclass
+class PrefetchStats:
+    """Prefetcher effectiveness counters."""
+
+    issued: int = 0
+    useful_hits: int = 0  # app reads served from cache after a prefetch
+    wasted: int = 0  # prefetches never referenced before eviction
+
+    @property
+    def accuracy(self) -> float:
+        if self.issued == 0:
+            return 0.0
+        return self.useful_hits / self.issued
+
+
+class PrefetchingReader:
+    """A read path with online prediction and speculative fetch.
+
+    Parameters
+    ----------
+    client:
+        The PFS client; must have a non-zero read cache (the prefetch
+        destination).
+    depth:
+        Predicted reads issued ahead after every observed read.
+    order:
+        Context order of the underlying predictor.
+    """
+
+    def __init__(self, client: PFSClient, depth: int = 2, order: int = 2):
+        if client.read_cache_bytes <= 0:
+            raise ValueError("prefetching needs a client read cache")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.client = client
+        self.env = client.env
+        self.depth = depth
+        self.predictor = OpPredictor(order=order)
+        self.stats = PrefetchStats()
+        self._inflight: set = set()
+        self._prefetched: set = set()
+
+    # -- the instrumented read path ------------------------------------------------
+    def read(self, path: str, offset: int, nbytes: int, rank: Optional[int] = None):
+        """Generator: read through the client, learn, and prefetch ahead."""
+        before_hits = self.client.stats.cache_hits
+        dt = yield from self.client.read(path, offset, nbytes, rank=rank)
+        was_hit = self.client.stats.cache_hits > before_hits
+        key = (path, offset)
+        if was_hit and key in self._prefetched:
+            self.stats.useful_hits += 1
+            self._prefetched.discard(key)
+
+        self.predictor.observe(
+            IOOp(OpKind.READ, path, offset=offset, nbytes=nbytes)
+        )
+        self._issue_prefetches()
+        return dt
+
+    def _issue_prefetches(self) -> None:
+        """Speculatively fetch the next `depth` predicted reads."""
+        # Walk the prediction chain: predict, pretend-observe, predict...
+        # using a cheap fork of the predictor state is overkill; instead,
+        # chain from the single next prediction by stride continuation.
+        pred = self.predictor.predict()
+        for step in range(self.depth):
+            if pred is None or pred.kind != OpKind.READ:
+                return
+            key = (pred.path, pred.offset)
+            if key not in self._inflight and key not in self._prefetched:
+                self._inflight.add(key)
+                self.stats.issued += 1
+                self.env.process(self._fetch(pred.path, pred.offset, pred.nbytes))
+            # Continue the chain assuming the same stride.
+            deltas = self.predictor._delta_counts.get(
+                (pred.kind.value, pred.path, pred.nbytes)
+            )
+            stride = deltas.most_common(1)[0][0] if deltas else pred.nbytes
+            pred = OpPrediction(
+                kind=pred.kind,
+                path=pred.path,
+                offset=max(0, pred.offset + stride),
+                nbytes=pred.nbytes,
+            )
+
+    def _fetch(self, path: str, offset: int, nbytes: int):
+        key = (path, offset)
+        try:
+            yield from self.client.read(path, offset, nbytes)
+            self._prefetched.add(key)
+        except (FileNotFoundError, ValueError):
+            self.stats.wasted += 1
+        finally:
+            self._inflight.discard(key)
+
+    def finalize(self) -> PrefetchStats:
+        """Account remaining unreferenced prefetches as wasted."""
+        self.stats.wasted += len(self._prefetched)
+        self._prefetched.clear()
+        return self.stats

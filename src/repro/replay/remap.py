@@ -1,0 +1,59 @@
+"""Rank remapping for trace replay (hfplayer-style scale-down/up).
+
+Haghdoost et al. [18], [19] replay intensive traces on systems with
+different parallelism than the capture system.  :func:`remap_ranks`
+re-targets a recorded trace at a different rank count:
+
+* **scale-down** (``target < captured``): multiple captured ranks' streams
+  are concatenated onto one replay rank (round-robin by captured rank), so
+  the byte workload is preserved with less concurrency;
+* **scale-up** (``target > captured``): captured streams are dealt onto
+  the first ``captured`` replay ranks and the surplus ranks idle (true
+  duplication would fabricate I/O the application never did -- use
+  :class:`~repro.modeling.extrapolate.TraceExtrapolator` to *predict*
+  larger-scale behaviour instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ops import IORecord
+
+
+def remap_ranks(records: List[IORecord], target: int) -> List[IORecord]:
+    """Return a copy of ``records`` re-targeted at ``target`` ranks.
+
+    Captured rank ``r`` maps to replay rank ``r % target``.  Records keep
+    their timestamps (the replayer re-times them anyway); file-per-process
+    paths are left untouched, so a scale-down replay legitimately has one
+    replay rank driving several captured ranks' files.
+    """
+    if target <= 0:
+        raise ValueError("target rank count must be positive")
+    if not records:
+        return []
+    out: List[IORecord] = []
+    for rec in records:
+        out.append(
+            IORecord(
+                layer=rec.layer,
+                kind=rec.kind,
+                path=rec.path,
+                offset=rec.offset,
+                nbytes=rec.nbytes,
+                rank=rec.rank % target,
+                start=rec.start,
+                end=rec.end,
+                extra=dict(rec.extra),
+            )
+        )
+    return out
+
+
+def concurrency_profile(records: List[IORecord]) -> Dict[int, int]:
+    """Ops per (replay) rank -- the balance check after a remap."""
+    out: Dict[int, int] = {}
+    for rec in records:
+        out[rec.rank] = out.get(rec.rank, 0) + 1
+    return dict(sorted(out.items()))

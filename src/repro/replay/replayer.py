@@ -1,0 +1,72 @@
+"""The trace replayer.
+
+Replays a recorded trace against a (fresh or shared) simulated system,
+re-tracing the replay so its fidelity can be verified against the
+original.  Timing-faithful mode preserves inter-op think time; as-fast-as-
+possible mode drops it (hfplayer's two modes [18], [19]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.platform import Platform
+from repro.monitoring.tracer import RecorderTracer
+from repro.ops import IORecord
+from repro.pfs.filesystem import ParallelFileSystem
+from repro.simulate.execsim import run_workload
+from repro.simulate.tracesim import trace_to_workload
+from repro.workloads.base import WorkloadResult
+
+
+@dataclass
+class ReplayOutcome:
+    """What a replay run produced."""
+
+    result: WorkloadResult
+    records: List[IORecord]
+
+    @property
+    def duration(self) -> float:
+        return self.result.duration
+
+
+class Replayer:
+    """Replays traces against simulated systems.
+
+    Parameters
+    ----------
+    layer:
+        Stack layer of the input trace to replay (default POSIX).
+    preserve_think_time:
+        Timing-faithful (True) vs. as-fast-as-possible (False).
+    """
+
+    def __init__(self, layer: str = "posix", preserve_think_time: bool = True):
+        self.layer = layer
+        self.preserve_think_time = preserve_think_time
+
+    def replay(
+        self,
+        records: List[IORecord],
+        platform: Platform,
+        pfs: ParallelFileSystem,
+        name: str = "replay",
+        **run_kwargs,
+    ) -> ReplayOutcome:
+        """Replay ``records`` on the given system, re-tracing the replay."""
+        workload = trace_to_workload(
+            records,
+            name=name,
+            layer=self.layer,
+            preserve_think_time=self.preserve_think_time,
+        )
+        tracer = RecorderTracer()
+        observers = list(run_kwargs.pop("observers", []) or [])
+        observers.append(tracer)
+        result = run_workload(
+            platform, pfs, workload, observers=observers, **run_kwargs
+        )
+        replay_records = [r for r in tracer.records if r.layer == self.layer]
+        return ReplayOutcome(result=result, records=replay_records)

@@ -1,0 +1,152 @@
+"""Execution-driven simulation driver.
+
+``run_workload`` is the one-call entry point used by examples, tests and
+benchmarks: it places ranks on compute nodes, builds each rank's I/O stack,
+runs the workload program inside the simulator, and returns a
+:class:`~repro.workloads.base.WorkloadResult` with timings and volumes.
+
+:class:`ExperimentHarness` bundles a platform + file system and runs
+several workloads (sequentially or concurrently) against the same storage
+state -- the building block for interference and mixed-workload
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.cluster.platform import Platform
+from repro.mpi.runtime import MPIRuntime, round_robin_nodes
+from repro.ops import IORecord
+from repro.iostack.stack import IOStackBuilder
+from repro.pfs.filesystem import ParallelFileSystem, build_pfs
+from repro.workloads.base import Workload, WorkloadResult
+
+
+def run_workload(
+    platform: Platform,
+    pfs: ParallelFileSystem,
+    workload: Workload,
+    observers: Optional[List[Callable[[IORecord], None]]] = None,
+    read_cache_bytes: int = 0,
+    cb_nodes: Optional[int] = None,
+    compute_nodes: Optional[List[str]] = None,
+) -> WorkloadResult:
+    """Run one workload to completion inside the simulator.
+
+    Parameters
+    ----------
+    platform / pfs:
+        The simulated system (reuse across calls to model a persistent
+        center; build fresh ones for isolated measurements).
+    workload:
+        Any :class:`~repro.workloads.base.Workload`.
+    observers:
+        Monitoring callbacks attached to every stack layer of every rank.
+    read_cache_bytes:
+        Per-rank client read cache.
+    cb_nodes:
+        Collective-buffering aggregator count.
+    compute_nodes:
+        Node names to place ranks on (defaults to all compute nodes).
+    """
+    nodes = compute_nodes or [n.name for n in platform.compute_nodes]
+    rank_nodes = round_robin_nodes(nodes, workload.n_ranks)
+    runtime = MPIRuntime(platform.env, platform.compute_fabric, rank_nodes)
+    builder = IOStackBuilder(
+        pfs,
+        runtime,
+        cb_nodes=cb_nodes,
+        read_cache_bytes=read_cache_bytes,
+        observers=observers,
+    )
+    start = platform.env.now
+    start_w = pfs.total_bytes_written()
+    start_r = pfs.total_bytes_read()
+    start_m = pfs.total_metadata_ops()
+
+    procs = runtime.launch(workload.program, io_factory=builder.io_factory)
+    done = platform.env.all_of(procs)
+    platform.env.run(until=done)
+
+    per_rank = [platform.env.now - start] * workload.n_ranks
+    result = WorkloadResult(
+        name=workload.name,
+        n_ranks=workload.n_ranks,
+        duration=platform.env.now - start,
+        per_rank_seconds=per_rank,
+        bytes_written=pfs.total_bytes_written() - start_w,
+        bytes_read=pfs.total_bytes_read() - start_r,
+        meta_ops=pfs.total_metadata_ops() - start_m,
+    )
+    return result
+
+
+@dataclass
+class ExperimentHarness:
+    """A platform + file system pair with convenience run methods."""
+
+    platform: Platform
+    pfs: ParallelFileSystem
+
+    @classmethod
+    def fresh(cls, platform_factory: Callable[[], Platform], **pfs_kwargs) -> "ExperimentHarness":
+        platform = platform_factory()
+        return cls(platform=platform, pfs=build_pfs(platform, **pfs_kwargs))
+
+    def run(self, workload: Workload, **kwargs) -> WorkloadResult:
+        """Run one workload on this system."""
+        return run_workload(self.platform, self.pfs, workload, **kwargs)
+
+    def run_concurrently(
+        self, workloads: Iterable[Workload], **kwargs
+    ) -> List[WorkloadResult]:
+        """Run several workloads at the same simulated time.
+
+        Each workload gets its own ranks (placed round-robin over disjoint
+        compute-node slices when possible) but shares the file system --
+        the setup for interference studies (claim C10).
+        """
+        workloads = list(workloads)
+        env = self.platform.env
+        all_nodes = [n.name for n in self.platform.compute_nodes]
+        # Give each workload a disjoint slice of nodes if there are enough.
+        slices: List[List[str]] = []
+        if len(all_nodes) >= len(workloads):
+            per = len(all_nodes) // len(workloads)
+            for i in range(len(workloads)):
+                chunk = all_nodes[i * per : (i + 1) * per] or all_nodes
+                slices.append(chunk)
+        else:
+            slices = [all_nodes for _ in workloads]
+
+        starts = env.now
+        runs = []
+        rank_finish: List[List[float]] = []
+        for wi, (workload, nodes) in enumerate(zip(workloads, slices)):
+            rank_nodes = round_robin_nodes(nodes, workload.n_ranks)
+            runtime = MPIRuntime(env, self.platform.compute_fabric, rank_nodes)
+            builder = IOStackBuilder(self.pfs, runtime, **kwargs)
+            procs = runtime.launch(workload.program, io_factory=builder.io_factory)
+            finishes: List[float] = []
+            rank_finish.append(finishes)
+            for proc in procs:
+                proc.add_callback(lambda ev, f=finishes: f.append(env.now))
+            runs.append((workload, procs))
+
+        done = env.all_of([p for _, procs in runs for p in procs])
+        env.run(until=done)
+
+        results = []
+        for (workload, procs), finishes in zip(runs, rank_finish):
+            end = max(finishes) if finishes else env.now
+            results.append(
+                WorkloadResult(
+                    name=workload.name,
+                    n_ranks=workload.n_ranks,
+                    duration=end - starts,
+                    per_rank_seconds=[t - starts for t in finishes],
+                )
+            )
+        return results

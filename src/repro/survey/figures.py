@@ -1,0 +1,119 @@
+"""Text renderings of the paper's four figures.
+
+Each renderer derives its output from the *live* objects -- the platform
+model, the I/O stack module structure, the survey corpus, the taxonomy --
+so the figures stay true to the implementation by construction.  The
+figure benchmarks (E1-E4) regenerate and structurally validate them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.platform import Platform
+from repro.core.taxonomy import CYCLE_PHASES, TAXONOMY, find_node, render_tree
+from repro.survey.analysis import (
+    distribution_by_publisher,
+    distribution_by_type,
+)
+from repro.survey.corpus import CORPUS
+
+
+def _bar(pct: float, width: int = 30) -> str:
+    filled = int(round(pct / 100 * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def fig1_platform(platform: Platform) -> str:
+    """Fig. 1: HPC system with a center-wide parallel file system."""
+    s = platform.spec
+    compute = " ".join(n.name for n in platform.compute_nodes[:8])
+    if len(platform.compute_nodes) > 8:
+        compute += f" ... ({len(platform.compute_nodes)} total)"
+    ios = " ".join(n.name for n in platform.io_nodes) or "(none)"
+    mds = " ".join(n.name for n in platform.mds_nodes)
+    oss = " ".join(
+        f"{n.name}[{s.osts_per_oss} OST]" for n in platform.oss_nodes
+    )
+    lines = [
+        f"Figure 1: {platform.describe()}",
+        "",
+        f"  compute nodes : {compute}",
+        f"       |  compute fabric (IB, {s.ib_nic_bandwidth / 1e9:.1f} GB/s NIC, "
+        f"{s.ib_core_bandwidth / 1e9:.0f} GB/s core)",
+        f"  I/O nodes     : {ios}  "
+        f"(burst buffer: {s.bb_capacity / 1e12:.1f} TB @ {s.bb_bandwidth / 1e9:.1f} GB/s)",
+        f"       |  storage fabric (Eth, {s.eth_nic_bandwidth / 1e9:.2f} GB/s NIC, "
+        f"{s.eth_core_bandwidth / 1e9:.0f} GB/s core)",
+        "  storage cluster:",
+        f"    metadata servers : {mds}",
+        f"    storage servers  : {oss}",
+        f"    OST devices      : {s.n_oss * s.osts_per_oss} x "
+        f"{s.ost_bandwidth / 1e6:.0f} MB/s disk (seek {s.ost_seek_time * 1e3:.0f} ms)",
+    ]
+    return "\n".join(lines)
+
+
+#: The stack layers of Fig. 2, top to bottom, with their implementations.
+STACK_LAYERS = [
+    ("Application", "repro.workloads"),
+    ("High-level I/O library (HDF5-like)", "repro.iostack.hdf5"),
+    ("I/O middleware (MPI-IO-like)", "repro.iostack.mpiio"),
+    ("POSIX I/O", "repro.iostack.posix"),
+    ("PFS client (striping, caching)", "repro.pfs.client"),
+    ("Compute + storage fabrics", "repro.cluster.network"),
+    ("Parallel file system servers (MDS / OSS)", "repro.pfs.mds / repro.pfs.oss"),
+    ("Storage devices (OSTs)", "repro.cluster.devices"),
+]
+
+
+def fig2_stack() -> str:
+    """Fig. 2: the parallel I/O architecture (end-to-end path)."""
+    width = max(len(t) for t, _ in STACK_LAYERS) + 4
+    lines = ["Figure 2: Parallel I/O architecture", ""]
+    for i, (title, module) in enumerate(STACK_LAYERS):
+        lines.append(f"  +{'-' * width}+")
+        lines.append(f"  | {title:<{width - 2}} |  <- {module}")
+        if i < len(STACK_LAYERS) - 1:
+            pass
+    lines.append(f"  +{'-' * width}+")
+    return "\n".join(lines)
+
+
+def fig3_distribution() -> str:
+    """Fig. 3: percentage distribution of the 51 included articles."""
+    by_type = distribution_by_type()
+    by_pub = distribution_by_publisher()
+    lines = [
+        f"Figure 3: distribution of the {len(CORPUS)} included articles",
+        "",
+        "  by paper type:",
+    ]
+    for name, pct in sorted(by_type.items(), key=lambda kv: -kv[1]):
+        lines.append(f"    {name:<12} {pct:5.1f}%  {_bar(pct)}")
+    lines.append("  by publisher:")
+    for name, pct in sorted(by_pub.items(), key=lambda kv: -kv[1]):
+        lines.append(f"    {name:<12} {pct:5.1f}%  {_bar(pct)}")
+    return "\n".join(lines)
+
+
+def fig4_cycle(show_modules: bool = False) -> str:
+    """Fig. 4: phases of the iterative evaluation process."""
+    lines = ["Figure 4: the iterative large-scale I/O evaluation cycle", ""]
+    arrows = {
+        0: "  |  empirical data (profiles, traces, logs)",
+        1: "  |  generated workloads & predictions",
+        2: "  |  simulated measurements (feedback to phase 1)",
+    }
+    for i, phase_id in enumerate(CYCLE_PHASES):
+        node = find_node(phase_id)
+        lines.append(f"  ({i + 1}) {node.title}")
+        for child in node.children:
+            mods = f"  [{', '.join(child.modules)}]" if show_modules and child.modules else ""
+            lines.append(f"        - {child.title}{mods}")
+        lines.append(arrows[i])
+        lines.append("  v")
+    lines.append("  (back to (1): the dashed feedback loop)")
+    lines.append("")
+    lines.append(render_tree(find_node("emerging")))
+    return "\n".join(lines)

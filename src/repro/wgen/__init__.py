@@ -1,0 +1,38 @@
+"""Workload generation (paper Sec. IV-B-4).
+
+"Three major sources of workload information can be distinguished": I/O
+trace workloads, synthetic I/O workloads, and I/O characterization
+workloads.  All three are implemented, behind an IOWA-style [20]
+producer/consumer abstraction:
+
+* :mod:`repro.wgen.dsl` -- a CODES-I/O-language-like [59] domain-specific
+  language for describing synthetic workloads ("manually designed I/O
+  behavior descriptions").
+* :mod:`repro.wgen.from_profile` -- synthesis of representative workloads
+  from Darshan-like characterization profiles (the IOWA paper's novel
+  technique).
+* Trace workloads come from :func:`repro.simulate.tracesim.trace_to_workload`.
+* :mod:`repro.wgen.iowa` -- the source/consumer registry tying them
+  together.
+"""
+
+from repro.wgen.dsl import DSLError, parse_workload
+from repro.wgen.from_profile import synthesize_from_profile
+from repro.wgen.iowa import (
+    IOWA,
+    ProfileSource,
+    SimulationConsumer,
+    SyntheticSource,
+    TraceSource,
+)
+
+__all__ = [
+    "DSLError",
+    "IOWA",
+    "ProfileSource",
+    "SimulationConsumer",
+    "SyntheticSource",
+    "TraceSource",
+    "parse_workload",
+    "synthesize_from_profile",
+]

@@ -1,0 +1,167 @@
+"""Big-data analytics (Spark-like scan/shuffle/reduce) workload.
+
+Paper Sec. V-A: analytics frameworks "exhibit largely different kinds of
+I/O patterns than the traditional simulation based workloads" [65] and
+"perform poorly on HPC systems" [66].  The canonical three stages are
+modelled:
+
+1. **Scan**: each rank streams its partition of a large input file
+   (large sequential reads -- the part HPC storage likes);
+2. **Shuffle**: map outputs are spilled as per-(mapper, reducer) files and
+   read back by reducers -- many small files, metadata-heavy, the part
+   parallel file systems dislike (this is why Spark-on-Lustre papers exist);
+3. **Reduce/output**: each rank writes its result partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ops import IOOp, OpKind
+from repro.workloads.base import Workload
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class AnalyticsConfig:
+    """Analytics job parameters.
+
+    Attributes
+    ----------
+    input_bytes:
+        Total input dataset size (split evenly over ranks).
+    shuffle_fraction:
+        Fraction of the input that flows through the shuffle.
+    output_fraction:
+        Fraction of the input written as the final result.
+    scan_transfer:
+        Read size used during the scan.
+    compute_per_mb:
+        Seconds of computation per MiB scanned (the "query" cost).
+    input_path / work_dir / output_path:
+        File locations.
+    """
+
+    input_bytes: int = 256 * MiB
+    shuffle_fraction: float = 0.5
+    output_fraction: float = 0.1
+    scan_transfer: int = 8 * MiB
+    compute_per_mb: float = 0.002
+    input_path: str = "/data/input.parquet"
+    work_dir: str = "/data/shuffle"
+    output_path: str = "/data/output.parquet"
+
+    def validate(self) -> None:
+        if self.input_bytes <= 0 or self.scan_transfer <= 0:
+            raise ValueError("sizes must be positive")
+        if not 0 <= self.shuffle_fraction <= 1:
+            raise ValueError("shuffle_fraction must be in [0, 1]")
+        if not 0 <= self.output_fraction <= 1:
+            raise ValueError("output_fraction must be in [0, 1]")
+        if self.compute_per_mb < 0:
+            raise ValueError("compute_per_mb must be non-negative")
+
+
+class AnalyticsWorkload(Workload):
+    """A runnable analytics job.
+
+    Includes a data-preparation op stream (:meth:`generation_ops`) that
+    writes the input file, mirroring how such jobs consume data produced by
+    ingest pipelines.
+    """
+
+    def __init__(self, config: AnalyticsConfig, n_ranks: int):
+        config.validate()
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.config = config
+        self.n_ranks = n_ranks
+        self.name = "analytics"
+
+    def partition_bytes(self) -> int:
+        return self.config.input_bytes // self.n_ranks
+
+    def shuffle_file(self, mapper: int, reducer: int) -> str:
+        return f"{self.config.work_dir}/m{mapper:05d}_r{reducer:05d}.spill"
+
+    @property
+    def shuffle_files_total(self) -> int:
+        return self.n_ranks * self.n_ranks
+
+    def generation_ops(self, rank: int) -> Iterator[IOOp]:
+        """Write the input dataset (rank 0 creates, all ranks fill)."""
+        c = self.config
+        part = self.partition_bytes()
+        if rank == 0:
+            yield IOOp(OpKind.MKDIR, "/data", rank=rank)
+            yield IOOp(OpKind.CREATE, c.input_path, rank=rank, meta={"stripe_count": -1})
+            yield IOOp(OpKind.MKDIR, c.work_dir, rank=rank)
+        yield IOOp(OpKind.BARRIER, rank=rank)
+        base = rank * part
+        pos = 0
+        while pos < part:
+            take = min(8 * MiB, part - pos)
+            yield IOOp(OpKind.WRITE, c.input_path, offset=base + pos, nbytes=take, rank=rank)
+            pos += take
+        yield IOOp(OpKind.CLOSE, c.input_path, rank=rank)
+        yield IOOp(OpKind.BARRIER, rank=rank)
+
+    def ops(self, rank: int) -> Iterator[IOOp]:
+        c = self.config
+        part = self.partition_bytes()
+        base = rank * part
+
+        # Stage 1: scan my partition sequentially.
+        pos = 0
+        while pos < part:
+            take = min(c.scan_transfer, part - pos)
+            yield IOOp(OpKind.READ, c.input_path, offset=base + pos, nbytes=take, rank=rank)
+            if c.compute_per_mb:
+                yield IOOp(
+                    OpKind.COMPUTE, duration=c.compute_per_mb * take / MiB, rank=rank
+                )
+            pos += take
+        yield IOOp(OpKind.CLOSE, c.input_path, rank=rank)
+        yield IOOp(OpKind.BARRIER, rank=rank)
+
+        # Stage 2a: spill map output, one file per reducer.
+        spill_total = int(part * c.shuffle_fraction)
+        per_reducer = max(1, spill_total // self.n_ranks)
+        for reducer in range(self.n_ranks):
+            path = self.shuffle_file(rank, reducer)
+            yield IOOp(OpKind.CREATE, path, rank=rank)
+            yield IOOp(OpKind.WRITE, path, offset=0, nbytes=per_reducer, rank=rank)
+            yield IOOp(OpKind.CLOSE, path, rank=rank)
+        yield IOOp(OpKind.BARRIER, rank=rank)
+
+        # Stage 2b: as reducer, fetch my spill from every mapper.
+        for mapper in range(self.n_ranks):
+            path = self.shuffle_file(mapper, rank)
+            yield IOOp(OpKind.STAT, path, rank=rank)
+            yield IOOp(OpKind.READ, path, offset=0, nbytes=per_reducer, rank=rank)
+            yield IOOp(OpKind.CLOSE, path, rank=rank)
+        yield IOOp(OpKind.BARRIER, rank=rank)
+
+        # Stage 3: write my output partition.
+        out_bytes = max(1, int(part * c.output_fraction))
+        if rank == 0:
+            yield IOOp(OpKind.CREATE, c.output_path, rank=rank, meta={"stripe_count": -1})
+        yield IOOp(OpKind.BARRIER, rank=rank)
+        yield IOOp(
+            OpKind.WRITE, c.output_path, offset=rank * out_bytes, nbytes=out_bytes, rank=rank
+        )
+        yield IOOp(OpKind.CLOSE, c.output_path, rank=rank)
+
+        # Cleanup: remove my spill files (matching Spark's shuffle GC).
+        for reducer in range(self.n_ranks):
+            yield IOOp(OpKind.UNLINK, self.shuffle_file(rank, reducer), rank=rank)
+        yield IOOp(OpKind.BARRIER, rank=rank)
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"analytics {self.n_ranks} ranks, {c.input_bytes / MiB:.0f} MiB input, "
+            f"shuffle {c.shuffle_fraction:.0%} -> {self.shuffle_files_total} spill files"
+        )

@@ -1,0 +1,134 @@
+"""HACC-IO-like checkpoint/restart workload.
+
+The bursty, write-intensive pattern the paper calls the "traditional
+well-structured HPC I/O pattern" (Sec. V-B): long compute phases punctuated
+by synchronised full-state dumps.  Used as the traditional baseline against
+the emerging workloads, and as the burst source for the burst-buffer
+experiment (claim C5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.ops import IOOp, OpKind
+from repro.workloads.base import Workload
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class CheckpointConfig:
+    """Checkpoint/restart parameters.
+
+    Attributes
+    ----------
+    bytes_per_rank:
+        Checkpoint state each rank owns (HACC-IO's particle buffer).
+    steps:
+        Number of compute+checkpoint cycles.
+    compute_seconds:
+        Simulated computation between checkpoints.
+    file_per_process:
+        One file per rank per step vs. one shared file per step.
+    transfer_size:
+        Bytes per write call.
+    restart:
+        Read the final checkpoint back in (restart phase).
+    fsync:
+        Fsync each checkpoint file.
+    path_prefix:
+        Directory/name prefix for checkpoint files.
+    stripe_count:
+        Stripe count for shared checkpoint files.
+    """
+
+    bytes_per_rank: int = 16 * MiB
+    steps: int = 3
+    compute_seconds: float = 1.0
+    file_per_process: bool = True
+    transfer_size: int = 4 * MiB
+    restart: bool = False
+    fsync: bool = True
+    path_prefix: str = "/ckpt"
+    stripe_count: Optional[int] = -1
+
+    def validate(self) -> None:
+        if self.bytes_per_rank <= 0 or self.transfer_size <= 0:
+            raise ValueError("sizes must be positive")
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+        if self.compute_seconds < 0:
+            raise ValueError("compute_seconds must be non-negative")
+
+
+class CheckpointWorkload(Workload):
+    """A runnable checkpoint/restart instance."""
+
+    def __init__(self, config: CheckpointConfig, n_ranks: int):
+        config.validate()
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.config = config
+        self.n_ranks = n_ranks
+        self.name = "checkpoint"
+
+    def step_path(self, step: int, rank: int) -> str:
+        if self.config.file_per_process:
+            return f"{self.config.path_prefix}.{step:04d}.{rank:06d}"
+        return f"{self.config.path_prefix}.{step:04d}"
+
+    @property
+    def total_bytes(self) -> int:
+        return self.config.bytes_per_rank * self.n_ranks * self.config.steps
+
+    def _write_ops(self, path: str, rank: int, base_offset: int) -> Iterator[IOOp]:
+        c = self.config
+        pos = 0
+        while pos < c.bytes_per_rank:
+            take = min(c.transfer_size, c.bytes_per_rank - pos)
+            yield IOOp(OpKind.WRITE, path, offset=base_offset + pos, nbytes=take, rank=rank)
+            pos += take
+
+    def ops(self, rank: int) -> Iterator[IOOp]:
+        c = self.config
+        for step in range(c.steps):
+            if c.compute_seconds:
+                yield IOOp(OpKind.COMPUTE, duration=c.compute_seconds, rank=rank)
+            yield IOOp(OpKind.BARRIER, rank=rank)
+            path = self.step_path(step, rank)
+            if c.file_per_process:
+                yield IOOp(OpKind.CREATE, path, rank=rank)
+                base = 0
+            else:
+                if rank == 0:
+                    yield IOOp(
+                        OpKind.CREATE, path, rank=rank,
+                        meta={"stripe_count": c.stripe_count},
+                    )
+                yield IOOp(OpKind.BARRIER, rank=rank)
+                base = rank * c.bytes_per_rank
+            yield from self._write_ops(path, rank, base)
+            if c.fsync:
+                yield IOOp(OpKind.FSYNC, path, rank=rank)
+            yield IOOp(OpKind.CLOSE, path, rank=rank)
+            yield IOOp(OpKind.BARRIER, rank=rank)
+        if c.restart:
+            last = c.steps - 1
+            path = self.step_path(last, rank)
+            base = 0 if c.file_per_process else rank * c.bytes_per_rank
+            pos = 0
+            while pos < c.bytes_per_rank:
+                take = min(c.transfer_size, c.bytes_per_rank - pos)
+                yield IOOp(OpKind.READ, path, offset=base + pos, nbytes=take, rank=rank)
+                pos += take
+            yield IOOp(OpKind.CLOSE, path, rank=rank)
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"checkpoint {self.n_ranks} ranks x {c.steps} steps x "
+            f"{c.bytes_per_rank / MiB:.0f} MiB"
+            f" ({'FPP' if c.file_per_process else 'shared'})"
+        )

@@ -1,0 +1,195 @@
+"""DLIO-like deep-learning training I/O workload.
+
+Paper Sec. V-B: "the DL training phase gives rise to highly random small
+file accesses.  The requirement of randomly shuffled input imposes
+significant pressure to parallel file systems, which are typically designed
+and optimized for large sequential I/O."  Devarajan et al.'s DLIO [80] is
+the paper's exemplar data-centric DL benchmark; this workload reproduces
+its core loop:
+
+* a dataset of ``n_samples`` records of ``sample_bytes`` each, packed into
+  ``n_shards`` shard files (TFRecord-style);
+* each epoch, a seeded global shuffle assigns samples to ranks; each rank
+  reads its mini-batch samples (random offsets in the shards), then spends
+  ``compute_per_batch`` seconds in forward/backward;
+* every ``checkpoint_epochs`` epochs, rank 0 writes the model checkpoint.
+
+Claim C3 compares this read pattern against IOR sequential I/O of equal
+volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.ops import IOOp, OpKind
+from repro.workloads.base import Workload
+
+MiB = 1024 * 1024
+KiB = 1024
+
+
+@dataclass
+class DLIOConfig:
+    """DL training I/O parameters.
+
+    Attributes
+    ----------
+    n_samples:
+        Total dataset records.
+    sample_bytes:
+        Bytes per record (e.g. a JPEG ~150 KiB in ImageNet-like sets).
+    n_shards:
+        Number of shard files holding the records.
+    batch_size:
+        Global batch size (records per step across all ranks).
+    epochs:
+        Training epochs.
+    compute_per_batch:
+        Seconds of computation per global batch.
+    checkpoint_epochs:
+        Checkpoint every k epochs (0 disables).
+    model_bytes:
+        Checkpoint size.
+    shuffle:
+        Reshuffle sample order every epoch (the pressure source).
+    data_dir:
+        Directory of shard files.
+    seed:
+        Shuffle seed.
+    """
+
+    n_samples: int = 1024
+    sample_bytes: int = 128 * KiB
+    n_shards: int = 8
+    batch_size: int = 32
+    epochs: int = 1
+    compute_per_batch: float = 0.05
+    checkpoint_epochs: int = 0
+    model_bytes: int = 64 * MiB
+    shuffle: bool = True
+    data_dir: str = "/dlio"
+    seed: int = 0
+
+    def validate(self) -> None:
+        if min(self.n_samples, self.sample_bytes, self.n_shards, self.batch_size) <= 0:
+            raise ValueError("dataset parameters must be positive")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.compute_per_batch < 0:
+            raise ValueError("compute_per_batch must be non-negative")
+        if self.n_shards > self.n_samples:
+            raise ValueError("cannot have more shards than samples")
+
+
+class DLIOWorkload(Workload):
+    """A runnable DL-training I/O instance."""
+
+    def __init__(self, config: DLIOConfig, n_ranks: int):
+        config.validate()
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if config.batch_size % n_ranks:
+            raise ValueError("batch_size must be divisible by n_ranks")
+        self.config = config
+        self.n_ranks = n_ranks
+        self.name = "dlio"
+
+    # -- dataset geometry ---------------------------------------------------------
+    def samples_per_shard(self) -> int:
+        c = self.config
+        return (c.n_samples + c.n_shards - 1) // c.n_shards
+
+    def shard_path(self, shard: int) -> str:
+        return f"{self.config.data_dir}/shard{shard:05d}.rec"
+
+    def sample_location(self, sample: int) -> Tuple[str, int]:
+        """(shard path, byte offset) of one record."""
+        c = self.config
+        if not 0 <= sample < c.n_samples:
+            raise ValueError(f"sample {sample} out of range")
+        sps = self.samples_per_shard()
+        shard = sample // sps
+        return self.shard_path(shard), (sample % sps) * c.sample_bytes
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """The global sample order for one epoch."""
+        c = self.config
+        order = np.arange(c.n_samples)
+        if c.shuffle:
+            rng = np.random.default_rng(c.seed + epoch)
+            order = rng.permutation(order)
+        return order
+
+    @property
+    def bytes_read_per_epoch(self) -> int:
+        c = self.config
+        steps = c.n_samples // c.batch_size
+        return steps * c.batch_size * c.sample_bytes
+
+    # -- generation phase (run once, like DLIO's data-gen) -------------------------------
+    def generation_ops(self, rank: int) -> Iterator[IOOp]:
+        """Ops that create the dataset (round-robin shards over ranks)."""
+        c = self.config
+        if rank == 0:
+            yield IOOp(OpKind.MKDIR, c.data_dir, rank=rank)
+        yield IOOp(OpKind.BARRIER, rank=rank)
+        sps = self.samples_per_shard()
+        for shard in range(c.n_shards):
+            if shard % self.n_ranks != rank:
+                continue
+            path = self.shard_path(shard)
+            first = shard * sps
+            n_here = max(0, min(sps, c.n_samples - first))
+            yield IOOp(OpKind.CREATE, path, rank=rank)
+            pos = 0
+            shard_bytes = n_here * c.sample_bytes
+            while pos < shard_bytes:
+                take = min(8 * MiB, shard_bytes - pos)
+                yield IOOp(OpKind.WRITE, path, offset=pos, nbytes=take, rank=rank)
+                pos += take
+            yield IOOp(OpKind.CLOSE, path, rank=rank)
+        yield IOOp(OpKind.BARRIER, rank=rank)
+
+    # -- training phase -----------------------------------------------------------------
+    def ops(self, rank: int) -> Iterator[IOOp]:
+        c = self.config
+        steps = c.n_samples // c.batch_size
+        per_rank = c.batch_size // self.n_ranks
+        for epoch in range(c.epochs):
+            order = self.epoch_order(epoch)
+            for step in range(steps):
+                batch = order[step * c.batch_size : (step + 1) * c.batch_size]
+                mine = batch[rank * per_rank : (rank + 1) * per_rank]
+                for sample in mine:
+                    path, offset = self.sample_location(int(sample))
+                    yield IOOp(
+                        OpKind.READ, path, offset=offset, nbytes=c.sample_bytes,
+                        rank=rank, meta={"epoch": epoch, "step": step},
+                    )
+                if c.compute_per_batch:
+                    yield IOOp(OpKind.COMPUTE, duration=c.compute_per_batch, rank=rank)
+                yield IOOp(OpKind.BARRIER, rank=rank)  # allreduce of gradients
+            if c.checkpoint_epochs and (epoch + 1) % c.checkpoint_epochs == 0:
+                if rank == 0:
+                    ckpt = f"{c.data_dir}/model.ckpt.{epoch:04d}"
+                    yield IOOp(OpKind.CREATE, ckpt, rank=rank)
+                    pos = 0
+                    while pos < c.model_bytes:
+                        take = min(8 * MiB, c.model_bytes - pos)
+                        yield IOOp(OpKind.WRITE, ckpt, offset=pos, nbytes=take, rank=rank)
+                        pos += take
+                    yield IOOp(OpKind.CLOSE, ckpt, rank=rank)
+                yield IOOp(OpKind.BARRIER, rank=rank)
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"DLIO {self.n_ranks} ranks, {c.n_samples} samples x "
+            f"{c.sample_bytes / KiB:.0f} KiB in {c.n_shards} shards, "
+            f"batch {c.batch_size}, {c.epochs} epochs"
+            f"{', shuffled' if c.shuffle else ''}"
+        )

@@ -1,0 +1,128 @@
+"""Observational-facility ingest workload.
+
+Paper Sec. V-A: experimental facilities such as the National Center for
+Electron Microscopy [67] and the Advanced Photon Source [68] "currently
+generate hundreds of megabytes of data per second but are projected to
+generate tens to hundreds of gigabytes of data per second".  Continuity of
+storage matters: the detector does not stop when the file system stalls.
+
+The workload models a detector producing fixed-size frames at a steady
+rate, grouped into acquisition bursts; each rank handles one detector
+stream and appends frames to per-burst files.  The interesting metric is
+how far the writer falls behind real time (ingest lag) -- the burst-buffer
+tier exists to keep that lag bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.ops import IOOp, OpKind
+from repro.workloads.base import Workload
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class FacilityConfig:
+    """Ingest parameters.
+
+    Attributes
+    ----------
+    frame_bytes:
+        Bytes per detector frame.
+    frames_per_burst:
+        Frames in one acquisition burst.
+    bursts:
+        Number of bursts.
+    frame_interval:
+        Seconds between frames (the detector's real-time cadence).
+    burst_gap:
+        Idle seconds between bursts (sample change, beam refill).
+    data_dir:
+        Destination directory.
+    """
+
+    frame_bytes: int = 4 * MiB
+    frames_per_burst: int = 16
+    bursts: int = 4
+    frame_interval: float = 0.01
+    burst_gap: float = 1.0
+    data_dir: str = "/ingest"
+
+    def validate(self) -> None:
+        if self.frame_bytes <= 0 or self.frames_per_burst <= 0 or self.bursts <= 0:
+            raise ValueError("frame/burst parameters must be positive")
+        if self.frame_interval < 0 or self.burst_gap < 0:
+            raise ValueError("intervals must be non-negative")
+
+    @property
+    def detector_rate(self) -> float:
+        """Sustained bytes/second the detector produces during a burst."""
+        if self.frame_interval == 0:
+            return float("inf")
+        return self.frame_bytes / self.frame_interval
+
+
+class FacilityIngestWorkload(Workload):
+    """A runnable ingest instance (one detector stream per rank)."""
+
+    def __init__(self, config: FacilityConfig, n_ranks: int = 1):
+        config.validate()
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.config = config
+        self.n_ranks = n_ranks
+        self.name = "facility-ingest"
+
+    def burst_path(self, rank: int, burst: int) -> str:
+        return f"{self.config.data_dir}/det{rank:03d}_burst{burst:05d}.h5"
+
+    @property
+    def total_bytes(self) -> int:
+        c = self.config
+        return c.frame_bytes * c.frames_per_burst * c.bursts * self.n_ranks
+
+    @property
+    def acquisition_seconds(self) -> float:
+        """Wall time the detector takes to produce everything."""
+        c = self.config
+        burst_t = c.frames_per_burst * c.frame_interval
+        return c.bursts * burst_t + (c.bursts - 1) * c.burst_gap
+
+    def ops(self, rank: int) -> Iterator[IOOp]:
+        c = self.config
+        if rank == 0:
+            yield IOOp(OpKind.MKDIR, c.data_dir, rank=rank, meta={"exist_ok": True})
+        yield IOOp(OpKind.BARRIER, rank=rank)
+        for burst in range(c.bursts):
+            path = self.burst_path(rank, burst)
+            yield IOOp(OpKind.CREATE, path, rank=rank)
+            for frame in range(c.frames_per_burst):
+                # The detector cadence: data arrives every frame_interval.
+                if c.frame_interval:
+                    yield IOOp(OpKind.COMPUTE, duration=c.frame_interval, rank=rank)
+                yield IOOp(
+                    OpKind.WRITE,
+                    path,
+                    offset=frame * c.frame_bytes,
+                    nbytes=c.frame_bytes,
+                    rank=rank,
+                    meta={"burst": burst, "frame": frame},
+                )
+            yield IOOp(OpKind.CLOSE, path, rank=rank)
+            if c.burst_gap and burst < c.bursts - 1:
+                yield IOOp(OpKind.COMPUTE, duration=c.burst_gap, rank=rank)
+
+    def ingest_lag(self, measured_duration: float) -> float:
+        """Seconds the writer finished behind the detector's real time."""
+        return max(0.0, measured_duration - self.acquisition_seconds)
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"facility ingest {self.n_ranks} streams, {c.bursts} bursts x "
+            f"{c.frames_per_burst} frames x {c.frame_bytes / MiB:.0f} MiB "
+            f"@ {c.detector_rate / 1e6:.0f} MB/s"
+        )

@@ -1,0 +1,141 @@
+"""h5bench-like HDF5 I/O kernel workload.
+
+The paper's key-findings section calls for "new open-source benchmarks"
+for the high-level interfaces tools actually see (HDF5 is the top of its
+Fig. 2 stack).  This workload mirrors the h5bench read/write kernels: an
+n-dimensional dataset written/read collectively or independently through
+the HDF5-like layer, in contiguous or chunked layout, one time step per
+iteration -- which exercises dataset allocation, hyperslab extent
+computation, chunk amplification, and the MPI-IO layer underneath.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.mpi.runtime import RankContext
+from repro.workloads.base import Workload
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class H5BenchConfig:
+    """h5bench-style parameters.
+
+    Attributes
+    ----------
+    dims:
+        Global dataset shape per time step (first dim is decomposed over
+        ranks, as h5bench does).
+    itemsize:
+        Bytes per element.
+    steps:
+        Time steps; each writes (mode="write") or reads (mode="read") one
+        dataset named ``step_<k>``.
+    mode:
+        "write", "read", or "write+read".
+    collective:
+        Collective vs independent transfers.
+    chunks:
+        Optional chunk shape (chunked layout).
+    compute_seconds:
+        Emulated computation between steps.
+    path:
+        The HDF5 file.
+    """
+
+    dims: Tuple[int, ...] = (1024, 64)
+    itemsize: int = 8
+    steps: int = 3
+    mode: str = "write"
+    collective: bool = True
+    chunks: Optional[Tuple[int, ...]] = None
+    compute_seconds: float = 0.1
+    path: str = "/h5bench.h5"
+    stripe_count: int = -1
+
+    def validate(self) -> None:
+        if not self.dims or any(d <= 0 for d in self.dims):
+            raise ValueError(f"invalid dims {self.dims}")
+        if self.itemsize <= 0 or self.steps <= 0:
+            raise ValueError("itemsize and steps must be positive")
+        if self.mode not in ("write", "read", "write+read"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.compute_seconds < 0:
+            raise ValueError("compute_seconds must be non-negative")
+
+
+class H5BenchWorkload(Workload):
+    """A runnable h5bench-like kernel."""
+
+    def __init__(self, config: H5BenchConfig, n_ranks: int):
+        config.validate()
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        if config.dims[0] % n_ranks:
+            raise ValueError(
+                f"first dimension {config.dims[0]} not divisible by {n_ranks} ranks"
+            )
+        self.config = config
+        self.n_ranks = n_ranks
+        self.name = f"h5bench[{config.mode}{',chunked' if config.chunks else ''}]"
+
+    @property
+    def rows_per_rank(self) -> int:
+        return self.config.dims[0] // self.n_ranks
+
+    @property
+    def bytes_per_step(self) -> int:
+        total = self.config.itemsize
+        for d in self.config.dims:
+            total *= d
+        return total
+
+    @property
+    def total_bytes(self) -> int:
+        factor = 2 if self.config.mode == "write+read" else 1
+        return self.bytes_per_step * self.config.steps * factor
+
+    def _selection(self, rank: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """This rank's hyperslab: a block of rows, full trailing dims."""
+        c = self.config
+        start = (rank * self.rows_per_rank,) + (0,) * (len(c.dims) - 1)
+        count = (self.rows_per_rank,) + tuple(c.dims[1:])
+        return start, count
+
+    def program(self, ctx: RankContext):
+        c = self.config
+        h5 = ctx.io.h5
+        do_write = c.mode in ("write", "write+read")
+        do_read = c.mode in ("read", "write+read")
+        if do_write:
+            yield from h5.create(c.path, stripe_count=c.stripe_count)
+        else:
+            # Pure-read mode expects the file from a previous write run.
+            yield from h5.open(c.path)
+        start, count = self._selection(ctx.rank)
+        for step in range(c.steps):
+            if c.compute_seconds:
+                yield from ctx.compute(c.compute_seconds)
+            name = f"step_{step:05d}"
+            if do_write:
+                dset = yield from h5.create_dataset(
+                    name, c.dims, c.itemsize, chunks=c.chunks
+                )
+                yield from h5.write(dset, start, count, collective=c.collective)
+            if do_read:
+                dset = h5.dataset(name)
+                yield from h5.read(dset, start, count, collective=c.collective)
+            yield from ctx.barrier()
+        yield from h5.close()
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"h5bench {self.n_ranks} ranks, dims {c.dims} x {c.steps} steps, "
+            f"{c.mode}, {'collective' if c.collective else 'independent'}"
+            f"{f', chunks {c.chunks}' if c.chunks else ''}"
+        )

@@ -1,0 +1,211 @@
+"""IOR-like synthetic benchmark.
+
+IOR [76] is the benchmark the paper notes "the majority of the examined
+research still relies on".  This implementation reproduces its parameter
+space: block size ``b``, transfer size ``t``, segment count ``s``,
+file-per-process vs. shared file, sequential vs. random offsets within the
+block, write and/or read phases, POSIX vs. MPI-IO API with optional
+collective I/O.
+
+Shared-file data layout (as in IOR): segment ``k`` occupies bytes
+``[k * N * b, (k+1) * N * b)`` and rank ``r``'s block within it starts at
+``k * N * b + r * b``; each block is written in ``b / t`` transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.mpi.runtime import RankContext
+from repro.ops import IOOp, OpKind
+from repro.workloads.base import Workload
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class IORConfig:
+    """IOR parameters (names follow the original's flags).
+
+    Attributes
+    ----------
+    block_size:
+        Bytes each rank writes per segment (``-b``).
+    transfer_size:
+        Bytes per I/O call (``-t``); must divide ``block_size``.
+    segments:
+        Segment count (``-s``).
+    file_per_process:
+        ``-F``: each rank uses its own file instead of one shared file.
+    api:
+        ``"posix"`` or ``"mpiio"``.
+    collective:
+        Use collective MPI-IO calls (``-c``); requires ``api="mpiio"``.
+    write:
+        Perform the write phase (``-w``).
+    read:
+        Perform the read phase (``-r``).
+    random_offsets:
+        ``-z``: permute transfer order within each block.
+    fsync:
+        Fsync after the write phase (``-e``).
+    intra_test_barriers:
+        Barrier between phases (``-g``).
+    stripe_count:
+        Stripe count for created files (-1 = all OSTs).
+    seed:
+        Seed for the random-offset permutation.
+    """
+
+    block_size: int = 4 * MiB
+    transfer_size: int = 1 * MiB
+    segments: int = 1
+    file_per_process: bool = False
+    api: str = "posix"
+    collective: bool = False
+    write: bool = True
+    read: bool = False
+    random_offsets: bool = False
+    fsync: bool = False
+    intra_test_barriers: bool = True
+    stripe_count: Optional[int] = -1
+    seed: int = 0
+    test_file: str = "/ior.data"
+
+    def validate(self) -> None:
+        if self.block_size <= 0 or self.transfer_size <= 0:
+            raise ValueError("block_size and transfer_size must be positive")
+        if self.block_size % self.transfer_size:
+            raise ValueError("transfer_size must divide block_size")
+        if self.segments <= 0:
+            raise ValueError("segments must be positive")
+        if self.api not in ("posix", "mpiio"):
+            raise ValueError(f"unknown api {self.api!r}")
+        if self.collective and self.api != "mpiio":
+            raise ValueError("collective I/O requires api='mpiio'")
+        if not (self.write or self.read):
+            raise ValueError("enable at least one of write/read")
+
+
+class IORWorkload(Workload):
+    """A runnable IOR instance.
+
+    Parameters
+    ----------
+    config:
+        The benchmark parameters.
+    n_ranks:
+        Number of ranks.
+    """
+
+    def __init__(self, config: IORConfig, n_ranks: int):
+        config.validate()
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.config = config
+        self.n_ranks = n_ranks
+        self.name = f"ior[{'fpp' if config.file_per_process else 'shared'}]"
+
+    # -- geometry ------------------------------------------------------------
+    def path_for(self, rank: int) -> str:
+        if self.config.file_per_process:
+            return f"{self.config.test_file}.{rank:08d}"
+        return self.config.test_file
+
+    def transfers_per_block(self) -> int:
+        return self.config.block_size // self.config.transfer_size
+
+    def offsets(self, rank: int) -> List[int]:
+        """All file offsets rank ``rank`` touches, in issue order."""
+        c = self.config
+        tpb = self.transfers_per_block()
+        out: List[int] = []
+        for seg in range(c.segments):
+            if c.file_per_process:
+                base = seg * c.block_size
+            else:
+                base = seg * self.n_ranks * c.block_size + rank * c.block_size
+            order = np.arange(tpb)
+            if c.random_offsets:
+                rng = np.random.default_rng(c.seed + rank * 7919 + seg)
+                order = rng.permutation(tpb)
+            out.extend(int(base + i * c.transfer_size) for i in order)
+        return out
+
+    @property
+    def bytes_per_rank(self) -> int:
+        return self.config.block_size * self.config.segments
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_rank * self.n_ranks
+
+    # -- op stream (posix api only) ------------------------------------------------
+    def ops(self, rank: int) -> Iterator[IOOp]:
+        c = self.config
+        if c.api != "posix":
+            raise NotImplementedError("op stream only models the posix api")
+        path = self.path_for(rank)
+        if c.file_per_process or rank == 0:
+            yield IOOp(OpKind.CREATE, path, rank=rank, meta={"stripe_count": c.stripe_count})
+        yield IOOp(OpKind.BARRIER, rank=rank)
+        if c.write:
+            for off in self.offsets(rank):
+                yield IOOp(OpKind.WRITE, path, offset=off, nbytes=c.transfer_size, rank=rank)
+            if c.fsync:
+                yield IOOp(OpKind.FSYNC, path, rank=rank)
+        if c.intra_test_barriers:
+            yield IOOp(OpKind.BARRIER, rank=rank)
+        if c.read:
+            for off in self.offsets(rank):
+                yield IOOp(OpKind.READ, path, offset=off, nbytes=c.transfer_size, rank=rank)
+        yield IOOp(OpKind.CLOSE, path, rank=rank)
+
+    # -- execution-driven program (supports both apis) ---------------------------------
+    def program(self, ctx: RankContext):
+        c = self.config
+        if c.api == "posix":
+            yield from super().program(ctx)
+            return
+        mpiio = ctx.io.mpiio
+        path = self.path_for(ctx.rank)
+        handle = yield from mpiio.open_all(
+            path, create=True, stripe_count=c.stripe_count
+        )
+        offsets = self.offsets(ctx.rank)
+        if c.write:
+            if c.collective:
+                tpb = self.transfers_per_block()
+                for seg in range(c.segments):
+                    batch = offsets[seg * tpb : (seg + 1) * tpb]
+                    yield from mpiio.write_at_all(
+                        handle, [(off, c.transfer_size) for off in batch]
+                    )
+            else:
+                for off in offsets:
+                    yield from mpiio.write_at(handle, off, c.transfer_size)
+        if c.intra_test_barriers:
+            yield from ctx.barrier()
+        if c.read:
+            if c.collective:
+                tpb = self.transfers_per_block()
+                for seg in range(c.segments):
+                    batch = offsets[seg * tpb : (seg + 1) * tpb]
+                    yield from mpiio.read_at_all(
+                        handle, [(off, c.transfer_size) for off in batch]
+                    )
+            else:
+                for off in offsets:
+                    yield from mpiio.read_at(handle, off, c.transfer_size)
+        yield from mpiio.close_all(handle)
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"IOR {self.n_ranks} ranks, b={c.block_size}, t={c.transfer_size}, "
+            f"s={c.segments}, {'FPP' if c.file_per_process else 'shared'}, "
+            f"api={c.api}{' collective' if c.collective else ''}"
+        )

@@ -1,0 +1,161 @@
+"""Named workload presets.
+
+Small, second-scale configurations of every workload in the zoo, usable
+from the CLI (``repro-io run-workload dlio``) and from quick scripts.
+Each preset returns ``(setup_workloads, main_workload)``: the setup list
+creates whatever data the main workload consumes (datasets, raw inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.workloads.analytics import AnalyticsConfig, AnalyticsWorkload
+from repro.workloads.base import OpStreamWorkload, Workload
+from repro.workloads.checkpoint import CheckpointConfig, CheckpointWorkload
+from repro.workloads.dlio import DLIOConfig, DLIOWorkload
+from repro.workloads.facility import FacilityConfig, FacilityIngestWorkload
+from repro.workloads.h5bench import H5BenchConfig, H5BenchWorkload
+from repro.workloads.ior import IORConfig, IORWorkload
+from repro.workloads.mdtest import MdtestConfig, MdtestWorkload
+from repro.workloads.npb import BTIOConfig, BTIOWorkload
+from repro.workloads.proxy import Phase, PhasedProxyApp
+from repro.workloads.skeleton import AppModel, IOSkeleton, OutputGroup, VariableSpec
+from repro.workloads.workflow import montage_like_workflow, workflow_bootstrap_ops
+
+MiB = 1024 * 1024
+KiB = 1024
+
+Preset = Callable[[int], Tuple[List[Workload], Workload]]
+
+
+def _ior(n_ranks: int):
+    return [], IORWorkload(
+        IORConfig(block_size=8 * MiB, transfer_size=MiB, read=True,
+                  stripe_count=-1),
+        n_ranks,
+    )
+
+
+def _mdtest(n_ranks: int):
+    return [], MdtestWorkload(MdtestConfig(files_per_rank=32), n_ranks)
+
+
+def _checkpoint(n_ranks: int):
+    return [], CheckpointWorkload(
+        CheckpointConfig(bytes_per_rank=16 * MiB, steps=3, compute_seconds=0.5,
+                         fsync=False),
+        n_ranks,
+    )
+
+
+def _btio(n_ranks: int):
+    return [], BTIOWorkload(
+        BTIOConfig(grid=32, dumps=2, compute_seconds=0.2), n_ranks
+    )
+
+
+def _h5bench(n_ranks: int):
+    dims = (256 * n_ranks, 64)
+    return [], H5BenchWorkload(
+        H5BenchConfig(dims=dims, steps=2, mode="write+read",
+                      compute_seconds=0.1),
+        n_ranks,
+    )
+
+
+def _dlio(n_ranks: int):
+    w = DLIOWorkload(
+        DLIOConfig(n_samples=64 * n_ranks, sample_bytes=128 * KiB,
+                   n_shards=n_ranks, batch_size=4 * n_ranks, epochs=2,
+                   compute_per_batch=0.01),
+        n_ranks,
+    )
+    gen = OpStreamWorkload(
+        "dlio-gen", [list(w.generation_ops(r)) for r in range(n_ranks)]
+    )
+    return [gen], w
+
+
+def _analytics(n_ranks: int):
+    w = AnalyticsWorkload(
+        AnalyticsConfig(input_bytes=32 * MiB * n_ranks, compute_per_mb=0.001),
+        n_ranks,
+    )
+    gen = OpStreamWorkload(
+        "analytics-gen", [list(w.generation_ops(r)) for r in range(n_ranks)]
+    )
+    return [gen], w
+
+
+def _workflow(n_ranks: int):
+    wf = montage_like_workflow(
+        n_inputs=max(4, 2 * n_ranks), n_ranks=n_ranks, input_bytes=2 * MiB
+    )
+    boot = OpStreamWorkload(
+        "wf-boot",
+        [list(workflow_bootstrap_ops(wf, 2 * MiB, max(4, 2 * n_ranks)))],
+    )
+    return [boot], wf
+
+
+def _facility(n_ranks: int):
+    return [], FacilityIngestWorkload(
+        FacilityConfig(frame_bytes=4 * MiB, frames_per_burst=8, bursts=3,
+                       frame_interval=0.01, burst_gap=0.5),
+        n_ranks,
+    )
+
+
+def _skeleton(n_ranks: int):
+    model = AppModel(
+        name="demo-app",
+        steps=4,
+        compute_per_step=0.25,
+        groups=[
+            OutputGroup("restart", [VariableSpec("state", 4 * MiB)], every_steps=2),
+            OutputGroup("diag", [VariableSpec("series", 256 * KiB)], every_steps=1),
+        ],
+    )
+    return [], IOSkeleton(model, n_ranks)
+
+
+def _proxy(n_ranks: int):
+    app = PhasedProxyApp(
+        [
+            Phase(0.2, read_bytes=4 * MiB),
+            Phase(0.5, write_bytes=8 * MiB),
+            Phase(0.2, write_bytes=2 * MiB),
+        ],
+        n_ranks,
+    )
+    gen = OpStreamWorkload(
+        "proxy-gen", [list(app.generation_ops(r)) for r in range(n_ranks)]
+    )
+    return [gen], app
+
+
+#: All CLI-visible presets.
+PRESETS: Dict[str, Preset] = {
+    "ior": _ior,
+    "mdtest": _mdtest,
+    "checkpoint": _checkpoint,
+    "btio": _btio,
+    "h5bench": _h5bench,
+    "dlio": _dlio,
+    "analytics": _analytics,
+    "workflow": _workflow,
+    "facility": _facility,
+    "skeleton": _skeleton,
+    "proxy": _proxy,
+}
+
+
+def make_preset(name: str, n_ranks: int = 4) -> Tuple[List[Workload], Workload]:
+    """Instantiate a preset; raises ``KeyError`` with the known names."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(PRESETS))}"
+        )
+    return factory(n_ranks)

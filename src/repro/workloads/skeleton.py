@@ -1,0 +1,173 @@
+"""Skel-like I/O skeletons from declarative application models.
+
+Paper Sec. IV-A-1: "*I/O Skeletons* and auto-generated benchmarks for given
+applications are created by utilizing a model of the application derived
+from the properties of its regular diagnostic and/or checkpoint output.
+An example is the tool *Skel* [14], which generates I/O skeletons for
+applications that rely on ADIOS to describe the data that may need to be
+written."
+
+An :class:`AppModel` describes, per output *group* (ADIOS-style), the
+variables an application writes: their per-rank sizes (possibly scaling
+with rank count) and how often the group is dumped.  :class:`IOSkeleton`
+compiles the model into a runnable workload that reproduces the
+application's I/O without any of its physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.ops import IOOp, OpKind
+from repro.workloads.base import Workload
+
+MiB = 1024 * 1024
+
+
+@dataclass
+class VariableSpec:
+    """One variable in an output group.
+
+    Attributes
+    ----------
+    name:
+        Variable name (for bookkeeping).
+    bytes_per_rank:
+        Fixed per-rank size, or ``None`` when ``size_fn`` is given.
+    size_fn:
+        Optional ``fn(rank, n_ranks) -> int`` for rank-dependent sizes
+        (e.g. irregular decompositions as in Herbein et al. [11]).
+    """
+
+    name: str
+    bytes_per_rank: Optional[int] = None
+    size_fn: Optional[Callable[[int, int], int]] = None
+
+    def size(self, rank: int, n_ranks: int) -> int:
+        if self.size_fn is not None:
+            n = int(self.size_fn(rank, n_ranks))
+        elif self.bytes_per_rank is not None:
+            n = self.bytes_per_rank
+        else:
+            raise ValueError(f"variable {self.name!r} has no size specification")
+        if n < 0:
+            raise ValueError(f"variable {self.name!r} has negative size {n}")
+        return n
+
+
+@dataclass
+class OutputGroup:
+    """A set of variables dumped together every ``every_steps`` steps."""
+
+    name: str
+    variables: List[VariableSpec]
+    every_steps: int = 1
+    shared_file: bool = True
+
+    def bytes_for(self, rank: int, n_ranks: int) -> int:
+        return sum(v.size(rank, n_ranks) for v in self.variables)
+
+
+@dataclass
+class AppModel:
+    """Declarative application I/O model (what Skel reads from ADIOS XML).
+
+    Attributes
+    ----------
+    name:
+        Application name.
+    steps:
+        Number of simulated time steps.
+    compute_per_step:
+        Seconds of computation per step.
+    groups:
+        The output groups.
+    """
+
+    name: str
+    steps: int
+    compute_per_step: float
+    groups: List[OutputGroup] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+        if self.compute_per_step < 0:
+            raise ValueError("compute_per_step must be non-negative")
+        if not self.groups:
+            raise ValueError("model needs at least one output group")
+        for g in self.groups:
+            if g.every_steps <= 0:
+                raise ValueError(f"group {g.name!r}: every_steps must be positive")
+            if not g.variables:
+                raise ValueError(f"group {g.name!r} has no variables")
+
+
+class IOSkeleton(Workload):
+    """A workload generated from an :class:`AppModel`.
+
+    The skeleton preserves the model's dump schedule, volumes, and
+    file organisation while replacing computation with timed no-ops.
+    """
+
+    def __init__(self, model: AppModel, n_ranks: int, out_dir: str = "/skel"):
+        model.validate()
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.model = model
+        self.n_ranks = n_ranks
+        self.out_dir = out_dir
+        self.name = f"skel[{model.name}]"
+
+    def group_path(self, group: OutputGroup, step: int, rank: int) -> str:
+        base = f"{self.out_dir}/{self.model.name}_{group.name}_{step:06d}"
+        if group.shared_file:
+            return f"{base}.bp"
+        return f"{base}.{rank:06d}.bp"
+
+    def total_bytes(self) -> int:
+        total = 0
+        for g in self.model.groups:
+            dumps = self.model.steps // g.every_steps
+            for r in range(self.n_ranks):
+                total += dumps * g.bytes_for(r, self.n_ranks)
+        return total
+
+    def _group_offset(self, group: OutputGroup, rank: int) -> int:
+        """Rank's offset within a shared group file (prefix sums)."""
+        return sum(group.bytes_for(r, self.n_ranks) for r in range(rank))
+
+    def ops(self, rank: int) -> Iterator[IOOp]:
+        m = self.model
+        if rank == 0:
+            yield IOOp(OpKind.MKDIR, self.out_dir, rank=rank, meta={"exist_ok": True})
+        yield IOOp(OpKind.BARRIER, rank=rank)
+        for step in range(1, m.steps + 1):
+            if m.compute_per_step:
+                yield IOOp(OpKind.COMPUTE, duration=m.compute_per_step, rank=rank)
+            for group in m.groups:
+                if step % group.every_steps:
+                    continue
+                path = self.group_path(group, step, rank)
+                nbytes = group.bytes_for(rank, self.n_ranks)
+                if group.shared_file:
+                    if rank == 0:
+                        yield IOOp(OpKind.CREATE, path, rank=rank,
+                                   meta={"stripe_count": -1})
+                    yield IOOp(OpKind.BARRIER, rank=rank)
+                    offset = self._group_offset(group, rank)
+                else:
+                    yield IOOp(OpKind.CREATE, path, rank=rank)
+                    offset = 0
+                if nbytes:
+                    yield IOOp(OpKind.WRITE, path, offset=offset, nbytes=nbytes, rank=rank)
+                yield IOOp(OpKind.CLOSE, path, rank=rank)
+                yield IOOp(OpKind.BARRIER, rank=rank)
+
+    def describe(self) -> str:
+        m = self.model
+        groups = ", ".join(
+            f"{g.name}/every {g.every_steps}" for g in m.groups
+        )
+        return f"I/O skeleton of {m.name}: {m.steps} steps, groups [{groups}]"

@@ -1,0 +1,100 @@
+"""Unit tests for the repro-io command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figures_all(capsys):
+    code, out, _ = run_cli(capsys, "figures")
+    assert code == 0
+    assert "Figure 1" in out and "Figure 2" in out
+    assert "Figure 3" in out and "Figure 4" in out
+
+
+def test_figures_single(capsys):
+    code, out, _ = run_cli(capsys, "figures", "3")
+    assert code == 0
+    assert "Figure 3" in out and "Figure 1" not in out
+
+
+def test_taxonomy(capsys):
+    code, out, _ = run_cli(capsys, "taxonomy")
+    assert code == 0
+    assert "Modeling & Prediction" in out
+    code, out, _ = run_cli(capsys, "taxonomy", "--modules")
+    assert "repro." in out
+
+
+def test_corpus(capsys):
+    code, out, _ = run_cli(capsys, "corpus")
+    assert code == 0
+    assert "by type" in out and "IEEE" in out
+
+
+def test_experiment_single(capsys):
+    code, out, _ = run_cli(capsys, "experiment", "E3")
+    assert code == 0
+    assert "[E3] SUPPORTED" in out
+
+
+def test_experiment_lowercase_id(capsys):
+    code, out, _ = run_cli(capsys, "experiment", "c1")
+    assert code == 0
+    assert "[C1] SUPPORTED" in out
+
+
+def test_experiment_unknown_id(capsys):
+    code, out, err = run_cli(capsys, "experiment", "Z9")
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_experiment_json_output(capsys, tmp_path):
+    out_path = tmp_path / "res.json"
+    code, out, _ = run_cli(capsys, "experiment", "C1", "--json", str(out_path))
+    assert code == 0
+    assert out_path.exists()
+
+
+def test_run_dsl(capsys, tmp_path):
+    dsl = tmp_path / "w.wdsl"
+    dsl.write_text(
+        'workload demo { ranks 2; create shared "/x"; '
+        'write shared "/x" size 2MB transfer 1MB; close "/x"; }'
+    )
+    code, out, _ = run_cli(capsys, "run-dsl", str(dsl))
+    assert code == 0
+    assert "demo" in out
+    assert "total bytes" in out  # the profile report
+
+
+def test_run_dsl_missing_file(capsys):
+    code, _, err = run_cli(capsys, "run-dsl", "/nonexistent.wdsl")
+    assert code == 2
+    assert "cannot read" in err
+
+
+def test_run_dsl_bad_syntax(capsys, tmp_path):
+    dsl = tmp_path / "bad.wdsl"
+    dsl.write_text("workload broken { ranks 0; }")
+    code, _, err = run_cli(capsys, "run-dsl", str(dsl))
+    assert code == 2
+    assert "DSL error" in err
+
+
+def test_cycle(capsys):
+    code, out, _ = run_cli(capsys, "cycle", "--iterations", "1")
+    assert code == 0
+    assert "cycle iteration 0" in out

@@ -1,0 +1,54 @@
+"""Tests for the workload preset registry and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import tiny_cluster
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.workloads.registry import PRESETS, make_preset
+
+
+def test_registry_covers_the_zoo():
+    assert set(PRESETS) == {
+        "ior", "mdtest", "checkpoint", "btio", "h5bench", "dlio",
+        "analytics", "workflow", "facility", "skeleton", "proxy",
+    }
+
+
+def test_unknown_preset_raises_with_listing():
+    with pytest.raises(KeyError, match="available"):
+        make_preset("frobnicator")
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_every_preset_runs(name):
+    """Each preset executes end to end on the tiny cluster."""
+    platform = tiny_cluster()
+    pfs = build_pfs(platform)
+    setup, workload = make_preset(name, n_ranks=4)
+    for w in setup:
+        run_workload(platform, pfs, w)
+    result = run_workload(platform, pfs, workload)
+    assert result.duration > 0
+    assert (
+        result.bytes_written + result.bytes_read + result.meta_ops > 0
+    ), f"{name} did no observable I/O"
+
+
+def test_cli_run_workload_list(capsys):
+    assert main(["run-workload", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "ior" in out and "dlio" in out and "workflow" in out
+
+
+def test_cli_run_workload_executes(capsys):
+    assert main(["run-workload", "checkpoint", "--ranks", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint" in out
+    assert "total bytes" in out
+
+
+def test_cli_run_workload_unknown(capsys):
+    assert main(["run-workload", "nope"]) == 2
+    assert "available" in capsys.readouterr().err

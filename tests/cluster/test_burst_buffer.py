@@ -1,0 +1,132 @@
+"""Unit tests for the burst-buffer staging tier."""
+
+import pytest
+
+from repro.cluster import BurstBuffer
+from repro.des import Environment
+
+
+def make_bb(env, capacity=1000.0, drain_rate=10.0, chunk=100.0):
+    bb = BurstBuffer(env, "bb", capacity_bytes=capacity, drain_chunk=chunk)
+    bb.device.bandwidth = 1000.0  # fast SSD
+    bb.device.seek_time = 0.0
+    bb.device.op_overhead = 0.0
+
+    def drain_fn(nbytes):
+        yield env.timeout(nbytes / drain_rate)
+
+    bb.set_drain_target(drain_fn)
+    return bb
+
+
+def test_write_completes_at_ssd_speed():
+    env = Environment()
+    bb = make_bb(env)
+    times = {}
+
+    def writer(env):
+        dt = yield from bb.write(500.0)
+        times["write"] = dt
+
+    env.process(writer(env))
+    env.run(until=0.6)
+    # 500 B at 1000 B/s SSD: 0.5 s, despite the 10 B/s drain.
+    assert times["write"] == pytest.approx(0.5)
+
+
+def test_drain_eventually_empties_buffer():
+    env = Environment()
+    bb = make_bb(env)
+
+    def writer(env):
+        yield from bb.write(500.0)
+        yield from bb.flush()
+        return env.now
+
+    p = env.process(writer(env))
+    env.run()
+    assert bb.occupancy == pytest.approx(0.0)
+    assert bb.stats.bytes_drained == pytest.approx(500.0)
+    # Drain of 500 B at 10 B/s dominates: flush at >= 50 s.
+    assert p.value >= 50.0
+
+
+def test_full_buffer_applies_backpressure():
+    env = Environment()
+    bb = make_bb(env, capacity=100.0, drain_rate=10.0, chunk=50.0)
+    times = {}
+
+    def writer(env):
+        yield from bb.write(100.0)  # fills the buffer
+        t0 = env.now
+        yield from bb.write(100.0)  # must wait for drain to free space
+        times["second"] = env.now - t0
+
+    env.process(writer(env))
+    env.run()
+    assert times["second"] > 1.0  # throttled to drain speed
+    assert bb.stats.stalls >= 1
+
+
+def test_peak_occupancy_tracked():
+    env = Environment()
+    bb = make_bb(env, capacity=1000.0)
+
+    def writer(env):
+        yield from bb.write(800.0)
+
+    env.process(writer(env))
+    env.run()
+    assert bb.stats.peak_occupancy >= 800.0 - 1e-9
+
+
+def test_read_back_staged_data():
+    env = Environment()
+    bb = make_bb(env)
+
+    def rw(env):
+        yield from bb.write(200.0)
+        got = yield from bb.read(0, 200.0)
+        return got
+
+    p = env.process(rw(env))
+    env.run()
+    assert p.value == 200.0
+    assert bb.stats.bytes_read == 200.0
+
+
+def test_zero_write_is_noop():
+    env = Environment()
+    bb = make_bb(env)
+
+    def writer(env):
+        result = yield from bb.write(0.0)
+        return result
+        yield  # pragma: no cover - make it a generator
+
+    p = env.process(writer(env))
+    env.run()
+    assert bb.stats.bytes_absorbed == 0.0
+
+
+def test_flush_with_nothing_outstanding_returns():
+    env = Environment()
+    bb = make_bb(env)
+
+    def proc(env):
+        yield from bb.flush()
+        return "done"
+        yield  # pragma: no cover
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "done"
+
+
+def test_invalid_parameters():
+    env = Environment()
+    with pytest.raises(ValueError):
+        BurstBuffer(env, "bad", capacity_bytes=0)
+    bb = make_bb(env)
+    with pytest.raises(ValueError):
+        next(bb.write(-1))

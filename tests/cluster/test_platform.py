@@ -1,0 +1,83 @@
+"""Unit tests for platform assembly and the generation table."""
+
+import pytest
+
+from repro.cluster import (
+    GENERATIONS,
+    NodeRole,
+    Platform,
+    PlatformSpec,
+    large_cluster,
+    medium_cluster,
+    tiny_cluster,
+)
+
+
+def test_tiny_cluster_shape():
+    p = tiny_cluster()
+    assert len(p.compute_nodes) == 4
+    assert len(p.io_nodes) == 1
+    assert len(p.mds_nodes) == 1
+    assert len(p.oss_nodes) == 2
+    assert len(p.burst_buffers) == 1
+
+
+def test_medium_and_large_presets_grow():
+    m, l = medium_cluster(), large_cluster()
+    assert len(l.compute_nodes) > len(m.compute_nodes)
+    assert len(l.oss_nodes) > len(m.oss_nodes)
+
+
+def test_all_nodes_attached_to_fabrics():
+    p = tiny_cluster()
+    for n in p.compute_nodes:
+        assert p.compute_fabric.has_endpoint(n.name)
+        assert p.storage_fabric.has_endpoint(n.name)
+    for n in p.io_nodes:
+        assert p.compute_fabric.has_endpoint(n.name)
+        assert p.storage_fabric.has_endpoint(n.name)
+    for n in p.storage_nodes:
+        assert p.storage_fabric.has_endpoint(n.name)
+
+
+def test_io_nodes_have_burst_buffers():
+    p = medium_cluster()
+    for n in p.io_nodes:
+        assert n.burst_buffer_name in p.burst_buffers
+
+
+def test_node_names_filter_by_role():
+    p = tiny_cluster()
+    assert set(p.node_names(NodeRole.COMPUTE)) == {"c0", "c1", "c2", "c3"}
+    assert len(p.node_names()) == 4 + 1 + 3
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ValueError):
+        Platform(PlatformSpec(n_compute=0))
+    with pytest.raises(ValueError):
+        Platform(PlatformSpec(n_oss=0))
+
+
+def test_describe_mentions_counts():
+    text = tiny_cluster().describe()
+    assert "4 compute" in text
+    assert "MDS" in text and "OSS" in text
+
+
+def test_platforms_reproducible_by_seed():
+    a = tiny_cluster(seed=7).streams.stream("x").random()
+    b = tiny_cluster(seed=7).streams.stream("x").random()
+    assert a == b
+
+
+def test_generations_sorted_and_gap_widens():
+    years = [g.year for g in GENERATIONS]
+    assert years == sorted(years)
+    # The paper's motivating claim: bytes/FLOP shrinks every generation.
+    ratios = [g.bytes_per_flop for g in GENERATIONS]
+    assert all(r1 > r2 for r1, r2 in zip(ratios, ratios[1:]))
+    # Compute grew orders of magnitude faster than storage bandwidth.
+    flop_growth = GENERATIONS[-1].peak_flops / GENERATIONS[0].peak_flops
+    bw_growth = GENERATIONS[-1].fs_bandwidth / GENERATIONS[0].fs_bandwidth
+    assert flop_growth > 10 * bw_growth

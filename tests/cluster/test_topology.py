@@ -1,0 +1,82 @@
+"""Unit tests for interconnect topologies."""
+
+import pytest
+
+from repro.cluster import DragonflyTopology, FatTreeTopology
+from repro.cluster.topology import star_topology
+
+
+def test_fat_tree_host_count():
+    # k-ary fat tree has k^3/4 hosts.
+    for k in (2, 4, 8):
+        topo = FatTreeTopology(k)
+        assert len(topo.endpoints) == k**3 // 4
+
+
+def test_fat_tree_odd_k_rejected():
+    with pytest.raises(ValueError):
+        FatTreeTopology(3)
+    with pytest.raises(ValueError):
+        FatTreeTopology(0)
+
+
+def test_fat_tree_same_edge_switch_two_hops():
+    topo = FatTreeTopology(4)
+    # host0 and host1 hang off the same edge switch.
+    assert topo.hops("host0", "host1") == 2
+
+
+def test_fat_tree_cross_pod_six_hops():
+    topo = FatTreeTopology(4)
+    # Crossing pods requires edge-agg-core-agg-edge: 6 hops.
+    assert topo.hops("host0", "host15") == 6
+
+
+def test_fat_tree_diameter():
+    assert FatTreeTopology(4).diameter() == 6
+
+
+def test_hops_zero_for_same_endpoint():
+    topo = FatTreeTopology(4)
+    assert topo.hops("host3", "host3") == 0
+
+
+def test_fat_tree_bisection_scales_with_k():
+    assert FatTreeTopology(4).bisection_links() >= 4
+    assert FatTreeTopology(8).bisection_links() > FatTreeTopology(4).bisection_links()
+
+
+def test_dragonfly_host_count():
+    topo = DragonflyTopology(groups=4, routers_per_group=4, hosts_per_router=2)
+    assert len(topo.endpoints) == 4 * 4 * 2
+
+
+def test_dragonfly_validation():
+    with pytest.raises(ValueError):
+        DragonflyTopology(groups=0)
+
+
+def test_dragonfly_intra_group_short_path():
+    topo = DragonflyTopology(groups=2, routers_per_group=4, hosts_per_router=1)
+    # Same router: host-router-host = 2 hops.
+    # Hosts on different routers in one group: 3 hops.
+    assert topo.hops("host0_0_0", "host0_1_0") == 3
+
+
+def test_dragonfly_inter_group_longer_than_intra():
+    topo = DragonflyTopology(groups=4, routers_per_group=4, hosts_per_router=1)
+    intra = topo.hops("host0_0_0", "host0_1_0")
+    inter = topo.hops("host0_0_0", "host3_2_0")
+    assert inter > intra
+
+
+def test_star_topology_uniform_two_hops():
+    topo = star_topology([f"n{i}" for i in range(5)])
+    assert topo.hops("n0", "n4") == 2
+    assert topo.diameter() == 2
+
+
+def test_hops_cached_consistent():
+    topo = FatTreeTopology(4)
+    first = topo.hops("host0", "host10")
+    assert topo.hops("host0", "host10") == first

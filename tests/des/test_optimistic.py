@@ -1,0 +1,167 @@
+"""Unit tests for the Time Warp optimistic executor."""
+
+import pytest
+
+from repro.des import (
+    LogicalProcess,
+    OptimisticExecutor,
+    RossKernel,
+    SequentialExecutor,
+)
+
+
+class Counter(LogicalProcess):
+    """Accumulates payloads; deterministic, rollback-friendly state."""
+
+    def __init__(self, lp_id, peers, rounds, delay=1.0):
+        super().__init__(lp_id)
+        self.peers = peers
+        self.rounds = rounds
+        self.total = 0
+
+    def handle(self, kernel, event):
+        self.total += event.payload or 0
+        if event.kind == "tick" and self.rounds > 0:
+            self.rounds -= 1
+            for i, peer in enumerate(self.peers):
+                kernel.send(peer, 1.0 + 0.1 * i, "add", payload=self.lp_id + 1)
+            kernel.send(self.lp_id, 3.0, "tick", payload=0)
+
+    def state_digest(self):
+        return (self.lp_id, self.events_handled, self.total, self.rounds)
+
+
+def build_model(n=6, rounds=5):
+    k = RossKernel(lookahead=0.0)
+    for i in range(n):
+        peers = [(i + 1) % n, (i + 2) % n]
+        k.add_lp(Counter(i, peers, rounds))
+    for i in range(n):
+        k.inject(0.1 * i, i, "tick", payload=0)
+    return k
+
+
+class PingPong(LogicalProcess):
+    def __init__(self, lp_id, peer, delay):
+        super().__init__(lp_id)
+        self.peer = peer
+        self.delay = delay
+
+    def handle(self, kernel, event):
+        if event.payload > 0:
+            kernel.send(self.peer, self.delay, "ball", event.payload - 1)
+
+    def state_digest(self):
+        return (self.lp_id, self.events_handled)
+
+
+def test_matches_sequential_on_pingpong():
+    def build():
+        k = RossKernel()
+        k.add_lp(PingPong(0, 1, 1.0))
+        k.add_lp(PingPong(1, 0, 1.0))
+        k.inject(0.0, 0, "ball", 20)
+        return k
+
+    k1 = build()
+    SequentialExecutor(k1).run()
+    k2 = build()
+    stats = OptimisticExecutor(k2, batch=8).run()
+    assert k1.state_digests() == k2.state_digests()
+    assert stats.events_committed == 21
+
+
+def test_matches_sequential_on_cyclic_model():
+    k1 = build_model()
+    seq = SequentialExecutor(k1).run()
+    k2 = build_model()
+    opt = OptimisticExecutor(k2, batch=8).run()
+    assert k1.state_digests() == k2.state_digests()
+    assert all(k1.lps[i].trace == k2.lps[i].trace for i in k1.lps)
+    assert opt.events_committed == seq.events
+
+
+def test_speculation_causes_rollbacks():
+    """Aggressive batching on a cyclic model must trigger Time Warp."""
+    k = build_model(n=8, rounds=8)
+    stats = OptimisticExecutor(k, batch=16).run()
+    assert stats.rollbacks > 0
+    assert stats.anti_messages >= 0
+    assert stats.events_rolled_back > 0
+    assert 0 < stats.efficiency < 1.0
+
+
+def test_conservative_batch_one_is_nearly_sequential():
+    k = build_model(n=4, rounds=4)
+    stats = OptimisticExecutor(k, batch=1).run()
+    # Small batches speculate less: high efficiency.
+    assert stats.efficiency > 0.5
+
+
+def test_until_bounds_execution():
+    def build():
+        k = RossKernel()
+        k.add_lp(PingPong(0, 1, 1.0))
+        k.add_lp(PingPong(1, 0, 1.0))
+        k.inject(0.0, 0, "ball", 100)
+        return k
+
+    stats = OptimisticExecutor(build(), batch=4).run(until=10.0)
+    assert stats.events_committed <= 12
+
+
+def test_zero_delay_messages_rejected():
+    class Bad(LogicalProcess):
+        def handle(self, kernel, event):
+            kernel.send(self.lp_id, 0.0, "again")
+
+    k = RossKernel(lookahead=0.0)
+    k.add_lp(Bad(0))
+    k.inject(0.0, 0, "go")
+    with pytest.raises(ValueError, match="positive message delays"):
+        OptimisticExecutor(k).run()
+
+
+def test_invalid_batch_rejected():
+    with pytest.raises(ValueError):
+        OptimisticExecutor(RossKernel(), batch=0)
+
+
+def test_custom_snapshot_restore_used():
+    class Snappy(LogicalProcess):
+        def __init__(self, lp_id):
+            super().__init__(lp_id)
+            self.value = 0
+            self.snapshots = 0
+
+        def handle(self, kernel, event):
+            self.value += 1
+
+        def snapshot(self):
+            self.snapshots += 1
+            return {"value": self.value, "events_handled": self.events_handled,
+                    "trace": list(self.trace)}
+
+        def restore(self, state):
+            self.value = state["value"]
+            self.events_handled = state["events_handled"]
+            self.trace = list(state["trace"])
+
+        def state_digest(self):
+            return (self.lp_id, self.value)
+
+    k = RossKernel()
+    lp = Snappy(0)
+    k.add_lp(lp)
+    for t in range(5):
+        k.inject(float(t), 0, "bump")
+    OptimisticExecutor(k, batch=2).run()
+    assert lp.value == 5
+    assert lp.snapshots == 5
+
+
+def test_stats_consistency():
+    k = build_model(n=6, rounds=6)
+    stats = OptimisticExecutor(k, batch=8).run()
+    assert stats.events_processed == stats.events_committed + stats.events_rolled_back
+    assert stats.gvt_rounds > 0

@@ -1,0 +1,126 @@
+"""Property-based tests of DES kernel invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, FairShareLink, Resource
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=30)
+)
+def test_clock_never_goes_backwards(delays):
+    """Across arbitrary process graphs, observed time is monotone."""
+    env = Environment()
+    observed = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+        yield env.timeout(delay / 2)
+        observed.append(env.now)
+
+    for d in delays:
+        env.process(proc(env, d))
+    trace = []
+    while env._queue:
+        trace.append(env.peek())
+        env.step()
+    assert trace == sorted(trace)
+    assert env.now == max(observed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.floats(1.0, 1e6), min_size=1, max_size=15),
+    starts=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=15),
+    rate=st.floats(1e3, 1e9),
+)
+def test_fair_share_conserves_bytes_and_work(sizes, starts, rate):
+    """The PS link moves exactly the requested bytes, and total time is at
+    least total_bytes/rate (it cannot beat its own capacity)."""
+    env = Environment()
+    link = FairShareLink(env, rate=rate)
+    n = min(len(sizes), len(starts))
+    sizes, starts = sizes[:n], starts[:n]
+    done = []
+
+    def sender(env, start, nbytes):
+        yield env.timeout(start)
+        yield link.transfer(nbytes)
+        done.append(env.now)
+
+    for s, b in zip(starts, sizes):
+        env.process(sender(env, s, b))
+    env.run()
+    assert len(done) == n
+    assert link.bytes_transferred == pytest.approx(sum(sizes))
+    # Capacity bound: finishing before first_start + total/rate is impossible.
+    assert max(done) >= min(starts) + sum(sizes) / rate - 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(1, 5),
+    holds=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=12),
+)
+def test_resource_never_oversubscribed(capacity, holds):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    max_seen = [0]
+
+    def user(env, hold):
+        with res.request() as req:
+            yield req
+            max_seen[0] = max(max_seen[0], res.in_use)
+            yield env.timeout(hold)
+
+    for h in holds:
+        env.process(user(env, h))
+    env.run()
+    assert max_seen[0] <= capacity
+    assert res.in_use == 0
+    assert res.total_requests == len(holds)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hops=st.integers(1, 40),
+    lookahead=st.floats(0.1, 5.0),
+)
+def test_executors_agree_for_random_pingpong(hops, lookahead):
+    """Sequential and conservative ROSS executors agree for any bounce
+    count and lookahead."""
+    from repro.des import (
+        ConservativeExecutor,
+        LogicalProcess,
+        RossKernel,
+        SequentialExecutor,
+    )
+
+    class Bouncer(LogicalProcess):
+        def __init__(self, lp_id, peer, delay):
+            super().__init__(lp_id)
+            self.peer = peer
+            self.delay = delay
+
+        def handle(self, kernel, event):
+            if event.payload > 0:
+                kernel.send(self.peer, self.delay, "b", event.payload - 1)
+
+        def state_digest(self):
+            return (self.lp_id, self.events_handled)
+
+    def build():
+        k = RossKernel(lookahead=lookahead)
+        k.add_lp(Bouncer(0, 1, lookahead))
+        k.add_lp(Bouncer(1, 0, lookahead * 1.5))
+        k.inject(0.0, 0, "b", hops)
+        return k
+
+    k1, k2 = build(), build()
+    SequentialExecutor(k1).run()
+    ConservativeExecutor(k2).run()
+    assert k1.state_digests() == k2.state_digests()

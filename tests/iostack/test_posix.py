@@ -1,0 +1,146 @@
+"""Unit tests for the POSIX layer."""
+
+import pytest
+
+from repro.cluster import tiny_cluster
+from repro.iostack import PosixLayer
+from repro.iostack.posix import SEEK_CUR, SEEK_END, SEEK_SET
+from repro.ops import OpKind
+from repro.pfs import build_pfs
+
+KiB = 1024
+
+
+@pytest.fixture
+def posix():
+    platform = tiny_cluster()
+    pfs = build_pfs(platform)
+    return platform, PosixLayer(pfs.client("c0"), rank=0)
+
+
+def run(platform, gen):
+    p = platform.env.process(gen)
+    platform.env.run()
+    return p.value
+
+
+def test_open_returns_increasing_fds(posix):
+    platform, px = posix
+
+    def work(env):
+        fd1 = yield from px.creat("/a")
+        fd2 = yield from px.creat("/b")
+        return fd1, fd2
+
+    fd1, fd2 = run(platform, work(platform.env))
+    assert fd1 >= 3 and fd2 == fd1 + 1
+
+
+def test_write_advances_position(posix):
+    platform, px = posix
+
+    def work(env):
+        fd = yield from px.creat("/f")
+        yield from px.write(fd, 10 * KiB)
+        yield from px.write(fd, 10 * KiB)
+        st = yield from px.stat("/f")
+        return st.size
+
+    size = run(platform, work(platform.env))
+    assert size == 20 * KiB
+
+
+def test_pwrite_does_not_move_position(posix):
+    platform, px = posix
+
+    def work(env):
+        fd = yield from px.creat("/f")
+        yield from px.pwrite(fd, 100 * KiB, 10 * KiB)
+        yield from px.write(fd, KiB)  # still at position 0
+        st = yield from px.stat("/f")
+        return st.size
+
+    size = run(platform, work(platform.env))
+    assert size == 110 * KiB
+
+
+def test_lseek_set_cur_end(posix):
+    platform, px = posix
+
+    def work(env):
+        fd = yield from px.creat("/f")
+        yield from px.write(fd, 100)
+        assert px.lseek(fd, 10, SEEK_SET) == 10
+        assert px.lseek(fd, 5, SEEK_CUR) == 15
+        assert px.lseek(fd, -20, SEEK_END) == 80
+        return True
+
+    assert run(platform, work(platform.env))
+
+
+def test_lseek_negative_rejected(posix):
+    platform, px = posix
+
+    def work(env):
+        fd = yield from px.creat("/f")
+        px.lseek(fd, -1, SEEK_SET)
+
+    with pytest.raises(ValueError):
+        run(platform, work(platform.env))
+
+
+def test_bad_fd_rejected(posix):
+    platform, px = posix
+
+    def work(env):
+        yield from px.write(999, 10)
+
+    with pytest.raises(OSError):
+        run(platform, work(platform.env))
+
+
+def test_use_after_close_rejected(posix):
+    platform, px = posix
+
+    def work(env):
+        fd = yield from px.creat("/f")
+        yield from px.close(fd)
+        yield from px.write(fd, 10)
+
+    with pytest.raises(OSError):
+        run(platform, work(platform.env))
+
+
+def test_records_emitted_with_posix_layer(posix):
+    platform, px = posix
+    records = []
+    px.observers.append(records.append)
+
+    def work(env):
+        fd = yield from px.creat("/f")
+        yield from px.write(fd, 4 * KiB)
+        yield from px.read(fd, 2 * KiB)
+        yield from px.fsync(fd)
+        yield from px.close(fd)
+
+    run(platform, work(platform.env))
+    assert all(r.layer == "posix" for r in records)
+    kinds = [r.kind for r in records]
+    assert kinds == [OpKind.OPEN, OpKind.WRITE, OpKind.READ, OpKind.FSYNC, OpKind.CLOSE]
+    w = records[1]
+    assert (w.offset, w.nbytes) == (0, 4 * KiB)
+
+
+def test_directory_ops(posix):
+    platform, px = posix
+
+    def work(env):
+        yield from px.mkdir("/d")
+        fd = yield from px.creat("/d/f")
+        yield from px.close(fd)
+        listing = yield from px.readdir("/d")
+        yield from px.unlink("/d/f")
+        yield from px.rmdir("/d")
+        return listing
+
+    assert run(platform, work(platform.env)) == ["f"]

@@ -1,0 +1,105 @@
+"""Unit tests for queueing formulas + cross-validation against the DES.
+
+The cross-validation is the interesting part: Poisson arrivals to a
+:class:`~repro.des.resources.Resource` with exponential service must
+reproduce Erlang's formulas -- evidence that the simulation kernel's
+queueing behaviour is correct, and that the analytic model is a valid
+fast-path predictor for the simulated servers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment, Resource
+from repro.modeling.queueing import erlang_c, mm1, mmc, required_servers
+
+
+class TestFormulas:
+    def test_mm1_known_values(self):
+        # lambda=8, mu=10: rho=0.8, Wq = 0.8/(10-8) = 0.4, W = 0.5.
+        m = mm1(8.0, 10.0)
+        assert m.utilization == pytest.approx(0.8)
+        assert m.mean_wait == pytest.approx(0.4)
+        assert m.mean_response == pytest.approx(0.5)
+        assert m.mean_queue_length == pytest.approx(3.2)
+
+    def test_mm1_validation(self):
+        with pytest.raises(ValueError):
+            mm1(-1, 1)
+        with pytest.raises(ValueError):
+            mm1(10, 10)  # rho = 1
+
+    def test_mmc_reduces_to_mm1(self):
+        a = mm1(5.0, 10.0)
+        b = mmc(5.0, 10.0, servers=1)
+        assert b.mean_wait == pytest.approx(a.mean_wait)
+        assert b.prob_wait == pytest.approx(a.prob_wait)
+
+    def test_erlang_c_bounds_and_monotonicity(self):
+        p2 = erlang_c(8.0, 5.0, servers=2)
+        p4 = erlang_c(8.0, 5.0, servers=4)
+        assert 0 < p4 < p2 < 1
+
+    def test_erlang_c_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(10, 5, servers=2)  # rho = 1
+        with pytest.raises(ValueError):
+            erlang_c(1, 1, servers=0)
+
+    def test_required_servers(self):
+        c = required_servers(arrival_rate=50.0, service_rate=10.0, max_wait=0.01)
+        assert c >= 6  # needs at least ceil(5) + headroom
+        m = mmc(50.0, 10.0, c)
+        assert m.mean_wait <= 0.01
+        # One fewer server misses the target (or is unstable).
+        if c > 6:
+            prev = mmc(50.0, 10.0, c - 1)
+            assert prev.mean_wait > 0.01
+        with pytest.raises(ValueError):
+            required_servers(1, 1, max_wait=0)
+
+
+def simulate_queue(arrival_rate, service_rate, servers, n_jobs=6000, seed=0):
+    """Poisson arrivals to a Resource with exponential service."""
+    env = Environment()
+    res = Resource(env, capacity=servers)
+    rng = np.random.default_rng(seed)
+    waits = []
+
+    def job(env, arrive_at, service):
+        yield env.timeout(arrive_at)
+        t0 = env.now
+        with res.request() as req:
+            yield req
+            waits.append(env.now - t0)
+            yield env.timeout(service)
+
+    t = 0.0
+    for _ in range(n_jobs):
+        t += rng.exponential(1 / arrival_rate)
+        env.process(job(env, t, rng.exponential(1 / service_rate)))
+    env.run()
+    # Discard warm-up.
+    return float(np.mean(waits[500:]))
+
+
+class TestCrossValidation:
+    def test_des_matches_mm1(self):
+        lam, mu = 7.0, 10.0
+        predicted = mm1(lam, mu).mean_wait
+        simulated = simulate_queue(lam, mu, servers=1)
+        assert simulated == pytest.approx(predicted, rel=0.15)
+
+    def test_des_matches_mmc(self):
+        # Moderate load (rho = 0.6) converges quickly; heavy traffic needs
+        # far longer runs for the sample mean to settle.
+        lam, mu, c = 12.0, 5.0, 4
+        predicted = mmc(lam, mu, c).mean_wait
+        simulated = np.mean(
+            [simulate_queue(lam, mu, servers=c, n_jobs=12000, seed=s) for s in (0, 1)]
+        )
+        assert simulated == pytest.approx(predicted, rel=0.2)
+
+    def test_light_load_nearly_no_wait(self):
+        simulated = simulate_queue(1.0, 100.0, servers=1, n_jobs=2000)
+        assert simulated < 1e-3

@@ -1,0 +1,184 @@
+"""Unit tests for statistics, regression, Markov chains and tests."""
+
+import numpy as np
+import pytest
+
+from repro.modeling import (
+    LinearModel,
+    MarkovChain,
+    coefficient_of_variation,
+    describe,
+    ecdf,
+    ks_test,
+    pearson_correlation,
+    polynomial_features,
+    t_test,
+)
+from repro.modeling.statistics import bootstrap_ci, histogram_pdf
+
+
+class TestDescribe:
+    def test_basic_stats(self):
+        s = describe([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4, 5], ddof=1))
+        assert s.iqr == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe([])
+
+    def test_single_value(self):
+        s = describe([7.0])
+        assert s.std == 0.0 and s.cv == 0.0
+
+    def test_cv(self):
+        assert coefficient_of_variation([10.0, 10.0, 10.0]) == 0.0
+        assert coefficient_of_variation([1.0, 100.0]) > 1.0
+
+    def test_summary_text(self):
+        assert "mean=" in describe([1.0, 2.0]).summary()
+
+
+class TestECDF:
+    def test_monotone_and_normalised(self):
+        xs, ps = ecdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == 1.0
+        assert all(a <= b for a, b in zip(ps, ps[1:]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+
+def test_histogram_pdf_integrates_to_one():
+    rng = np.random.default_rng(0)
+    centers, dens = histogram_pdf(rng.normal(size=1000), bins=30)
+    width = centers[1] - centers[0]
+    assert (dens * width).sum() == pytest.approx(1.0, abs=0.01)
+
+
+def test_pearson_correlation():
+    x = [1.0, 2.0, 3.0, 4.0]
+    assert pearson_correlation(x, [2.0, 4.0, 6.0, 8.0]) == pytest.approx(1.0)
+    assert pearson_correlation(x, [8.0, 6.0, 4.0, 2.0]) == pytest.approx(-1.0)
+    assert pearson_correlation(x, [5.0, 5.0, 5.0, 5.0]) == 0.0
+    with pytest.raises(ValueError):
+        pearson_correlation([1.0], [2.0])
+    with pytest.raises(ValueError):
+        pearson_correlation([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+def test_bootstrap_ci_contains_mean():
+    rng = np.random.default_rng(1)
+    data = rng.normal(10.0, 1.0, size=200)
+    lo, hi = bootstrap_ci(data, seed=2)
+    assert lo < 10.0 < hi
+    assert hi - lo < 1.0
+    with pytest.raises(ValueError):
+        bootstrap_ci([], seed=0)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], confidence=2.0)
+
+
+class TestLinearModel:
+    def test_recovers_exact_linear_relation(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 10, size=(50, 2))
+        y = 3.0 + 2.0 * X[:, 0] - 0.5 * X[:, 1]
+        m = LinearModel().fit(X, y)
+        assert m.intercept_ == pytest.approx(3.0, abs=1e-8)
+        assert m.coef_[0] == pytest.approx(2.0, abs=1e-8)
+        assert m.coef_[1] == pytest.approx(-0.5, abs=1e-8)
+        assert m.r2_ == pytest.approx(1.0)
+        assert m.score(X, y) == pytest.approx(1.0)
+
+    def test_validation(self):
+        m = LinearModel()
+        with pytest.raises(ValueError):
+            m.fit([[1, 2]], [1.0])  # too few samples
+        with pytest.raises(RuntimeError):
+            m.predict([[1, 2]])
+        m.fit([[1.0], [2.0], [3.0]], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            m.predict([[1.0, 2.0]])
+
+    def test_polynomial_features(self):
+        X = np.array([[2.0, 3.0]])
+        out = polynomial_features(X, degree=3)
+        assert out.shape == (1, 6)
+        assert list(out[0]) == [2.0, 3.0, 4.0, 9.0, 8.0, 27.0]
+        with pytest.raises(ValueError):
+            polynomial_features(X, degree=0)
+
+
+class TestMarkovChain:
+    def test_fit_and_transition_probabilities(self):
+        chain = MarkovChain().fit(["w", "w", "r", "w", "w", "r"])
+        # After w: 2x w, 2x r -> 0.5 each; after r: always w.
+        assert chain.transition_probability("w", "w") == pytest.approx(0.5)
+        assert chain.transition_probability("r", "w") == pytest.approx(1.0)
+        assert chain.transition_probability("r", "zzz") == 0.0
+
+    def test_stationary_distribution_sums_to_one(self):
+        chain = MarkovChain().fit(list("abab" * 10))
+        dist = chain.stationary_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert dist["a"] == pytest.approx(0.5, abs=0.05)
+
+    def test_generate_reproducible_and_valid(self):
+        chain = MarkovChain().fit(list("aabbaabb"))
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        s1 = chain.generate(50, rng1)
+        s2 = chain.generate(50, rng2)
+        assert s1 == s2
+        assert set(s1) <= {"a", "b"}
+
+    def test_log_likelihood(self):
+        chain = MarkovChain(smoothing=0.1).fit(list("ababab"))
+        ll_good = chain.log_likelihood(list("abab"))
+        ll_bad = chain.log_likelihood(list("aabb"))
+        assert ll_good > ll_bad
+
+    def test_unseen_transition_without_smoothing(self):
+        chain = MarkovChain().fit(list("abab"))
+        assert chain.log_likelihood(list("aa")) == float("-inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovChain().fit(["x"])
+        with pytest.raises(RuntimeError):
+            MarkovChain().generate(5)
+        with pytest.raises(ValueError):
+            MarkovChain(smoothing=-1)
+
+
+class TestHypothesisTests:
+    def test_t_test_detects_mean_shift(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 1, 100)
+        b = rng.normal(12, 1, 100)
+        result = t_test(a, b)
+        assert result.significant
+        assert "REJECT" in result.summary()
+
+    def test_t_test_same_distribution(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(10, 1, 100)
+        b = rng.normal(10, 1, 100)
+        assert not t_test(a, b).significant
+
+    def test_ks_test_detects_shape_change(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 200)
+        b = rng.exponential(1, 200)
+        assert ks_test(a, b).significant
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            t_test([1.0], [1.0, 2.0])

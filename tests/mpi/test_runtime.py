@@ -1,0 +1,174 @@
+"""Unit tests for the simulated MPI runtime."""
+
+import pytest
+
+from repro.cluster import tiny_cluster
+from repro.mpi import MPIRuntime
+from repro.mpi.runtime import round_robin_nodes
+
+
+@pytest.fixture
+def runtime():
+    platform = tiny_cluster()
+    nodes = round_robin_nodes([n.name for n in platform.compute_nodes], 4)
+    return platform, MPIRuntime(platform.env, platform.compute_fabric, nodes)
+
+
+def test_round_robin_assignment():
+    assert round_robin_nodes(["a", "b"], 5) == ["a", "b", "a", "b", "a"]
+    with pytest.raises(ValueError):
+        round_robin_nodes([], 2)
+    with pytest.raises(ValueError):
+        round_robin_nodes(["a"], 0)
+
+
+def test_all_ranks_run(runtime):
+    _, rt = runtime
+
+    def program(ctx):
+        yield from ctx.compute(0.0)
+        return ctx.rank
+
+    results = rt.run(program)
+    assert results == [0, 1, 2, 3]
+
+
+def test_compute_advances_time(runtime):
+    platform, rt = runtime
+
+    def program(ctx):
+        yield from ctx.compute(2.5)
+        return ctx.env.now
+
+    results = rt.run(program)
+    assert all(t == pytest.approx(2.5) for t in results)
+
+
+def test_barrier_synchronises_ranks(runtime):
+    _, rt = runtime
+    exit_times = {}
+
+    def program(ctx):
+        yield from ctx.compute(float(ctx.rank))  # stagger arrivals
+        yield from ctx.barrier()
+        exit_times[ctx.rank] = ctx.env.now
+
+    rt.run(program)
+    # All ranks leave at (or within collective cost of) the last arrival.
+    assert min(exit_times.values()) >= 3.0
+    spread = max(exit_times.values()) - min(exit_times.values())
+    assert spread < 1e-3
+
+
+def test_barrier_reusable_across_iterations(runtime):
+    _, rt = runtime
+    log = []
+
+    def program(ctx):
+        for it in range(3):
+            yield from ctx.compute(0.001 * (ctx.rank + 1))
+            yield from ctx.barrier()
+            if ctx.rank == 0:
+                log.append((it, ctx.env.now))
+
+    rt.run(program)
+    assert len(log) == 3
+    times = [t for _, t in log]
+    assert times == sorted(times)
+
+
+def test_send_recv_moves_payload(runtime):
+    _, rt = runtime
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(0, dest=1, nbytes=1024, payload="hello")
+            return None
+        elif ctx.rank == 1:
+            nbytes, payload = yield from ctx.comm.recv(1, source=0)
+            return (nbytes, payload)
+        return None
+
+    results = rt.run(program)
+    assert results[1] == (1024, "hello")
+    assert rt.comm.p2p_messages == 1
+    assert rt.comm.p2p_bytes == 1024
+
+
+def test_recv_blocks_until_send(runtime):
+    _, rt = runtime
+
+    def program(ctx):
+        if ctx.rank == 1:
+            _ = yield from ctx.comm.recv(1, source=0)
+            return ctx.env.now
+        if ctx.rank == 0:
+            yield from ctx.compute(5.0)
+            yield from ctx.comm.send(0, dest=1, nbytes=8)
+        return None
+
+    results = rt.run(program)
+    assert results[1] >= 5.0
+
+
+def test_invalid_ranks_rejected(runtime):
+    _, rt = runtime
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(0, dest=99, nbytes=8)
+
+    with pytest.raises(ValueError):
+        rt.run(program)
+
+
+def test_collective_cost_models():
+    platform = tiny_cluster()
+    nodes = [n.name for n in platform.compute_nodes]
+    rt = MPIRuntime(platform.env, platform.compute_fabric, nodes)
+    comm = rt.comm
+    assert comm.collective_cost("barrier") > 0
+    # Data collectives cost more with more data.
+    assert comm.collective_cost("bcast", 1 << 20) > comm.collective_cost("bcast", 1 << 10)
+    # Allreduce costs about twice a reduce.
+    r = comm.collective_cost("reduce", 1024)
+    ar = comm.collective_cost("allreduce", 1024)
+    assert ar == pytest.approx(2 * r)
+    with pytest.raises(ValueError):
+        comm.collective_cost("nope")
+
+
+def test_single_rank_collectives_free():
+    platform = tiny_cluster()
+    rt = MPIRuntime(platform.env, platform.compute_fabric, ["c0"])
+    assert rt.comm.collective_cost("barrier") == 0.0
+    assert rt.comm.collective_cost("alltoall", 1 << 20) == 0.0
+
+
+def test_allreduce_as_program(runtime):
+    _, rt = runtime
+
+    def program(ctx):
+        yield from ctx.comm.allreduce(ctx.rank, nbytes=8)
+        return ctx.env.now
+
+    results = rt.run(program)
+    assert len(set(round(t, 12) for t in results)) == 1  # all leave together
+
+
+def test_different_tags_are_independent_mailboxes(runtime):
+    _, rt = runtime
+
+    def program(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(0, dest=1, nbytes=8, payload="t1", tag=1)
+            yield from ctx.comm.send(0, dest=1, nbytes=8, payload="t2", tag=2)
+        elif ctx.rank == 1:
+            _, p2 = yield from ctx.comm.recv(1, source=0, tag=2)
+            _, p1 = yield from ctx.comm.recv(1, source=0, tag=1)
+            return (p1, p2)
+        return None
+        yield  # pragma: no cover
+
+    results = rt.run(program)
+    assert results[1] == ("t1", "t2")

@@ -1,0 +1,115 @@
+"""Unit tests for the namespace data structure."""
+
+import pytest
+
+from repro.pfs import Namespace, StripeLayout
+
+
+@pytest.fixture
+def ns():
+    return Namespace()
+
+
+@pytest.fixture
+def layout():
+    return StripeLayout(1024, [0])
+
+
+def test_root_exists(ns):
+    assert ns.exists("/")
+    assert ns.is_dir("/")
+    assert ns.listdir("/") == []
+
+
+def test_relative_path_rejected(ns):
+    with pytest.raises(ValueError):
+        ns.exists("relative/path")
+
+
+def test_create_and_lookup(ns, layout):
+    inode = ns.create("/data.bin", layout, now=5.0)
+    assert inode.path == "/data.bin"
+    assert inode.ctime == 5.0
+    assert ns.is_file("/data.bin")
+    assert ns.lookup("/data.bin") is inode
+    assert ns.listdir("/") == ["data.bin"]
+
+
+def test_create_duplicate_rejected(ns, layout):
+    ns.create("/f", layout)
+    with pytest.raises(FileExistsError):
+        ns.create("/f", layout)
+
+
+def test_create_in_missing_dir_rejected(ns, layout):
+    with pytest.raises(FileNotFoundError):
+        ns.create("/nodir/f", layout)
+
+
+def test_mkdir_nested(ns, layout):
+    ns.mkdir("/a")
+    ns.mkdir("/a/b")
+    ns.create("/a/b/f", layout)
+    assert ns.listdir("/a") == ["b"]
+    assert ns.listdir("/a/b") == ["f"]
+
+
+def test_mkdir_duplicate_and_missing_parent(ns):
+    ns.mkdir("/a")
+    with pytest.raises(FileExistsError):
+        ns.mkdir("/a")
+    with pytest.raises(FileNotFoundError):
+        ns.mkdir("/x/y")
+
+
+def test_rmdir(ns):
+    ns.mkdir("/a")
+    ns.rmdir("/a")
+    assert not ns.exists("/a")
+
+
+def test_rmdir_nonempty_rejected(ns, layout):
+    ns.mkdir("/a")
+    ns.create("/a/f", layout)
+    with pytest.raises(OSError):
+        ns.rmdir("/a")
+
+
+def test_rmdir_root_rejected(ns):
+    with pytest.raises(PermissionError):
+        ns.rmdir("/")
+
+
+def test_unlink(ns, layout):
+    ns.create("/f", layout)
+    ns.unlink("/f")
+    assert not ns.exists("/f")
+    assert ns.listdir("/") == []
+    with pytest.raises(FileNotFoundError):
+        ns.unlink("/f")
+
+
+def test_update_size_grows_monotonically(ns, layout):
+    ns.create("/f", layout)
+    ns.update_size("/f", 100, now=1.0)
+    ns.update_size("/f", 50, now=2.0)  # shorter write does not shrink
+    inode = ns.lookup("/f")
+    assert inode.size == 100
+    assert inode.mtime == 2.0
+
+
+def test_counters(ns, layout):
+    ns.mkdir("/d")
+    ns.create("/d/a", layout)
+    ns.create("/d/b", layout)
+    ns.update_size("/d/a", 10)
+    ns.update_size("/d/b", 30)
+    assert ns.n_files == 2
+    assert ns.n_dirs == 2  # root + /d
+    assert ns.total_bytes() == 40
+
+
+def test_path_normalization(ns, layout):
+    ns.create("/f", layout)
+    assert ns.is_file("//f")
+    assert ns.lookup("/f/").path == "/f"

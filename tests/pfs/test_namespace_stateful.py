@@ -1,0 +1,102 @@
+"""Model-based (stateful) property test of the namespace.
+
+Hypothesis drives random sequences of namespace operations against both
+the real :class:`~repro.pfs.namespace.Namespace` and a trivial reference
+model (two Python sets); any divergence in success/failure or in the
+resulting structure is a bug.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.pfs import Namespace, StripeLayout
+
+_NAMES = st.sampled_from(["a", "b", "c", "dir1", "dir2", "f.dat"])
+
+
+class NamespaceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ns = Namespace()
+        self.layout = StripeLayout(1024, [0])
+        # Reference model: path -> "file" | "dir".
+        self.model = {"/": "dir"}
+
+    def _parent_ok(self, path: str) -> bool:
+        parent = path.rsplit("/", 1)[0] or "/"
+        return self.model.get(parent) == "dir"
+
+    def _children(self, path: str):
+        prefix = path.rstrip("/") + "/"
+        return [p for p in self.model if p != path and p.startswith(prefix)
+                and "/" not in p[len(prefix):]]
+
+    @rule(parent=_NAMES, name=_NAMES)
+    def mkdir(self, parent, name):
+        path = f"/{parent}/{name}" if self.model.get(f"/{parent}") == "dir" else f"/{name}"
+        should_work = path not in self.model and self._parent_ok(path)
+        try:
+            self.ns.mkdir(path)
+            assert should_work, f"mkdir {path} succeeded but model says no"
+            self.model[path] = "dir"
+        except (FileExistsError, FileNotFoundError):
+            assert not should_work, f"mkdir {path} failed but model says yes"
+
+    @rule(parent=_NAMES, name=_NAMES)
+    def create(self, parent, name):
+        path = f"/{parent}/{name}" if self.model.get(f"/{parent}") == "dir" else f"/{name}"
+        should_work = path not in self.model and self._parent_ok(path)
+        try:
+            self.ns.create(path, self.layout)
+            assert should_work, f"create {path} succeeded but model says no"
+            self.model[path] = "file"
+        except (FileExistsError, FileNotFoundError):
+            assert not should_work, f"create {path} failed but model says yes"
+
+    @rule(name=_NAMES)
+    def unlink(self, name):
+        path = f"/{name}"
+        should_work = self.model.get(path) == "file"
+        try:
+            self.ns.unlink(path)
+            assert should_work
+            del self.model[path]
+        except FileNotFoundError:
+            assert not should_work
+
+    @rule(name=_NAMES)
+    def rmdir(self, name):
+        path = f"/{name}"
+        should_work = (
+            self.model.get(path) == "dir" and not self._children(path)
+        )
+        try:
+            self.ns.rmdir(path)
+            assert should_work
+            del self.model[path]
+        except (NotADirectoryError, OSError):
+            assert not should_work
+
+    @invariant()
+    def counts_match(self):
+        files = sum(1 for v in self.model.values() if v == "file")
+        dirs = sum(1 for v in self.model.values() if v == "dir")
+        assert self.ns.n_files == files
+        assert self.ns.n_dirs == dirs
+
+    @invariant()
+    def listings_match(self):
+        for path, kind in self.model.items():
+            assert self.ns.exists(path)
+            if kind == "dir":
+                expected = sorted(
+                    p[len(path.rstrip('/')) + 1 :] for p in self._children(path)
+                )
+                assert sorted(self.ns.listdir(path)) == expected
+
+
+NamespaceMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestNamespaceStateful = NamespaceMachine.TestCase

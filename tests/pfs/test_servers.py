@@ -1,0 +1,170 @@
+"""Unit tests for the MDS and OSS server models."""
+
+import pytest
+
+from repro.cluster.devices import BlockDevice
+from repro.des import Environment
+from repro.ops import OpKind
+from repro.pfs import MetadataServer, ObjectStorageServer, StripeLayout
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def drive(env, gen):
+    return env.process(gen)
+
+
+class TestMDS:
+    def test_create_open_stat_roundtrip(self, env):
+        mds = MetadataServer(env, "mds0", op_time=1e-3)
+        layout = StripeLayout(1024, [0])
+
+        def proc(env):
+            yield from mds.serve(OpKind.CREATE, "/f", layout=layout)
+            inode = yield from mds.serve(OpKind.OPEN, "/f")
+            st = yield from mds.serve(OpKind.STAT, "/f")
+            return inode, st
+
+        p = drive(env, proc(env))
+        env.run()
+        inode, st = p.value
+        assert inode.path == "/f"
+        assert st is inode
+        assert mds.op_counts[OpKind.CREATE] == 1
+        assert mds.total_ops == 3
+
+    def test_ops_take_service_time(self, env):
+        mds = MetadataServer(env, "mds0", op_time=1e-3)
+        layout = StripeLayout(1024, [0])
+
+        def proc(env):
+            yield from mds.serve(OpKind.CREATE, "/f", layout=layout)
+
+        drive(env, proc(env))
+        env.run()
+        # CREATE costs 2x op_time.
+        assert env.now == pytest.approx(2e-3)
+        assert mds.busy_time == pytest.approx(2e-3)
+
+    def test_thread_pool_limits_concurrency(self, env):
+        mds = MetadataServer(env, "mds0", op_time=1e-3, threads=1)
+        layout = StripeLayout(1024, [0])
+
+        def proc(env, path):
+            yield from mds.serve(OpKind.CREATE, path, layout=layout)
+            return env.now
+
+        p1 = drive(env, proc(env, "/a"))
+        p2 = drive(env, proc(env, "/b"))
+        env.run()
+        assert p1.value == pytest.approx(2e-3)
+        assert p2.value == pytest.approx(4e-3)  # queued behind p1
+
+    def test_readdir_cost_scales_with_entries(self, env):
+        mds = MetadataServer(env, "mds0", op_time=1e-3)
+        layout = StripeLayout(1024, [0])
+
+        def setup(env, n):
+            for i in range(n):
+                yield from mds.serve(OpKind.CREATE, f"/f{i}", layout=layout)
+            t0 = env.now
+            yield from mds.serve(OpKind.READDIR, "/")
+            return env.now - t0
+
+        p = drive(env, setup(env, 50))
+        env.run()
+        base = mds.service_time(OpKind.READDIR, 0)
+        assert p.value > base
+
+    def test_namespace_errors_propagate(self, env):
+        mds = MetadataServer(env, "mds0")
+
+        def proc(env):
+            try:
+                yield from mds.serve(OpKind.OPEN, "/missing")
+            except FileNotFoundError:
+                return "caught"
+
+        p = drive(env, proc(env))
+        env.run()
+        assert p.value == "caught"
+
+    def test_listeners_notified(self, env):
+        mds = MetadataServer(env, "mds0")
+        layout = StripeLayout(1024, [0])
+        events = []
+        mds.listeners.append(lambda kind, path, t: events.append((kind, path)))
+
+        def proc(env):
+            yield from mds.serve(OpKind.CREATE, "/f", layout=layout)
+            yield from mds.serve(OpKind.UNLINK, "/f")
+
+        drive(env, proc(env))
+        env.run()
+        assert events == [(OpKind.CREATE, "/f"), (OpKind.UNLINK, "/f")]
+
+    def test_data_op_rejected(self, env):
+        mds = MetadataServer(env, "mds0")
+        with pytest.raises(ValueError):
+            mds.service_time(OpKind.READ)
+
+
+class TestOSS:
+    def make_oss(self, env, threads=16):
+        dev = BlockDevice(env, "ost0", bandwidth=100.0, seek_time=0.0)
+        return ObjectStorageServer(env, "oss0", {0: dev}, op_time=0.0, threads=threads)
+
+    def test_serve_write_costs_device_time(self, env):
+        oss = self.make_oss(env)
+
+        def proc(env):
+            dt = yield from oss.serve_data(0, 0, 100, True)
+            return dt
+
+        p = drive(env, proc(env))
+        env.run()
+        assert p.value == pytest.approx(1.0)
+        assert oss.stats.write_ops == 1
+        assert oss.stats.bytes_written == 100
+
+    def test_unknown_ost_rejected(self, env):
+        oss = self.make_oss(env)
+
+        def proc(env):
+            yield from oss.serve_data(99, 0, 10, True)
+
+        drive(env, proc(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_thread_pool_queues_requests(self, env):
+        oss = self.make_oss(env, threads=1)
+
+        def proc(env):
+            dt = yield from oss.serve_data(0, 0, 100, False)
+            return env.now
+
+        p1 = drive(env, proc(env))
+        p2 = drive(env, proc(env))
+        env.run()
+        assert p1.value == pytest.approx(1.0)
+        assert p2.value == pytest.approx(2.0)
+
+    def test_needs_at_least_one_ost(self, env):
+        with pytest.raises(ValueError):
+            ObjectStorageServer(env, "oss0", {})
+
+    def test_stats_aggregate_reads_and_writes(self, env):
+        oss = self.make_oss(env)
+
+        def proc(env):
+            yield from oss.serve_data(0, 0, 30, True)
+            yield from oss.serve_data(0, 30, 70, False)
+
+        drive(env, proc(env))
+        env.run()
+        assert oss.stats.ops == 2
+        assert oss.stats.bytes_total == 100

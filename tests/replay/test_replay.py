@@ -1,0 +1,124 @@
+"""Unit tests for the replayer and fidelity verification."""
+
+import pytest
+
+from repro.cluster import tiny_cluster
+from repro.monitoring import RecorderTracer
+from repro.ops import IORecord, OpKind
+from repro.pfs import build_pfs
+from repro.replay import Replayer, verify_fidelity
+from repro.simulate import run_workload
+from repro.workloads import CheckpointConfig, CheckpointWorkload, IORConfig, IORWorkload
+
+MiB = 1024 * 1024
+KiB = 1024
+
+
+def traced_run(workload):
+    platform = tiny_cluster()
+    pfs = build_pfs(platform)
+    tracer = RecorderTracer()
+    result = run_workload(platform, pfs, workload, observers=[tracer])
+    records = [r for r in tracer.records if r.layer == "posix"]
+    return records, result
+
+
+class TestReplayer:
+    def test_replay_reproduces_structure(self):
+        w = IORWorkload(IORConfig(block_size=2 * MiB, transfer_size=512 * KiB), 2)
+        original, _ = traced_run(w)
+        platform = tiny_cluster()
+        pfs = build_pfs(platform)
+        outcome = Replayer(preserve_think_time=False).replay(original, platform, pfs)
+        report = verify_fidelity(original, outcome.records)
+        assert report.op_count_match
+        assert report.op_mix_match
+        assert report.bytes_match
+        assert report.offsets_match
+
+    def test_timing_faithful_replay_close_to_original(self):
+        w = CheckpointWorkload(
+            CheckpointConfig(bytes_per_rank=4 * MiB, steps=2, compute_seconds=1.0,
+                             fsync=False),
+            n_ranks=2,
+        )
+        original, orig_result = traced_run(w)
+        platform = tiny_cluster()
+        pfs = build_pfs(platform)
+        outcome = Replayer(preserve_think_time=True).replay(original, platform, pfs)
+        report = verify_fidelity(original, outcome.records)
+        assert report.faithful(max_duration_error=0.35), report.summary()
+
+    def test_fast_replay_is_faster(self):
+        w = CheckpointWorkload(
+            CheckpointConfig(bytes_per_rank=2 * MiB, steps=2, compute_seconds=2.0,
+                             fsync=False),
+            n_ranks=2,
+        )
+        original, _ = traced_run(w)
+
+        def replay(preserve):
+            platform = tiny_cluster()
+            pfs = build_pfs(platform)
+            return Replayer(preserve_think_time=preserve).replay(
+                original, platform, pfs
+            )
+
+        slow = replay(True)
+        fast = replay(False)
+        assert fast.duration < slow.duration / 2
+
+    def test_replay_on_different_platform(self):
+        """Replay-based evaluation of alternative hardware (Sec. IV-B-3)."""
+        from repro.cluster import medium_cluster
+
+        w = IORWorkload(IORConfig(block_size=4 * MiB, transfer_size=MiB), 4)
+        original, _ = traced_run(w)
+        platform = medium_cluster()
+        pfs = build_pfs(platform)
+        outcome = Replayer(preserve_think_time=False).replay(original, platform, pfs)
+        report = verify_fidelity(original, outcome.records)
+        assert report.bytes_match  # same I/O, different hardware
+
+
+class TestFidelityReport:
+    def rec(self, kind, offset=0, nbytes=KiB, rank=0, start=0.0, end=1.0):
+        return IORecord("posix", kind, "/f", offset, nbytes, rank, start, end)
+
+    def test_perfect_match(self):
+        recs = [self.rec(OpKind.WRITE), self.rec(OpKind.READ, offset=KiB)]
+        report = verify_fidelity(recs, list(recs))
+        assert report.faithful()
+        assert "ok" in report.summary()
+
+    def test_detects_missing_ops(self):
+        orig = [self.rec(OpKind.WRITE), self.rec(OpKind.WRITE, offset=KiB)]
+        replay = [self.rec(OpKind.WRITE)]
+        report = verify_fidelity(orig, replay)
+        assert not report.op_count_match
+        assert not report.faithful()
+
+    def test_detects_byte_mismatch(self):
+        orig = [self.rec(OpKind.WRITE, nbytes=2 * KiB)]
+        replay = [self.rec(OpKind.WRITE, nbytes=KiB)]
+        report = verify_fidelity(orig, replay)
+        assert not report.bytes_match
+
+    def test_detects_offset_divergence(self):
+        orig = [self.rec(OpKind.WRITE, offset=0)]
+        replay = [self.rec(OpKind.WRITE, offset=MiB)]
+        report = verify_fidelity(orig, replay)
+        assert not report.offsets_match
+
+    def test_order_insensitive_offsets(self):
+        a = [self.rec(OpKind.WRITE, offset=0), self.rec(OpKind.WRITE, offset=KiB)]
+        b = [self.rec(OpKind.WRITE, offset=KiB), self.rec(OpKind.WRITE, offset=0)]
+        assert verify_fidelity(a, b).offsets_match
+
+    def test_duration_error(self):
+        orig = [self.rec(OpKind.WRITE, start=0.0, end=10.0)]
+        replay = [self.rec(OpKind.WRITE, start=0.0, end=12.0)]
+        report = verify_fidelity(orig, replay)
+        assert report.duration_error == pytest.approx(0.2)
+        assert report.faithful(max_duration_error=0.25)
+        assert not report.faithful(max_duration_error=0.1)

@@ -1,0 +1,161 @@
+"""Unit tests for the CODES-like workload DSL."""
+
+import pytest
+
+from repro.cluster import tiny_cluster
+from repro.ops import OpKind
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.wgen import DSLError, parse_workload
+
+MiB = 1024 * 1024
+KiB = 1024
+
+CHECKPOINT_DSL = """
+# A classic bulk-synchronous checkpoint pattern.
+workload checkpoint {
+    ranks 4;
+    loop 3 {
+        compute 1.0s;
+        barrier;
+        create shared "/ckpt" stripe -1;
+        write shared "/ckpt" size 4MB transfer 1MB;
+        fsync "/ckpt";
+        close "/ckpt";
+    }
+}
+"""
+
+
+def test_parse_checkpoint_workload():
+    w = parse_workload(CHECKPOINT_DSL)
+    assert w.name == "checkpoint"
+    assert w.n_ranks == 4
+    ops0 = list(w.ops(0))
+    kinds = [op.kind for op in ops0]
+    assert kinds.count(OpKind.COMPUTE) == 3
+    assert kinds.count(OpKind.CREATE) == 3  # rank 0 creates each iteration
+    writes = [op for op in ops0 if op.kind == OpKind.WRITE]
+    assert len(writes) == 12  # 3 loops x 4 transfers
+    assert all(op.nbytes == MiB for op in writes)
+    # Rank 1 does not create the shared file.
+    assert OpKind.CREATE not in [op.kind for op in w.ops(1)]
+
+
+def test_shared_write_offsets_disjoint():
+    w = parse_workload(
+        'workload t { ranks 2; write shared "/f" size 1MB; }'
+    )
+    off0 = [op.offset for op in w.ops(0) if op.kind == OpKind.WRITE]
+    off1 = [op.offset for op in w.ops(1) if op.kind == OpKind.WRITE]
+    assert off0 == [0]
+    assert off1 == [MiB]
+
+
+def test_shared_cursor_advances_between_statements():
+    w = parse_workload(
+        'workload t { ranks 2; write shared "/f" size 1MB; write shared "/f" size 1MB; }'
+    )
+    off0 = [op.offset for op in w.ops(0) if op.kind == OpKind.WRITE]
+    assert off0 == [0, 2 * MiB]  # second round starts after both ranks
+
+
+def test_fpp_targets_per_rank_files():
+    w = parse_workload(
+        'workload t { ranks 2; create fpp "/out"; write fpp "/out" size 1MB; }'
+    )
+    paths0 = {op.path for op in w.ops(0) if op.kind == OpKind.WRITE}
+    paths1 = {op.path for op in w.ops(1) if op.kind == OpKind.WRITE}
+    assert paths0 == {"/out.00000000"}
+    assert paths1 == {"/out.00000001"}
+
+
+def test_random_pattern_permutes_but_conserves():
+    text = (
+        'workload t { ranks 1; seed 7; '
+        'write shared "/f" size 1MB transfer 128KB pattern random; }'
+    )
+    w = parse_workload(text)
+    offsets = [op.offset for op in w.ops(0) if op.kind == OpKind.WRITE]
+    assert sorted(offsets) == [i * 128 * KiB for i in range(8)]
+    assert offsets != sorted(offsets)
+    # Deterministic given the seed.
+    assert offsets == [
+        op.offset for op in parse_workload(text).ops(0) if op.kind == OpKind.WRITE
+    ]
+
+
+def test_size_suffixes():
+    w = parse_workload('workload t { ranks 1; write shared "/f" size 2KB; }')
+    op = [o for o in w.ops(0) if o.kind == OpKind.WRITE][0]
+    assert op.nbytes == 2048
+
+
+def test_compute_time_units():
+    w = parse_workload("workload t { ranks 1; compute 250ms; }")
+    op = list(w.ops(0))[0]
+    assert op.duration == pytest.approx(0.25)
+
+
+def test_mkdir_and_metadata_statements():
+    w = parse_workload(
+        'workload t { ranks 2; mkdir "/d"; create shared "/d/f"; '
+        'stat "/d/f"; unlink "/d/f"; }'
+    )
+    kinds0 = [op.kind for op in w.ops(0)]
+    assert OpKind.MKDIR in kinds0
+    assert OpKind.STAT in kinds0
+    # mkdir is rank-0-only plus a barrier on everyone.
+    kinds1 = [op.kind for op in w.ops(1)]
+    assert OpKind.MKDIR not in kinds1
+    assert OpKind.BARRIER in kinds1
+
+
+def test_nested_loops():
+    w = parse_workload(
+        'workload t { ranks 1; loop 2 { loop 3 { compute 1s; } } }'
+    )
+    assert len(list(w.ops(0))) == 6
+
+
+def test_parsed_workload_runs_in_simulator():
+    platform = tiny_cluster()
+    pfs = build_pfs(platform)
+    w = parse_workload(CHECKPOINT_DSL)
+    result = run_workload(platform, pfs, w)
+    assert result.bytes_written == 3 * 4 * 4 * MiB
+    assert result.duration > 3.0  # three compute phases
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("", "empty"),
+            ("workload t { ranks 0; }", "positive"),
+            ("workload t { ranks two; }", "integer"),
+            ('workload t { ranks 1; write shared "/f" size 0MB; }', "positive|bad size"),
+            ('workload t { ranks 1; write shared "/f" size 3KB transfer 2KB; }', "divide"),
+            ('workload t { ranks 1; frobnicate "/f"; }', "unknown statement"),
+            ('workload t { ranks 1; write nowhere "/f" size 1KB; }', "shared|fpp"),
+            ('workload t { ranks 1; compute 5; }', "duration"),
+            ('workload t { ranks 1; loop 0 { } }', "positive"),
+            ('workload t { ranks 1; write shared "/f" size 1KB pattern zigzag; }', "pattern"),
+            ('workload t { ranks 1; stat "/f', "unterminated"),
+            ("workload t { ranks 1; compute 1s; ", "missing"),
+        ],
+    )
+    def test_rejects_bad_input(self, text, match):
+        with pytest.raises(DSLError, match=match):
+            parse_workload(text)
+
+    def test_error_reports_line_number(self):
+        text = 'workload t {\n ranks 1;\n bogus "/x";\n}'
+        with pytest.raises(DSLError, match="line 3"):
+            parse_workload(text)
+
+    def test_comments_ignored(self):
+        w = parse_workload(
+            "workload t { # header\n ranks 1; # count\n compute 1s;\n }"
+        )
+        assert len(list(w.ops(0))) == 1

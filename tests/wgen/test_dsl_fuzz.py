@@ -1,0 +1,97 @@
+"""Property-based fuzzing of the workload DSL.
+
+Generates random (valid-by-construction) programs, parses them, and checks
+compilation invariants: per-rank op counts follow the program's structure,
+data volumes match declared sizes, and parsing never crashes with anything
+but :class:`DSLError` on mutated inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops import OpKind
+from repro.wgen import DSLError, parse_workload
+
+KB = 1024
+
+
+@st.composite
+def simple_statement(draw):
+    kind = draw(st.sampled_from(["compute", "barrier", "write", "read", "stat"]))
+    if kind == "compute":
+        ms = draw(st.integers(1, 500))
+        return f"compute {ms}ms;", ("compute", 0)
+    if kind == "barrier":
+        return "barrier;", ("barrier", 0)
+    if kind == "stat":
+        name = draw(st.sampled_from(["/s1", "/s2"]))
+        return f'stat "{name}";', ("stat", 0)
+    transfers = draw(st.integers(1, 4))
+    size_kb = transfers * draw(st.sampled_from([1, 2, 4]))
+    transfer_kb = size_kb // transfers
+    path = draw(st.sampled_from(["/x", "/y"]))
+    mode = draw(st.sampled_from(["shared", "fpp"]))
+    text = f'{kind} {mode} "{path}" size {size_kb}KB transfer {transfer_kb}KB;'
+    return text, (kind, size_kb * KB)
+
+
+@st.composite
+def program(draw):
+    ranks = draw(st.integers(1, 4))
+    stmts = draw(st.lists(simple_statement(), min_size=1, max_size=6))
+    loop_count = draw(st.integers(1, 3))
+    body = "\n".join(s for s, _ in stmts)
+    text = (
+        f"workload fuzz {{\n ranks {ranks};\n loop {loop_count} {{\n{body}\n}}\n}}"
+    )
+    return text, ranks, loop_count, [meta for _, meta in stmts]
+
+
+@settings(max_examples=150, deadline=None)
+@given(prog=program())
+def test_generated_programs_compile_with_correct_volumes(prog):
+    text, ranks, loop_count, metas = prog
+    w = parse_workload(text)
+    assert w.n_ranks == ranks
+    expected_write = loop_count * sum(
+        n for kind, n in metas if kind == "write"
+    )
+    expected_read = loop_count * sum(n for kind, n in metas if kind == "read")
+    for rank in range(ranks):
+        ops = list(w.ops(rank))
+        wrote = sum(op.nbytes for op in ops if op.kind == OpKind.WRITE)
+        read = sum(op.nbytes for op in ops if op.kind == OpKind.READ)
+        assert wrote == expected_write
+        assert read == expected_read
+        computes = sum(1 for op in ops if op.kind == OpKind.COMPUTE)
+        assert computes == loop_count * sum(
+            1 for kind, _ in metas if kind == "compute"
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(prog=program(), data=st.data())
+def test_mutated_programs_fail_cleanly(prog, data):
+    """Deleting a random chunk of a valid program either still parses or
+    raises DSLError -- never any other exception."""
+    text, *_ = prog
+    if len(text) < 10:
+        return
+    start = data.draw(st.integers(0, len(text) - 2))
+    length = data.draw(st.integers(1, min(20, len(text) - start)))
+    mutated = text[:start] + text[start + length :]
+    try:
+        parse_workload(mutated)
+    except DSLError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=100, deadline=None)
+@given(prog=program())
+def test_compilation_is_deterministic(prog):
+    text, ranks, *_ = prog
+    a = parse_workload(text)
+    b = parse_workload(text)
+    for rank in range(ranks):
+        assert list(a.ops(rank)) == list(b.ops(rank))

@@ -1,0 +1,107 @@
+"""Unit tests for the workload abstraction and op-stream execution."""
+
+import pytest
+
+from repro.cluster import tiny_cluster
+from repro.ops import IOOp, OpKind
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.workloads import OpStreamWorkload
+
+KiB = 1024
+
+
+def make_system():
+    platform = tiny_cluster()
+    return platform, build_pfs(platform)
+
+
+def test_opstream_workload_validation():
+    with pytest.raises(ValueError):
+        OpStreamWorkload("empty", [])
+    w = OpStreamWorkload("w", [[IOOp(OpKind.COMPUTE, duration=1.0)]])
+    with pytest.raises(IndexError):
+        w.ops(5)
+    assert w.total_ops() == 1
+
+
+def test_executor_runs_all_op_kinds():
+    platform, pfs = make_system()
+    ops = [
+        IOOp(OpKind.MKDIR, "/d"),
+        IOOp(OpKind.CREATE, "/d/f"),
+        IOOp(OpKind.WRITE, "/d/f", offset=0, nbytes=4 * KiB),
+        IOOp(OpKind.FSYNC, "/d/f"),
+        IOOp(OpKind.READ, "/d/f", offset=0, nbytes=4 * KiB),
+        IOOp(OpKind.STAT, "/d/f"),
+        IOOp(OpKind.READDIR, "/d"),
+        IOOp(OpKind.CLOSE, "/d/f"),
+        IOOp(OpKind.COMPUTE, duration=0.5),
+        IOOp(OpKind.UNLINK, "/d/f"),
+        IOOp(OpKind.RMDIR, "/d"),
+    ]
+    result = run_workload(platform, pfs, OpStreamWorkload("all-kinds", [ops]))
+    assert result.duration > 0.5  # at least the compute op
+    assert result.bytes_written == 4 * KiB
+    assert result.bytes_read == 4 * KiB
+    assert not pfs.namespace.exists("/d")
+
+
+def test_mkdir_exist_ok():
+    platform, pfs = make_system()
+    ops = [
+        IOOp(OpKind.MKDIR, "/d"),
+        IOOp(OpKind.MKDIR, "/d", meta={"exist_ok": True}),
+    ]
+    run_workload(platform, pfs, OpStreamWorkload("mkdirs", [ops]))
+    assert pfs.namespace.is_dir("/d")
+
+
+def test_mkdir_without_exist_ok_fails():
+    platform, pfs = make_system()
+    ops = [IOOp(OpKind.MKDIR, "/d"), IOOp(OpKind.MKDIR, "/d")]
+    with pytest.raises(FileExistsError):
+        run_workload(platform, pfs, OpStreamWorkload("mkdirs", [ops]))
+
+
+def test_write_implicitly_creates_file():
+    platform, pfs = make_system()
+    ops = [IOOp(OpKind.WRITE, "/implicit", offset=0, nbytes=KiB)]
+    run_workload(platform, pfs, OpStreamWorkload("implicit", [ops]))
+    assert pfs.namespace.is_file("/implicit")
+
+
+def test_open_files_closed_at_end():
+    platform, pfs = make_system()
+    ops = [IOOp(OpKind.CREATE, "/f"), IOOp(OpKind.WRITE, "/f", 0, KiB)]
+    run_workload(platform, pfs, OpStreamWorkload("no-close", [ops]))
+    assert pfs.namespace.lookup("/f").opens == 0  # executor closed it
+
+
+def test_barriers_synchronise_ranks():
+    platform, pfs = make_system()
+    ops0 = [IOOp(OpKind.COMPUTE, duration=5.0), IOOp(OpKind.BARRIER)]
+    ops1 = [IOOp(OpKind.BARRIER)]
+    result = run_workload(platform, pfs, OpStreamWorkload("bar", [ops0, ops1]))
+    assert result.duration >= 5.0
+    assert result.n_ranks == 2
+
+
+def test_result_bandwidth_properties():
+    platform, pfs = make_system()
+    ops = [IOOp(OpKind.WRITE, "/f", 0, 1024 * KiB)]
+    result = run_workload(platform, pfs, OpStreamWorkload("bw", [ops]))
+    assert result.write_bandwidth == pytest.approx(
+        result.bytes_written / result.duration
+    )
+    assert result.read_bandwidth == 0.0
+    assert "bw" in result.summary()
+
+
+def test_sequential_runs_share_filesystem_state():
+    platform, pfs = make_system()
+    w1 = OpStreamWorkload("writer", [[IOOp(OpKind.CREATE, "/shared-file")]])
+    w2 = OpStreamWorkload("reader", [[IOOp(OpKind.STAT, "/shared-file")]])
+    run_workload(platform, pfs, w1)
+    result = run_workload(platform, pfs, w2)  # sees the file from run 1
+    assert result.meta_ops > 0

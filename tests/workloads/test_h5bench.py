@@ -1,0 +1,84 @@
+"""Unit tests for the h5bench-like HDF5 kernel workload."""
+
+import pytest
+
+from repro.cluster import tiny_cluster
+from repro.iostack.hdf5 import OBJECT_HEADER_BYTES, SUPERBLOCK_BYTES
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.workloads import H5BenchConfig, H5BenchWorkload
+
+MiB = 1024 * 1024
+
+
+def run_bench(config, n_ranks=4):
+    platform = tiny_cluster()
+    pfs = build_pfs(platform)
+    w = H5BenchWorkload(config, n_ranks)
+    return run_workload(platform, pfs, w), pfs, w
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        H5BenchConfig(dims=()).validate()
+    with pytest.raises(ValueError):
+        H5BenchConfig(dims=(0, 4)).validate()
+    with pytest.raises(ValueError):
+        H5BenchConfig(mode="scribble").validate()
+    with pytest.raises(ValueError):
+        H5BenchWorkload(H5BenchConfig(dims=(10, 4)), n_ranks=4)  # 10 % 4
+
+
+def test_write_volume_accounted():
+    cfg = H5BenchConfig(dims=(256, 64), itemsize=8, steps=2, compute_seconds=0.0)
+    result, pfs, w = run_bench(cfg)
+    data = w.bytes_per_step * 2
+    meta = SUPERBLOCK_BYTES + 2 * OBJECT_HEADER_BYTES
+    assert result.bytes_written == data + meta
+    assert w.total_bytes == data
+
+
+def test_write_then_read_mode():
+    cfg = H5BenchConfig(
+        dims=(128, 64), steps=2, mode="write+read", compute_seconds=0.0
+    )
+    result, pfs, w = run_bench(cfg)
+    assert result.bytes_read >= w.bytes_per_step * 2  # data (+ superblock)
+
+
+def test_chunked_layout_runs():
+    cfg = H5BenchConfig(
+        dims=(128, 64), steps=1, chunks=(32, 64), compute_seconds=0.0
+    )
+    result, pfs, w = run_bench(cfg)
+    assert result.bytes_written >= w.bytes_per_step
+    assert "chunked" in w.name
+
+
+def test_chunked_unaligned_selection_amplifies():
+    """Chunk-granular I/O writes more bytes than selected when ranks'
+    row blocks straddle chunk boundaries."""
+    # 4 ranks x 24 rows each, chunks of 64 rows: every rank's block
+    # overlaps a chunk shared with a neighbour.
+    cfg = H5BenchConfig(
+        dims=(96, 16), itemsize=8, steps=1, chunks=(64, 16),
+        compute_seconds=0.0, collective=False,
+    )
+    result, pfs, w = run_bench(cfg, n_ranks=4)
+    data_selected = w.bytes_per_step
+    written = result.bytes_written - SUPERBLOCK_BYTES - OBJECT_HEADER_BYTES
+    assert written > data_selected  # amplification
+
+def test_collective_vs_independent_both_work():
+    for collective in (True, False):
+        cfg = H5BenchConfig(
+            dims=(128, 32), steps=1, collective=collective, compute_seconds=0.0
+        )
+        result, _, w = run_bench(cfg)
+        assert result.bytes_written >= w.bytes_per_step
+
+
+def test_describe():
+    w = H5BenchWorkload(H5BenchConfig(), 4)
+    assert "h5bench" in w.describe()
+    assert "4 ranks" in w.describe()

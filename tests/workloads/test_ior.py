@@ -1,0 +1,100 @@
+"""Unit tests for the IOR-like benchmark."""
+
+import pytest
+
+from repro.cluster import tiny_cluster
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.workloads import IORConfig, IORWorkload
+
+MiB = 1024 * 1024
+KiB = 1024
+
+
+def run_ior(config, n_ranks=4):
+    platform = tiny_cluster()
+    pfs = build_pfs(platform)
+    w = IORWorkload(config, n_ranks)
+    return run_workload(platform, pfs, w), pfs, w
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        IORConfig(block_size=0).validate()
+    with pytest.raises(ValueError):
+        IORConfig(block_size=5, transfer_size=3).validate()
+    with pytest.raises(ValueError):
+        IORConfig(api="hdf9").validate()
+    with pytest.raises(ValueError):
+        IORConfig(collective=True, api="posix").validate()
+    with pytest.raises(ValueError):
+        IORConfig(write=False, read=False).validate()
+    with pytest.raises(ValueError):
+        IORWorkload(IORConfig(), 0)
+
+
+def test_shared_file_offsets_disjoint_across_ranks():
+    w = IORWorkload(IORConfig(block_size=MiB, transfer_size=256 * KiB, segments=2), 4)
+    seen = set()
+    for rank in range(4):
+        for off in w.offsets(rank):
+            rng = (off, off + 256 * KiB)
+            assert rng not in seen
+            seen.add(rng)
+    # Segment 1 of rank 0 starts after all rank blocks of segment 0.
+    assert min(w.offsets(1)) == MiB
+    assert sorted(seen)[0][0] == 0
+
+
+def test_fpp_offsets_start_at_zero_for_all_ranks():
+    w = IORWorkload(IORConfig(file_per_process=True, block_size=MiB), 4)
+    for rank in range(4):
+        assert min(w.offsets(rank)) == 0
+        assert w.path_for(rank).endswith(f"{rank:08d}")
+
+
+def test_random_offsets_permute_within_block():
+    cfg = IORConfig(block_size=4 * MiB, transfer_size=MiB, random_offsets=True, seed=3)
+    w = IORWorkload(cfg, 2)
+    seq = IORWorkload(IORConfig(block_size=4 * MiB, transfer_size=MiB), 2)
+    assert sorted(w.offsets(0)) == sorted(seq.offsets(0))
+    assert w.offsets(0) != seq.offsets(0)
+
+
+def test_write_volume_reaches_pfs():
+    result, pfs, w = run_ior(IORConfig(block_size=2 * MiB, transfer_size=MiB, segments=2))
+    assert result.bytes_written == w.total_bytes == 16 * MiB
+    assert pfs.namespace.lookup("/ior.data").size == 16 * MiB
+
+
+def test_write_then_read_phase():
+    result, pfs, w = run_ior(
+        IORConfig(block_size=MiB, transfer_size=MiB, read=True)
+    )
+    assert result.bytes_written == 4 * MiB
+    assert result.bytes_read == 4 * MiB
+
+
+def test_mpiio_api_runs():
+    result, pfs, _ = run_ior(
+        IORConfig(api="mpiio", block_size=MiB, transfer_size=256 * KiB)
+    )
+    assert result.bytes_written == 4 * MiB
+
+
+def test_mpiio_collective_runs():
+    result, pfs, _ = run_ior(
+        IORConfig(api="mpiio", collective=True, block_size=MiB, transfer_size=256 * KiB)
+    )
+    assert result.bytes_written == 4 * MiB
+
+
+def test_larger_transfer_size_is_faster():
+    small, _, _ = run_ior(IORConfig(block_size=8 * MiB, transfer_size=64 * KiB))
+    large, _, _ = run_ior(IORConfig(block_size=8 * MiB, transfer_size=4 * MiB))
+    assert large.duration < small.duration
+
+
+def test_describe_mentions_parameters():
+    w = IORWorkload(IORConfig(), 4)
+    assert "IOR 4 ranks" in w.describe()

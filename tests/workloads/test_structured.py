@@ -1,0 +1,207 @@
+"""Unit tests for BT-IO, workflows, skeletons and proxy apps."""
+
+import pytest
+
+from repro.cluster import tiny_cluster
+from repro.iostack.extents import total_bytes as ext_bytes
+from repro.ops import OpKind
+from repro.pfs import build_pfs
+from repro.simulate import run_workload
+from repro.workloads import (
+    AppModel,
+    BTIOConfig,
+    BTIOWorkload,
+    IOSkeleton,
+    OpStreamWorkload,
+    Phase,
+    PhasedProxyApp,
+    VariableSpec,
+    WorkflowTask,
+    WorkflowWorkload,
+    montage_like_workflow,
+)
+from repro.workloads.npb import _block_decompose
+from repro.workloads.skeleton import OutputGroup
+from repro.workloads.workflow import workflow_bootstrap_ops
+
+MiB = 1024 * 1024
+KiB = 1024
+
+
+def make_system():
+    platform = tiny_cluster()
+    return platform, build_pfs(platform)
+
+
+class TestBTIO:
+    def test_decompose(self):
+        assert _block_decompose(8) == (2, 2, 2)
+        assert _block_decompose(4) in ((2, 2, 1), (4, 1, 1))
+        assert _block_decompose(1) == (1, 1, 1)
+
+    def test_grid_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            BTIOWorkload(BTIOConfig(grid=9), n_ranks=8)
+
+    def test_extents_cover_subarray_exactly(self):
+        w = BTIOWorkload(BTIOConfig(grid=8, cell_bytes=1, dumps=1), n_ranks=8)
+        per_rank_bytes = 8**3 // 8
+        all_offsets = set()
+        for rank in range(8):
+            ext = w.extents_for(rank, 0)
+            assert ext_bytes(ext) == per_rank_bytes
+            for off, n in ext:
+                for b in range(off, off + n):
+                    assert b not in all_offsets
+                    all_offsets.add(b)
+        assert len(all_offsets) == 8**3
+
+    def test_second_dump_offsets_shifted(self):
+        w = BTIOWorkload(BTIOConfig(grid=8, cell_bytes=1, dumps=2), n_ranks=8)
+        d0 = w.extents_for(0, 0)
+        d1 = w.extents_for(0, 1)
+        assert d1[0][0] == d0[0][0] + 8**3
+
+    def test_run_collective_and_independent(self):
+        for collective in (True, False):
+            platform, pfs = make_system()
+            cfg = BTIOConfig(grid=16, cell_bytes=8, dumps=1,
+                             compute_seconds=0.0, collective=collective)
+            w = BTIOWorkload(cfg, n_ranks=4)
+            result = run_workload(platform, pfs, w)
+            assert result.bytes_written == w.total_bytes
+
+
+class TestWorkflow:
+    def test_dag_validation(self):
+        with pytest.raises(ValueError):
+            WorkflowWorkload([], [], 2)
+        t = WorkflowTask("a")
+        with pytest.raises(ValueError):
+            WorkflowWorkload([t, WorkflowTask("a")], [], 2)
+        with pytest.raises(ValueError):
+            WorkflowWorkload([t], [("a", "zzz")], 2)
+        a, b = WorkflowTask("a"), WorkflowTask("b")
+        with pytest.raises(ValueError):
+            WorkflowWorkload([a, b], [("a", "b"), ("b", "a")], 2)
+
+    def test_generations_follow_topology(self):
+        a = WorkflowTask("a", outputs=[("/wf/x", KiB)])
+        b = WorkflowTask("b", inputs=[("/wf/x", KiB)], outputs=[("/wf/y", KiB)])
+        c = WorkflowTask("c", inputs=[("/wf/y", KiB)])
+        wf = WorkflowWorkload([a, b, c], [("a", "b"), ("b", "c")], 2)
+        assert wf.generations == [["a"], ["b"], ["c"]]
+        assert wf.critical_path_length == 3
+
+    def test_montage_shape(self):
+        wf = montage_like_workflow(n_inputs=4, n_ranks=2)
+        # 4 project + 3 difffit + concat + bgmodel + 4 background + add
+        assert wf.n_tasks == 4 + 3 + 1 + 1 + 4 + 1
+        assert wf.critical_path_length == 6
+        assert wf.metadata_op_estimate() > wf.n_tasks
+
+    def test_montage_runs_end_to_end(self):
+        platform, pfs = make_system()
+        wf = montage_like_workflow(n_inputs=4, n_ranks=4, input_bytes=MiB)
+        boot = OpStreamWorkload("boot", [list(workflow_bootstrap_ops(wf, MiB, 4))])
+        run_workload(platform, pfs, boot)
+        result = run_workload(platform, pfs, wf)
+        assert pfs.namespace.is_file("/wf/mosaic.fits")
+        assert pfs.namespace.lookup("/wf/mosaic.fits").size == 4 * MiB
+        assert result.meta_ops > 20  # metadata-intensive by construction
+
+    def test_assignment_round_robin(self):
+        wf = montage_like_workflow(n_inputs=4, n_ranks=2)
+        assign = wf.assignment()
+        gen0 = wf.generations[0]
+        assert [assign[t] for t in gen0] == [0, 1, 0, 1]
+
+
+class TestSkeleton:
+    def make_model(self, **kw):
+        defaults = dict(
+            name="xgc",
+            steps=4,
+            compute_per_step=0.1,
+            groups=[
+                OutputGroup("restart", [VariableSpec("field", 2 * MiB)], every_steps=2),
+                OutputGroup("diag", [VariableSpec("hist", 64 * KiB)], every_steps=1),
+            ],
+        )
+        defaults.update(kw)
+        return AppModel(**defaults)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            AppModel("x", steps=0, compute_per_step=0, groups=[]).validate()
+        with pytest.raises(ValueError):
+            self.make_model(groups=[]).validate()
+        with pytest.raises(ValueError):
+            self.make_model(
+                groups=[OutputGroup("g", [], every_steps=1)]
+            ).validate()
+
+    def test_variable_size_fn(self):
+        v = VariableSpec("irregular", size_fn=lambda r, n: (r + 1) * KiB)
+        assert v.size(0, 4) == KiB
+        assert v.size(3, 4) == 4 * KiB
+        with pytest.raises(ValueError):
+            VariableSpec("none").size(0, 4)
+
+    def test_total_bytes_accounting(self):
+        skel = IOSkeleton(self.make_model(), n_ranks=2)
+        # restart: 2 dumps x 2 ranks x 2MiB; diag: 4 dumps x 2 ranks x 64KiB.
+        assert skel.total_bytes() == 2 * 2 * 2 * MiB + 4 * 2 * 64 * KiB
+
+    def test_skeleton_runs_and_writes_volume(self):
+        platform, pfs = make_system()
+        skel = IOSkeleton(self.make_model(), n_ranks=2)
+        result = run_workload(platform, pfs, skel)
+        assert result.bytes_written == skel.total_bytes()
+        assert result.duration >= 4 * 0.1  # compute per step
+
+    def test_shared_file_offsets_disjoint(self):
+        model = self.make_model(
+            groups=[
+                OutputGroup(
+                    "irr",
+                    [VariableSpec("v", size_fn=lambda r, n: (r + 1) * KiB)],
+                    every_steps=1,
+                )
+            ]
+        )
+        skel = IOSkeleton(model, n_ranks=3)
+        assert skel._group_offset(model.groups[0], 0) == 0
+        assert skel._group_offset(model.groups[0], 1) == KiB
+        assert skel._group_offset(model.groups[0], 2) == 3 * KiB
+
+
+class TestProxy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasedProxyApp([], 2)
+        with pytest.raises(ValueError):
+            Phase(compute_seconds=-1).validate()
+
+    def test_volumes(self):
+        app = PhasedProxyApp(
+            [Phase(0.1, read_bytes=MiB), Phase(0.2, write_bytes=2 * MiB)],
+            n_ranks=2,
+        )
+        assert app.total_read_bytes() == 2 * MiB
+        assert app.total_write_bytes() == 4 * MiB
+
+    def test_runs_with_generated_inputs(self):
+        platform, pfs = make_system()
+        app = PhasedProxyApp(
+            [Phase(0.05, read_bytes=MiB), Phase(0.05, write_bytes=MiB)],
+            n_ranks=2,
+        )
+        gen = OpStreamWorkload(
+            "gen", [list(app.generation_ops(r)) for r in range(2)]
+        )
+        run_workload(platform, pfs, gen)
+        result = run_workload(platform, pfs, app)
+        assert result.bytes_read == 2 * MiB
+        assert result.bytes_written == 2 * MiB
+        assert result.duration >= 0.1
