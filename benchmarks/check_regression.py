@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Kernel microbenchmark regression gate.
+
+Times the simulation-substrate microbenchmarks (the same workloads as
+``benchmarks/test_bench_kernel.py``, without the pytest-benchmark
+dependency), writes per-benchmark median seconds to ``BENCH_PR1.json``, and
+exits nonzero when any benchmark regressed more than ``--tolerance``
+(default 25%) against the committed reference in
+``benchmarks/BENCH_BASELINE.json``.
+
+The baseline file has three timing sets:
+
+* ``seed``          -- the pre-optimization engine (PR 1's starting point),
+                       kept so speedup-vs-seed stays visible in every report;
+* ``reference``     -- the optimized engine's medians, for context;
+* ``reference_min`` -- the optimized engine's per-benchmark min, which the
+                       regression gate compares against (min-vs-min is robust
+                       to scheduler noise on shared hosts).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py          # full gate
+    PYTHONPATH=src python benchmarks/check_regression.py --smoke  # machinery only
+
+``--smoke`` shrinks the workloads and skips the pass/fail gate so the test
+suite can exercise the harness in milliseconds (see
+``tests/benchmarks/test_check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_BASELINE.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_PR1.json"
+
+try:  # allow running without PYTHONPATH=src, but never shadow an
+    import repro  # noqa: F401  # already-importable repro (e.g. a worktree)
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+MiB = 1024 * 1024
+KiB = 1024
+
+
+# -- benchmark workloads (mirror benchmarks/test_bench_kernel.py) ------------
+
+def bench_event_loop_throughput(scale: float = 1.0) -> None:
+    from repro.des import Environment
+
+    n = max(1, int(10_000 * scale))
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(n):
+            yield env.timeout(0.001)
+
+    env.process(ticker(env))
+    env.run()
+    assert env.events_processed >= n
+
+
+def bench_fair_share_link_many_flows(scale: float = 1.0) -> None:
+    from repro.des import Environment, FairShareLink
+
+    n = max(2, int(200 * scale))
+    env = Environment()
+    link = FairShareLink(env, rate=1e9)
+
+    def sender(env, i):
+        yield env.timeout(i * 1e-4)
+        yield link.transfer(1e6)
+
+    for i in range(n):
+        env.process(sender(env, i))
+    env.run()
+    assert link.bytes_transferred == n * 1e6
+
+
+def bench_pfs_write_path(scale: float = 1.0) -> None:
+    from repro.cluster import tiny_cluster
+    from repro.pfs import build_pfs
+    from repro.simulate import run_workload
+    from repro.workloads import IORConfig, IORWorkload
+
+    block = max(1, int(4 * scale)) * MiB
+    platform = tiny_cluster()
+    pfs = build_pfs(platform)
+    w = IORWorkload(IORConfig(block_size=block, transfer_size=MiB), 4)
+    result = run_workload(platform, pfs, w)
+    assert result.bytes_written == 4 * block
+
+
+def bench_trace_compressor_speed(scale: float = 1.0) -> None:
+    from repro.modeling import compress_ops
+    from repro.ops import IOOp, OpKind
+
+    steps = max(1, int(50 * scale))
+    ops = []
+    for _ in range(steps):
+        ops.append(IOOp(OpKind.COMPUTE, duration=1.0))
+        for i in range(100):
+            ops.append(IOOp(OpKind.WRITE, "/f", offset=i * KiB, nbytes=KiB))
+        ops.append(IOOp(OpKind.BARRIER))
+    compress_ops(ops)
+
+
+BENCHMARKS: Dict[str, Callable[[float], None]] = {
+    "event_loop_throughput": bench_event_loop_throughput,
+    "fair_share_link_many_flows": bench_fair_share_link_many_flows,
+    "pfs_write_path": bench_pfs_write_path,
+    "trace_compressor_speed": bench_trace_compressor_speed,
+}
+
+
+# -- harness -----------------------------------------------------------------
+
+def run_benchmarks(
+    rounds: int = 5, scale: float = 1.0
+) -> Dict[str, Dict[str, float]]:
+    """Time each benchmark over ``rounds`` runs.
+
+    Returns ``{name: {"median": s, "min": s}}``.  The median is the headline
+    statistic; the *min* feeds the regression gate because it is the least
+    noise-contaminated estimator of true cost on a shared host (scheduler
+    preemption only ever adds time).  The collector is paused during each
+    timed run (and run between them): on this scale, cyclic-GC pauses
+    triggered by allocation counts dominate run-to-run variance and would
+    gate on collector luck, not engine speed.
+    """
+    stats: Dict[str, Dict[str, float]] = {}
+    gc_was_enabled = gc.isenabled()
+    try:
+        for name, fn in BENCHMARKS.items():
+            for _ in range(3):  # warmup: imports, allocator arenas, caches
+                fn(scale)
+            times = []
+            for _ in range(rounds):
+                gc.collect()
+                gc.disable()
+                start = time.perf_counter()
+                fn(scale)
+                times.append(time.perf_counter() - start)
+                gc.enable()
+            stats[name] = {"median": statistics.median(times), "min": min(times)}
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return stats
+
+
+def compare(
+    current: Dict[str, float],
+    reference: Optional[Dict[str, float]],
+    tolerance: float,
+) -> Dict[str, Dict[str, float]]:
+    """Benchmarks whose current stat exceeds reference * (1 + tolerance)."""
+    if not reference:
+        return {}
+    regressions = {}
+    for name, cur in current.items():
+        ref = reference.get(name)
+        if ref is not None and cur > ref * (1.0 + tolerance):
+            regressions[name] = {"current": cur, "reference": ref,
+                                 "slowdown": cur / ref}
+    return regressions
+
+
+def speedups(
+    current: Dict[str, float], seed: Optional[Dict[str, float]]
+) -> Dict[str, float]:
+    if not seed:
+        return {}
+    return {
+        name: seed[name] / cur
+        for name, cur in current.items()
+        if name in seed and cur > 0
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per benchmark (median is kept)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown vs the reference (0.25 = 25%%)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads, 1 round, no pass/fail gate")
+    args = parser.parse_args(argv)
+
+    rounds, scale = args.rounds, args.scale
+    if args.smoke:
+        rounds, scale = 1, 0.02
+
+    baseline = {}
+    if args.baseline.exists():
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    stats = run_benchmarks(rounds=rounds, scale=scale)
+    medians = {name: s["median"] for name, s in stats.items()}
+    mins = {name: s["min"] for name, s in stats.items()}
+    gated = not args.smoke and scale == 1.0
+    regressions = compare(mins, baseline.get("reference_min"), args.tolerance) \
+        if gated else {}
+    vs_seed = speedups(medians, baseline.get("seed")) if gated else {}
+
+    report = {
+        "rounds": rounds,
+        "scale": scale,
+        "smoke": args.smoke,
+        "median_seconds": medians,
+        "min_seconds": mins,
+        "baseline_seed_seconds": baseline.get("seed"),
+        "baseline_reference_seconds": baseline.get("reference"),
+        "baseline_reference_min_seconds": baseline.get("reference_min"),
+        "speedup_vs_seed": vs_seed,
+        "tolerance": args.tolerance,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+
+    width = max(len(n) for n in medians)
+    for name, cur in medians.items():
+        line = f"{name:<{width}}  {cur * 1e3:8.3f} ms"
+        if name in vs_seed:
+            line += f"  ({vs_seed[name]:4.2f}x vs seed)"
+        if name in regressions:
+            line += f"  REGRESSED {regressions[name]['slowdown']:.2f}x"
+        print(line)
+    print(f"report written to {args.output}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Benchmarks of the parallel cached experiment runner.
+
+These measure the runner's two fast paths -- sequential dispatch overhead
+and warm-cache lookup -- plus a one-shot comparison of sequential vs
+process-pool fan-out over the full experiment suite.  Fan-out wall time is
+recorded in ``extra_info`` rather than asserted: on a single-CPU host the
+pool adds fork overhead and cannot win, while on multi-core hosts it
+should approach ``sequential / ncpu``.
+"""
+
+import os
+
+from repro.experiments.runner import run_experiments, source_digest
+
+# A cheap, representative subset so a benchmark round stays sub-second.
+CHEAP_IDS = ["A1", "C5", "E2"]
+
+
+def test_runner_sequential_dispatch(benchmark, tmp_path):
+    """Cold-cache sequential run of a cheap subset (dispatch + simulate)."""
+    digest = source_digest()
+
+    def run():
+        return run_experiments(
+            CHEAP_IDS, seeds=(0,), jobs=1, use_cache=False,
+            cache_dir=tmp_path, digest=digest,
+        )
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert [r.experiment_id for r in results] == CHEAP_IDS
+    assert not any(r.cached for r in results)
+
+
+def test_runner_warm_cache_lookup(benchmark, tmp_path):
+    """Warm-cache run of the same subset: pure lookup, no simulation."""
+    digest = source_digest()
+    run_experiments(CHEAP_IDS, seeds=(0,), jobs=1, use_cache=True,
+                    cache_dir=tmp_path, digest=digest)
+
+    def run():
+        return run_experiments(
+            CHEAP_IDS, seeds=(0,), jobs=1, use_cache=True,
+            cache_dir=tmp_path, digest=digest,
+        )
+
+    results = benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    assert all(r.cached for r in results)
+
+
+def test_runner_parallel_fanout(benchmark, tmp_path):
+    """One-shot: full suite with a process pool; sequential time in extra_info."""
+    import time
+
+    digest = source_digest()
+    t0 = time.perf_counter()
+    seq = run_experiments(None, seeds=(0,), jobs=1, use_cache=False,
+                          cache_dir=tmp_path, digest=digest)
+    sequential_s = time.perf_counter() - t0
+
+    def run():
+        return run_experiments(None, seeds=(0,), jobs=4, use_cache=False,
+                               cache_dir=tmp_path, digest=digest)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["sequential_seconds"] = round(sequential_s, 3)
+    benchmark.extra_info["ncpu"] = os.cpu_count()
+    assert [r.payload for r in results] == [r.payload for r in seq]

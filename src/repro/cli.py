@@ -6,6 +6,10 @@ Subcommands::
     repro-io taxonomy [--modules]      print the Sec. IV taxonomy tree
     repro-io corpus                    survey-corpus distributions
     repro-io experiment <id>|all       run reproduction experiments
+                                       (--jobs N fans out over processes,
+                                       --seeds a,b,c sweeps seeds, results
+                                       are cached under results/cache;
+                                       --no-cache forces recomputation)
     repro-io run-dsl <file>            run a DSL workload on a simulated
                                        cluster and print its profile
     repro-io cycle                     run one evaluation-cycle iteration
@@ -67,6 +71,7 @@ def _cmd_corpus(args) -> int:
 def _cmd_experiment(args) -> int:
     from repro.core.experiment import ResultsCollector
     from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.runner import run_experiments
 
     ids = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id.upper()]
     unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
@@ -74,15 +79,41 @@ def _cmd_experiment(args) -> int:
         print(f"unknown experiment id(s): {unknown}; have {sorted(ALL_EXPERIMENTS)}",
               file=sys.stderr)
         return 2
+    if args.seeds:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            print(f"bad --seeds value {args.seeds!r} (want e.g. 0,1,2)",
+                  file=sys.stderr)
+            return 2
+        if not seeds:
+            print("--seeds parsed to an empty list", file=sys.stderr)
+            return 2
+    else:
+        seeds = [args.seed]
+    results = run_experiments(
+        ids,
+        seeds=seeds,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
     collector = ResultsCollector()
     failed = 0
-    for eid in ids:
-        record = ALL_EXPERIMENTS[eid](seed=args.seed)
-        collector.records[record.id] = record
+    for res in results:
+        record = res.record
+        key = record.id if len(seeds) == 1 else f"{record.id}#s{res.seed}"
+        collector.records[key] = record
         print(record.summary())
         print()
         if record.supported is False:
             failed += 1
+    n_cached = sum(1 for r in results if r.cached)
+    print(
+        f"{len(ids)} experiment(s) x {len(seeds)} seed(s): "
+        f"{len(results) - n_cached} computed, {n_cached} from cache "
+        f"(jobs={args.jobs})"
+    )
     if args.json:
         collector.save(args.json)
         print(f"results written to {args.json}")
@@ -190,6 +221,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run reproduction experiments")
     p.add_argument("id", help="experiment id (E1-E4, C1-C10, A1-A5) or 'all'")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seeds",
+        help="comma-separated seed list (e.g. 0,1,2); overrides --seed",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment fan-out (default 1)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute even when a cached result exists, and do not cache",
+    )
+    p.add_argument(
+        "--cache-dir", default="results/cache",
+        help="result cache location (default results/cache)",
+    )
     p.add_argument("--json", help="write results JSON to this path")
     p.set_defaults(fn=_cmd_experiment)
 

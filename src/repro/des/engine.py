@@ -4,16 +4,39 @@ The :class:`Environment` owns the virtual clock and a binary-heap event
 queue.  Determinism: queue entries sort by ``(time, priority, sequence)``
 where ``sequence`` is a monotonically increasing insertion counter, so two
 runs of the same simulation program produce identical event orderings.
+
+Performance notes
+-----------------
+:meth:`Environment.run` is the engine's hot loop.  The ``until`` dispatch
+(none / time / event) is resolved *once*, before the loop, and each variant
+gets its own branch-lean drain loop with the body of :meth:`step` inlined
+(local aliases for the queue and ``heappop``, no ``peek()`` call and no
+``isinstance`` stop checks per iteration).  :meth:`step` remains the
+single-event reference implementation; the inlined loops must match it.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
-from typing import Any, Generator, Optional, Union
+from typing import Any, Generator, Union
 
-from repro.des.events import AllOf, AnyOf, Event, Timeout, NORMAL
+from repro.des.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+    NORMAL,
+    _KEY_NORMAL,
+    _NO_CALLBACKS,
+    _PRIORITY_SHIFT,
+)
 from repro.des.process import Process
+
+_INF = float("inf")
+
+# Pre-bound allocator for Environment.timeout (skips a method lookup per event).
+_new_timeout = Timeout.__new__
 
 
 class SimulationError(Exception):
@@ -44,11 +67,15 @@ class Environment:
     3.0
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "events_processed")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
-        self._seq = count()
-        self._active_process: Optional[Process] = None
+        #: Heap of (time, priority<<SHIFT | seq, event); see events.py.
+        self._queue: list[tuple[float, int, Event]] = []
+        #: The bound ``__next__`` of an insertion counter -- stored as a
+        #: callable (``self._seq()``) so hot paths skip the ``next()`` builtin.
+        self._seq = count().__next__
         #: Number of events processed so far (for engine statistics).
         self.events_processed = 0
 
@@ -58,19 +85,29 @@ class Environment:
         """Current virtual time in seconds."""
         return self._now
 
-    @property
-    def active_process(self) -> Optional[Process]:
-        """The process currently being resumed (None outside callbacks)."""
-        return self._active_process
-
     # -- event construction ---------------------------------------------------
     def event(self) -> Event:
         """Create a fresh untriggered event bound to this environment."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` seconds from now.
+
+        Inlines ``Timeout.__init__`` (the hottest allocation in the engine)
+        to skip one interpreter frame per event; keep in sync with it.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        if delay != delay:
+            raise ValueError("NaN delay")
+        t = _new_timeout(Timeout)
+        t.env = self
+        t.callbacks = _NO_CALLBACKS
+        t._value = value
+        t._ok = True
+        t._delay = delay
+        heappush(self._queue, (self._now + delay, _KEY_NORMAL | self._seq(), t))
+        return t
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start a new simulated process from ``generator``."""
@@ -89,21 +126,35 @@ class Environment:
         """Enqueue ``event`` to be processed ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        if delay != delay:  # NaN compares false to everything: the heap
+            # invariant breaks silently and event order becomes arbitrary.
+            raise ValueError("NaN delay")
+        heappush(
+            self._queue,
+            (
+                self._now + delay,
+                (priority << _PRIORITY_SHIFT) | self._seq(),
+                event,
+            ),
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
-        callbacks, event.callbacks = event.callbacks, None
-        for cb in callbacks:
-            cb(event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if type(callbacks) is list:
+            for cb in callbacks:
+                cb(event)
+        elif callbacks is not _NO_CALLBACKS:  # single registered waiter
+            callbacks(event)
         self.events_processed += 1
         if not event._ok and not event.defused:
             exc = event._value
@@ -120,31 +171,90 @@ class Environment:
             * an :class:`Event` -- run until that event is processed and
               return its value (raising if it failed).
         """
-        stop_event: Optional[Event] = None
-        stop_time = float("inf")
+        if until is None:
+            return self._drain(_INF)
         if isinstance(until, Event):
-            stop_event = until
-            if stop_event.callbacks is None:  # already processed
-                return stop_event.value
-            flag = {"done": False}
-            stop_event.add_callback(lambda ev: flag.__setitem__("done", True))
-        elif until is not None:
-            stop_time = float(until)
-            if stop_time < self._now:
-                raise ValueError(f"until={stop_time} is in the past (now={self._now})")
-        while self._queue:
-            if stop_event is None and self.peek() > stop_time:
-                self._now = stop_time
+            return self._run_until_event(until)
+        stop_time = float(until)
+        if stop_time < self._now:
+            raise ValueError(f"until={stop_time} is in the past (now={self._now})")
+        return self._drain(stop_time)
+
+    # -- drain loops (step() inlined; keep in sync with step) ----------------
+    def _drain(self, stop_time: float) -> None:
+        queue = self._queue
+        pop = heappop
+        no_cbs = _NO_CALLBACKS
+        lst = list
+        processed = 0
+        try:
+            if stop_time == _INF:
+                while queue:
+                    self._now, _, event = pop(queue)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks.__class__ is lst:
+                        for cb in callbacks:
+                            cb(event)
+                    elif callbacks is not no_cbs:
+                        callbacks(event)
+                    processed += 1
+                    if not event._ok and not event.defused:
+                        exc = event._value
+                        raise exc if isinstance(exc, Exception) else SimulationError(
+                            repr(exc)
+                        )
                 return None
-            self.step()
-            if stop_event is not None and stop_event.processed:
-                if not stop_event.ok:
-                    raise stop_event.value
-                return stop_event.value
-        if stop_event is not None:
-            raise SimulationError(
-                "simulation ran out of events before the 'until' event fired"
-            )
-        if stop_time != float("inf"):
+            while queue and queue[0][0] <= stop_time:
+                self._now, _, event = pop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks.__class__ is lst:
+                    for cb in callbacks:
+                        cb(event)
+                elif callbacks is not no_cbs:
+                    callbacks(event)
+                processed += 1
+                if not event._ok and not event.defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, Exception) else SimulationError(
+                        repr(exc)
+                    )
             self._now = stop_time
-        return None
+            return None
+        finally:
+            self.events_processed += processed
+
+    def _run_until_event(self, stop_event: Event) -> Any:
+        if stop_event.callbacks is None:  # already processed
+            return stop_event.value
+        queue = self._queue
+        pop = heappop
+        no_cbs = _NO_CALLBACKS
+        lst = list
+        processed = 0
+        try:
+            while queue:
+                self._now, _, event = pop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks.__class__ is lst:
+                    for cb in callbacks:
+                        cb(event)
+                elif callbacks is not no_cbs:
+                    callbacks(event)
+                processed += 1
+                if not event._ok and not event.defused:
+                    exc = event._value
+                    raise exc if isinstance(exc, Exception) else SimulationError(
+                        repr(exc)
+                    )
+                if stop_event.callbacks is None:
+                    if not stop_event._ok:
+                        raise stop_event._value
+                    return stop_event._value
+        finally:
+            self.events_processed += processed
+        raise SimulationError(
+            "simulation ran out of events before the 'until' event fired"
+        )

@@ -4,10 +4,21 @@ An :class:`Event` is a one-shot occurrence in virtual time.  Processes wait
 on events by yielding them; the environment resumes the process when the
 event is *processed* (its callbacks run).  Events may succeed with a value or
 fail with an exception, mirroring the usual future/promise semantics.
+
+Performance notes
+-----------------
+Events are the unit of allocation in the engine, so this module is written
+for the hot path: every event class declares ``__slots__`` (no per-instance
+dict), and the callback list is *lazy* -- a fresh event carries the shared
+immutable ``_NO_CALLBACKS`` tuple and only allocates a real list when the
+first callback is registered.  ``callbacks is None`` still means *processed*
+(the engine swaps in ``None`` when it fires the event), which is the
+invariant the rest of the package relies on.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Iterable, Optional
 
 # Scheduling priorities: lower sorts earlier at equal timestamps.
@@ -15,7 +26,21 @@ URGENT = 0
 NORMAL = 1
 LOW = 2
 
+# Heap entries are (time, key, event) 3-tuples where ``key`` packs the
+# priority into the bits above the insertion sequence number:
+# ``(priority << _PRIORITY_SHIFT) | seq``.  This keeps the exact
+# (time, priority, sequence) ordering of the original 4-tuples with one
+# fewer tuple slot and one fewer comparison per heap sift.
+_PRIORITY_SHIFT = 60
+_KEY_NORMAL = NORMAL << _PRIORITY_SHIFT
+
 _PENDING = object()
+
+#: Shared sentinel for "no callbacks registered yet" (distinct from None,
+#: which means the event has been processed).  Immutable on purpose: a
+#: registration replaces it with the callback itself (single-waiter fast
+#: path, the overwhelmingly common case) or a list of callbacks.
+_NO_CALLBACKS: tuple = ()
 
 
 class Interrupt(Exception):
@@ -44,14 +69,32 @@ class Event:
         The owning :class:`~repro.des.engine.Environment`.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: Any = _NO_CALLBACKS
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
-        #: If True, a failure that nobody waits on will not raise at the
-        #: environment level.  Set by :meth:`defused`.
-        self.defused = False
+        # ``_defused`` is deliberately left unset: the ``defused`` property
+        # treats the missing slot as False, so the common case (events that
+        # never fail) skips one attribute store per event.
+
+    @property
+    def defused(self) -> bool:
+        """True if a failure of this event should not crash the simulation.
+
+        Stored lazily: the backing slot is only written when someone defuses
+        the event, so freshly created events pay nothing for it.
+        """
+        try:
+            return self._defused
+        except AttributeError:
+            return False
+
+    @defused.setter
+    def defused(self, value: bool) -> None:
+        self._defused = value
 
     # -- state ------------------------------------------------------------
     @property
@@ -81,11 +124,15 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value`` at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=0.0, priority=priority)
+        env = self.env
+        heappush(
+            env._queue,
+            (env._now, (priority << _PRIORITY_SHIFT) | env._seq(), self),
+        )
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -94,13 +141,17 @@ class Event:
         A failed event that is never waited upon crashes the simulation
         (unless :attr:`defused` is set) so that errors do not pass silently.
         """
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, delay=0.0, priority=priority)
+        env = self.env
+        heappush(
+            env._queue,
+            (env._now, (priority << _PRIORITY_SHIFT) | env._seq(), self),
+        )
         return self
 
     def trigger(self, source: "Event") -> None:
@@ -118,18 +169,26 @@ class Event:
         If the event has already been processed the callback runs
         immediately (this keeps waiting on completed events race-free).
         """
-        if self.callbacks is None:
+        cbs = self.callbacks
+        if cbs is None:
             callback(self)
-        else:
-            self.callbacks.append(callback)
+        elif cbs is _NO_CALLBACKS:  # first waiter: store the callable itself
+            self.callbacks = callback
+        elif type(cbs) is list:
+            cbs.append(callback)
+        else:  # second waiter: promote the single callable to a list
+            self.callbacks = [cbs, callback]
 
     def remove_callback(self, callback: Callable[["Event"], None]) -> None:
         """Unregister a previously-added callback (no-op if absent)."""
-        if self.callbacks is not None:
+        cbs = self.callbacks
+        if type(cbs) is list:
             try:
-                self.callbacks.remove(callback)
+                cbs.remove(callback)
             except ValueError:
                 pass
+        elif cbs is not None and cbs is not _NO_CALLBACKS and cbs == callback:
+            self.callbacks = _NO_CALLBACKS
 
     def __repr__(self) -> str:
         state = (
@@ -143,16 +202,29 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed virtual-time ``delay``."""
+    """An event that fires after a fixed virtual-time ``delay``.
+
+    The constructor is the single hottest allocation site in the engine, so
+    it bypasses ``Event.__init__``/``Environment.schedule`` and pushes its
+    heap entry directly (the delay checks from ``schedule`` are replicated
+    here).
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self._delay = delay
-        self._ok = True
+        if delay != delay:  # NaN: would sort nondeterministically in the heap
+            raise ValueError("NaN delay")
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
         self._value = value
-        env.schedule(self, delay=delay, priority=NORMAL)
+        self._ok = True
+        self._delay = delay
+        heappush(
+            env._queue, (env._now + delay, _KEY_NORMAL | env._seq(), self)
+        )
 
     @property
     def delay(self) -> float:
@@ -169,6 +241,8 @@ class Condition(Event):
     dict mapping each *triggered* sub-event to its value, in trigger order.
     If any sub-event fails, the condition fails with that exception.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(self, env, evaluate: Callable[[list, int], bool], events: Iterable[Event]):
         super().__init__(env)
@@ -190,7 +264,7 @@ class Condition(Event):
     def _collect_values(self) -> dict:
         # Note: a Timeout is "triggered" from construction (its outcome is
         # predetermined), so membership is decided by *processed* instead.
-        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+        return {ev: ev._value for ev in self._events if ev.callbacks is None and ev._ok}
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -208,12 +282,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Succeeds when *all* sub-events have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env, events: Iterable[Event]):
         super().__init__(env, lambda evs, n: n == len(evs), events)
 
 
 class AnyOf(Condition):
     """Succeeds when *any* sub-event has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env, events: Iterable[Event]):
         super().__init__(env, lambda evs, n: n >= 1, events)

@@ -5,13 +5,24 @@ an :class:`~repro.des.events.Event`, the process suspends until that event is
 processed, at which point the event's value is sent back into the generator
 (or its exception thrown in).  A process is itself an event: it succeeds with
 the generator's return value, so processes can wait on each other.
+
+``_resume`` runs once per yield of every process, making it one of the two
+hottest functions in the engine (the other is ``Environment.run``'s drain
+loop).  It therefore registers itself on the target event inline instead of
+going through ``Event.add_callback``, and schedules its own heap entries
+directly.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, Optional
 
-from repro.des.events import Event, Interrupt, URGENT
+from repro.des.events import Event, Interrupt, Timeout, _NO_CALLBACKS, URGENT
+
+# URGENT is priority 0, so the packed heap key is just the sequence number
+# (see the heap-entry layout note in events.py).
+assert URGENT == 0
 
 
 class Process(Event):
@@ -20,19 +31,29 @@ class Process(Event):
     Created via :meth:`repro.des.engine.Environment.process`.
     """
 
+    __slots__ = ("_generator", "_target", "_resume_cb", "_send", "_throw")
+
     def __init__(self, env, generator: Generator[Event, Any, Any]):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        # One bound method for the process's lifetime: registering a fresh
+        # `self._resume` per yield would allocate a bound-method object each
+        # time (and remove_callback would need identity-equal objects).
+        self._resume_cb = self._resume
+        # Bound once: ``generator.send`` lookups are a measurable cost when
+        # repeated every yield of every process.
+        self._send = generator.send
+        self._throw = generator.throw
         # Bootstrap: resume once via an immediately-processed initialisation
         # event so that process start is itself an ordinary queue entry.
         init = Event(env)
         init._ok = True
         init._value = None
-        init.add_callback(self._resume)
-        env.schedule(init, delay=0.0, priority=URGENT)
+        init.callbacks = self._resume_cb
+        heappush(env._queue, (env._now, env._seq(), init))
 
     @property
     def target(self) -> Optional[Event]:
@@ -60,37 +81,36 @@ class Process(Event):
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev.defused = True
         # Stop listening on the old target; resume with the interrupt instead.
-        self._target.remove_callback(self._resume)
+        self._target.remove_callback(self._resume_cb)
         self._target = None
-        interrupt_ev.add_callback(self._resume)
+        interrupt_ev.add_callback(self._resume_cb)
         self.env.schedule(interrupt_ev, delay=0.0, priority=URGENT)
 
     # -- engine plumbing ----------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env._active_process = self
+        env = self.env
         try:
             if event._ok:
-                next_target = self._generator.send(event._value)
+                next_target = self._send(event._value)
             else:
                 event.defused = True
-                next_target = self._generator.throw(event._value)
+                next_target = self._throw(event._value)
         except StopIteration as stop:
             self._target = None
-            self.env._active_process = None
             self._ok = True
             self._value = stop.value
-            self.env.schedule(self, delay=0.0, priority=URGENT)
+            heappush(env._queue, (env._now, env._seq(), self))
             return
         except BaseException as exc:
             self._target = None
-            self.env._active_process = None
             self._ok = False
             self._value = exc
-            self.env.schedule(self, delay=0.0, priority=URGENT)
+            heappush(env._queue, (env._now, env._seq(), self))
             return
-        self.env._active_process = None
-        if not isinstance(next_target, Event):
+        # `type(...) is Timeout` covers the overwhelmingly common yield and
+        # is cheaper than isinstance; the fallback handles every other Event.
+        if type(next_target) is not Timeout and not isinstance(next_target, Event):
             # Misuse: kill the process with a descriptive error.
             err = RuntimeError(
                 f"process yielded a non-event: {next_target!r} "
@@ -99,12 +119,21 @@ class Process(Event):
             self._target = None
             self._ok = False
             self._value = err
-            self.env.schedule(self, delay=0.0, priority=URGENT)
+            heappush(env._queue, (env._now, env._seq(), self))
             return
-        if next_target.env is not self.env:
+        if next_target.env is not env:
             raise RuntimeError("process yielded an event from another environment")
         self._target = next_target
-        next_target.add_callback(self._resume)
+        # Inlined Event.add_callback (hot path).
+        cbs = next_target.callbacks
+        if cbs is _NO_CALLBACKS:  # first (usually only) waiter
+            next_target.callbacks = self._resume_cb
+        elif cbs is None:  # already processed: resume immediately
+            self._resume(next_target)
+        elif cbs.__class__ is list:
+            cbs.append(self._resume_cb)
+        else:
+            next_target.callbacks = [cbs, self._resume_cb]
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", str(self._generator))

@@ -26,6 +26,8 @@ class Request(Event):
             ... hold the slot ...
     """
 
+    __slots__ = ("resource", "usage_since", "_enqueued_at")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -40,6 +42,8 @@ class Request(Event):
 
 class PriorityRequest(Request):
     """A :class:`Request` with a priority (lower = served first)."""
+
+    __slots__ = ("priority", "enqueue_time")
 
     def __init__(self, resource: "Resource", priority: int = 0):
         super().__init__(resource)
@@ -126,6 +130,8 @@ class PriorityResource(Resource):
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
@@ -134,6 +140,8 @@ class ContainerGet(Event):
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
@@ -193,12 +201,16 @@ class Container:
 
 
 class StoreGet(Event):
+    __slots__ = ("filter_fn",)
+
     def __init__(self, store: "Store", filter_fn: Optional[Callable[[Any], bool]] = None):
         super().__init__(store.env)
         self.filter_fn = filter_fn
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item

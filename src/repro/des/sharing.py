@@ -9,27 +9,44 @@ see roughly 1/N of its bandwidth -- which is what makes cross-application
 interference (claim C10) and fabric bottlenecks emerge from the model rather
 than being baked in.
 
-Implementation: the link keeps, for every active flow, the number of bytes
-remaining.  Whenever the set of active flows changes, remaining work is
-advanced by the elapsed time at the *old* share, and a single completion
-timer is (re)scheduled for the flow that will finish first at the *new*
-share.  A generation counter invalidates stale timers.
+Implementation: *incremental* virtual-service accounting.  Because every
+active flow receives the same share, the service each flow has accumulated
+since it joined is a single link-wide number: ``_virtual``, the bytes
+delivered to each active flow since the link's current busy period began.
+A flow entering with ``nbytes`` to move finishes when ``_virtual`` reaches
+``_virtual + nbytes``; that *finish tag* is fixed at admission, so the
+active set is a min-heap ordered by ``(finish_tag, seq)``.  A flow-set
+change costs O(log n) (heap push/pop) instead of the O(n) per-flow
+``remaining`` rewrite of the naive model -- O(n log n) total for n
+transfers instead of O(n^2).  A generation counter invalidates stale
+completion timers, exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
+from heapq import heappop, heappush
+from typing import Deque, Optional, Tuple
 
 from repro.des.events import Event, URGENT
 
 
 class _Flow:
-    __slots__ = ("event", "remaining", "seq")
+    """An admitted flow: completes when the link's virtual service reaches
+    ``finish_tag``.  Orders by (finish_tag, seq) so simultaneous finishers
+    complete in admission order, independent of float noise."""
 
-    def __init__(self, event: Event, remaining: float, seq: int):
+    __slots__ = ("event", "finish_tag", "seq")
+
+    def __init__(self, event: Event, finish_tag: float, seq: int):
         self.event = event
-        self.remaining = remaining
+        self.finish_tag = finish_tag
         self.seq = seq
+
+    def __lt__(self, other: "_Flow") -> bool:
+        if self.finish_tag != other.finish_tag:
+            return self.finish_tag < other.finish_tag
+        return self.seq < other.seq
 
 
 class FairShareLink:
@@ -60,8 +77,12 @@ class FairShareLink:
         self.env = env
         self.rate = float(rate)
         self.concurrency_limit = concurrency_limit
+        #: Min-heap of admitted flows, keyed by (finish_tag, seq).
         self._active: list[_Flow] = []
-        self._pending: list[_Flow] = []
+        #: FIFO of (event, nbytes, seq) waiting on the concurrency limit.
+        self._pending: Deque[Tuple[Event, float, int]] = deque()
+        #: Per-flow bytes served since the current busy period began.
+        self._virtual = 0.0
         self._last_update = env.now
         self._timer_generation = 0
         self._seq = 0
@@ -95,75 +116,78 @@ class FairShareLink:
             ev.succeed(0.0)
             return ev
         self.bytes_transferred += nbytes
-        flow = _Flow(ev, float(nbytes), self._seq)
-        self._seq += 1
         self._advance()
+        seq = self._seq
+        self._seq += 1
         if (
             self.concurrency_limit is not None
             and len(self._active) >= self.concurrency_limit
         ):
-            self._pending.append(flow)
+            self._pending.append((ev, float(nbytes), seq))
         else:
-            self._active.append(flow)
+            heappush(self._active, _Flow(ev, self._virtual + nbytes, seq))
         self._reschedule()
         return ev
 
     # -- internals --------------------------------------------------------------
-    def _share(self) -> float:
-        return self.rate / len(self._active)
-
     def _advance(self) -> None:
-        """Progress all active flows from the last update time to now."""
+        """Accrue virtual service from the last update time to now (O(1))."""
         now = self.env.now
         dt = now - self._last_update
         if dt > 0 and self._active:
-            done = dt * self._share()
-            for flow in self._active:
-                flow.remaining -= done
+            self._virtual += dt * (self.rate / len(self._active))
             self.busy_time += dt
         self._last_update = now
 
     def _reschedule(self) -> None:
         """Arm a completion timer for the earliest-finishing active flow."""
         self._timer_generation += 1
-        if not self._active:
+        active = self._active
+        if not active:
+            # Busy period over: reset the virtual clock so its magnitude is
+            # bounded by one busy period's bytes (keeps float eps meaningful).
+            self._virtual = 0.0
             return
         gen = self._timer_generation
-        min_remaining = min(f.remaining for f in self._active)
-        delay = max(0.0, min_remaining / self._share())
+        remaining = active[0].finish_tag - self._virtual
+        delay = remaining * len(active) / self.rate
+        if delay < 0.0:
+            delay = 0.0
         timer = Event(self.env)
         timer._ok = True
         timer._value = None
-        timer.add_callback(lambda _ev, g=gen: self._on_timer(g))
+        timer.callbacks = lambda _ev, g=gen: self._on_timer(g)
         self.env.schedule(timer, delay=delay, priority=URGENT)
 
     def _on_timer(self, generation: int) -> None:
         if generation != self._timer_generation:
             return  # stale timer: flow set changed since it was armed
         self._advance()
+        active = self._active
+        now = self.env.now
         # Sub-millibyte residue is floating-point noise; treating it as done
         # guarantees progress (otherwise a ~1e-16-byte remainder arms a
         # zero-delay timer forever because now + delay == now in floats).
-        eps = 1e-3
-        finished = [f for f in self._active if f.remaining <= eps]
-        if not finished and self._active:
+        # The relative term covers busy periods large enough that 1e-3 bytes
+        # falls below one ulp of the virtual clock.
+        threshold = self._virtual + 1e-3 + 1e-12 * self._virtual
+        finished: list[_Flow] = []
+        while active and active[0].finish_tag <= threshold:
+            finished.append(heappop(active))
+        if not finished and active:
             # The timer fired for *some* flow; float rounding can leave its
             # remaining marginally positive while the computed delay rounds
             # to zero.  Force-complete the minimum to preserve liveness.
-            min_flow = min(self._active, key=lambda f: (f.remaining, f.seq))
-            if min_flow.remaining / self._share() + self.env.now <= self.env.now:
-                finished = [min_flow]
-        # Deterministic completion order regardless of float noise.
-        finished.sort(key=lambda f: f.seq)
+            top = active[0]
+            delay = (top.finish_tag - self._virtual) * len(active) / self.rate
+            if now + delay <= now:
+                finished.append(heappop(active))
         for flow in finished:
-            self._active.remove(flow)
-            flow.event.succeed(self.env.now)
-        while (
-            self._pending
-            and (
-                self.concurrency_limit is None
-                or len(self._active) < self.concurrency_limit
-            )
+            flow.event.succeed(now)
+        while self._pending and (
+            self.concurrency_limit is None
+            or len(active) < self.concurrency_limit
         ):
-            self._active.append(self._pending.pop(0))
+            ev, nbytes, seq = self._pending.popleft()
+            heappush(active, _Flow(ev, self._virtual + nbytes, seq))
         self._reschedule()

@@ -1,0 +1,269 @@
+"""Parallel, cached experiment runner.
+
+The reproduction suite (19 experiments, see
+:data:`repro.experiments.ALL_EXPERIMENTS`) was historically run one
+experiment at a time in-process.  Every experiment is an independent pure
+function of ``(experiment id, seed)``, which makes the suite embarrassingly
+parallel and perfectly cacheable:
+
+* **Parallel fan-out** -- :func:`run_experiments` spreads experiment x seed
+  tasks over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Tasks are
+  enumerated in a deterministic order and results are reassembled in that
+  order, so ``--jobs 4`` output is byte-identical to the sequential path.
+
+* **Deterministic per-task seeding** -- before each task (in the worker
+  *and* in the sequential fallback) the global ``random`` / ``numpy``
+  generators are re-seeded from a hash of ``(experiment id, seed)``.
+  Experiments are expected to seed their own RNGs from the ``seed``
+  argument; this guard additionally isolates any accidental use of global
+  RNG state from execution order, so sequential and parallel runs agree.
+
+* **On-disk result cache** -- results are stored under
+  ``results/cache/`` keyed by ``(experiment id, seed, source digest)``
+  where the digest hashes every ``.py`` file of the installed ``repro``
+  package.  Re-running an unchanged experiment is a file read; any source
+  change invalidates the whole cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import ExperimentRecord
+
+#: Cache location, relative to the caller's working directory by default.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+# -- canonical serialization -------------------------------------------------
+
+def record_payload(record: ExperimentRecord) -> bytes:
+    """Canonical byte serialization of a record (for caching and equality).
+
+    Two records describing the same outcome serialize to the same bytes
+    regardless of which process produced them.
+    """
+    return json.dumps(
+        record.to_dict(), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def record_from_dict(payload: Dict) -> ExperimentRecord:
+    """Inverse of :meth:`ExperimentRecord.to_dict`."""
+    return ExperimentRecord(
+        id=payload["id"],
+        claim=payload["claim"],
+        measured=payload["measured"],
+        supported=payload["supported"],
+        notes=payload["notes"],
+    )
+
+
+# -- cache keying ------------------------------------------------------------
+
+def source_digest() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Path-relative names are mixed into the hash so renames invalidate too.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode("utf-8"))
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def task_seed(experiment_id: str, seed: int) -> int:
+    """Deterministic 64-bit seed for one (experiment, seed) task."""
+    digest = hashlib.sha256(f"{experiment_id}:{seed}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _cache_path(cache_dir: Path, experiment_id: str, seed: int, digest: str) -> Path:
+    return cache_dir / f"{experiment_id}-s{seed}-{digest[:16]}.json"
+
+
+# -- task execution ----------------------------------------------------------
+
+def _execute(task: Tuple[str, int]) -> Dict:
+    """Run one (experiment id, seed) task; must be module-level (picklable)."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    experiment_id, seed = task
+    ts = task_seed(experiment_id, seed)
+    random.seed(ts)
+    try:  # numpy is a hard dependency, but stay importable without it
+        import numpy as np
+
+        np.random.seed(ts % 2**32)
+    except ImportError:  # pragma: no cover
+        pass
+    return ALL_EXPERIMENTS[experiment_id](seed=seed).to_dict()
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (experiment, seed) task."""
+
+    experiment_id: str
+    seed: int
+    record: ExperimentRecord
+    cached: bool
+    seconds: float
+
+    @property
+    def payload(self) -> bytes:
+        return record_payload(self.record)
+
+
+def run_experiments(
+    ids: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0,),
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Path | str = DEFAULT_CACHE_DIR,
+    digest: Optional[str] = None,
+) -> List[RunResult]:
+    """Run ``ids`` x ``seeds`` experiment tasks, in parallel when ``jobs > 1``.
+
+    Parameters
+    ----------
+    ids:
+        Experiment ids in the order results should be returned
+        (default: every registered experiment).
+    seeds:
+        Seeds to run each experiment with.
+    jobs:
+        Worker process count; ``1`` runs everything in this process.
+    use_cache:
+        Serve unchanged (id, seed, source digest) tasks from the on-disk
+        cache and write fresh results back to it.
+    cache_dir:
+        Cache directory (created on demand).
+    digest:
+        Precomputed :func:`source_digest` (recomputed when ``None``).
+
+    Returns
+    -------
+    Results in deterministic task order (ids outer, seeds inner) --
+    independent of completion order and of ``jobs``.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if ids is None:
+        ids = list(ALL_EXPERIMENTS)
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment id(s): {unknown}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    seeds = list(seeds)
+    cache_dir = Path(cache_dir)
+
+    tasks: List[Tuple[str, int]] = [(eid, seed) for eid in ids for seed in seeds]
+    results: Dict[Tuple[str, int], RunResult] = {}
+
+    if use_cache and digest is None:
+        digest = source_digest()
+
+    # Serve cache hits.
+    misses: List[Tuple[str, int]] = []
+    for task in tasks:
+        hit = _cache_load(cache_dir, task, digest) if use_cache else None
+        if hit is not None:
+            results[task] = hit
+        else:
+            misses.append(task)
+
+    # Compute misses -- in-process for jobs=1, fanned out otherwise.
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            outcomes = []
+            for task in misses:
+                start = time.perf_counter()
+                outcomes.append(_execute(task))
+                results[task] = RunResult(
+                    task[0], task[1],
+                    record_from_dict(outcomes[-1]),
+                    cached=False,
+                    seconds=time.perf_counter() - start,
+                )
+        else:
+            start = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
+                outcomes = list(pool.map(_execute, misses))
+            elapsed = time.perf_counter() - start
+            for task, payload in zip(misses, outcomes):
+                results[task] = RunResult(
+                    task[0], task[1],
+                    record_from_dict(payload),
+                    cached=False,
+                    seconds=elapsed / len(misses),
+                )
+        if use_cache:
+            for task in misses:
+                _cache_store(cache_dir, task, digest, results[task].record)
+
+    return [results[task] for task in tasks]
+
+
+# -- cache I/O ---------------------------------------------------------------
+
+def _cache_load(
+    cache_dir: Path, task: Tuple[str, int], digest: Optional[str]
+) -> Optional[RunResult]:
+    if digest is None:
+        return None
+    path = _cache_path(cache_dir, task[0], task[1], digest)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            stored = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if stored.get("digest") != digest:
+        return None
+    return RunResult(
+        task[0], task[1],
+        record_from_dict(stored["record"]),
+        cached=True,
+        seconds=0.0,
+    )
+
+
+def _cache_store(
+    cache_dir: Path, task: Tuple[str, int], digest: str, record: ExperimentRecord
+) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    # Prune entries for the same task made with older source digests.
+    for stale in cache_dir.glob(f"{task[0]}-s{task[1]}-*.json"):
+        if stale.name != _cache_path(cache_dir, task[0], task[1], digest).name:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+    path = _cache_path(cache_dir, task[0], task[1], digest)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "experiment_id": task[0],
+                "seed": task[1],
+                "digest": digest,
+                "record": record.to_dict(),
+            },
+            fh,
+            indent=1,
+        )
+    tmp.replace(path)

@@ -1,0 +1,72 @@
+"""Smoke tests for the kernel regression harness.
+
+``benchmarks/`` is not a package, so the script is loaded by file path.
+``--smoke`` shrinks every workload (~2% scale, one round) and skips the
+pass/fail gate, so these tests exercise the full harness -- timing loop,
+report writing, baseline comparison plumbing -- in well under a second
+without asserting anything about actual machine speed.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_smoke_run_writes_report(harness, tmp_path):
+    out = tmp_path / "report.json"
+    rc = harness.main(["--smoke", "--output", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["smoke"] is True
+    assert report["ok"] is True
+    assert set(report["median_seconds"]) == set(harness.BENCHMARKS)
+    assert set(report["min_seconds"]) == set(harness.BENCHMARKS)
+    for name, median in report["median_seconds"].items():
+        assert median > 0
+        assert report["min_seconds"][name] <= median
+
+
+def test_smoke_skips_gate_even_with_impossible_baseline(harness, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "reference_min": {name: 1e-12 for name in harness.BENCHMARKS},
+    }))
+    out = tmp_path / "report.json"
+    rc = harness.main(["--smoke", "--baseline", str(baseline),
+                       "--output", str(out)])
+    assert rc == 0  # smoke mode never gates
+    assert json.loads(out.read_text())["regressions"] == {}
+
+
+def test_compare_flags_regressions(harness):
+    current = {"a": 1.30, "b": 1.00}
+    reference = {"a": 1.00, "b": 1.00}
+    regressions = harness.compare(current, reference, tolerance=0.25)
+    assert set(regressions) == {"a"}
+    assert regressions["a"]["slowdown"] == pytest.approx(1.30)
+    assert harness.compare(current, None, tolerance=0.25) == {}
+
+
+def test_speedups_vs_seed(harness):
+    assert harness.speedups({"a": 0.5}, {"a": 1.0}) == {"a": 2.0}
+    assert harness.speedups({"a": 0.5}, None) == {}
+
+
+def test_committed_baseline_matches_benchmark_set(harness):
+    baseline = json.loads(
+        (SCRIPT.parent / "BENCH_BASELINE.json").read_text()
+    )
+    for key in ("seed", "reference", "reference_min"):
+        assert set(baseline[key]) == set(harness.BENCHMARKS), key

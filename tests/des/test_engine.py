@@ -29,6 +29,20 @@ def test_negative_delay_rejected():
         env.timeout(-1.0)
 
 
+def test_nan_delay_rejected():
+    """NaN compares false to everything, so it would corrupt heap ordering
+    silently; both scheduling entry points must reject it up front."""
+    nan = float("nan")
+    env = Environment()
+    with pytest.raises(ValueError, match="NaN"):
+        env.timeout(nan)
+    with pytest.raises(ValueError, match="NaN"):
+        env.schedule(env.event(), delay=nan)
+    with pytest.raises(ValueError, match="NaN"):
+        Timeout(env, nan)
+    assert env.peek() == float("inf")  # nothing leaked into the queue
+
+
 def test_timeout_carries_value():
     env = Environment()
 
