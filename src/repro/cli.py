@@ -9,17 +9,28 @@ Subcommands::
                                        (--jobs N fans out over processes,
                                        --seeds a,b,c sweeps seeds, results
                                        are cached under results/cache;
-                                       --no-cache forces recomputation)
+                                       --no-cache forces recomputation;
+                                       --trace/--metrics enable the
+                                       simulator's self-telemetry)
+    repro-io telemetry <file>          summarize a trace / manifest /
+                                       metrics JSON emitted by the above
     repro-io run-dsl <file>            run a DSL workload on a simulated
                                        cluster and print its profile
     repro-io cycle                     run one evaluation-cycle iteration
+
+Global flags: ``--log-level debug|info|warning|error`` configures stdlib
+logging for every ``repro.*`` module-level logger.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional
+
+log = logging.getLogger(__name__)
 
 
 def _cmd_figures(args) -> int:
@@ -69,9 +80,14 @@ def _cmd_corpus(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    from repro import telemetry
     from repro.core.experiment import ResultsCollector
     from repro.experiments import ALL_EXPERIMENTS
     from repro.experiments.runner import run_experiments
+
+    want_telemetry = bool(args.trace or args.metrics or args.metrics_json)
+    if want_telemetry:
+        telemetry.enable()
 
     ids = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id.upper()]
     unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
@@ -91,13 +107,28 @@ def _cmd_experiment(args) -> int:
             return 2
     else:
         seeds = [args.seed]
-    results = run_experiments(
-        ids,
-        seeds=seeds,
-        jobs=args.jobs,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-    )
+    if want_telemetry:
+        with telemetry.span(
+            "repro-io experiment", cat="cli",
+            ids=len(ids), seeds=len(seeds), jobs=args.jobs,
+        ):
+            results = run_experiments(
+                ids,
+                seeds=seeds,
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+                manifest=not args.no_manifest,
+            )
+    else:
+        results = run_experiments(
+            ids,
+            seeds=seeds,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            manifest=not args.no_manifest,
+        )
     collector = ResultsCollector()
     failed = 0
     for res in results:
@@ -117,7 +148,119 @@ def _cmd_experiment(args) -> int:
     if args.json:
         collector.save(args.json)
         print(f"results written to {args.json}")
+    if args.trace:
+        path = telemetry.TELEMETRY.tracer.write_chrome(args.trace)
+        print(f"telemetry trace written to {path} "
+              f"({len(telemetry.TELEMETRY.tracer)} span(s); load in "
+              f"Perfetto or chrome://tracing)")
+    if args.metrics:
+        print()
+        print("-- self-telemetry metrics " + "-" * 34)
+        print(telemetry.TELEMETRY.metrics.render_text())
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            fh.write(telemetry.TELEMETRY.metrics.render_json())
+        print(f"metrics JSON written to {args.metrics_json}")
     return 1 if failed else 0
+
+
+def _cmd_telemetry(args) -> int:
+    """Summarize a telemetry artifact (trace / manifest / metrics JSON)."""
+    from repro.telemetry import (
+        MANIFEST_SCHEMA,
+        METRICS_SCHEMA,
+        cache_hit_ratio,
+        validate_chrome_trace,
+    )
+
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        problems = validate_chrome_trace(doc)
+        if problems:
+            print(f"invalid trace: {'; '.join(problems[:5])}", file=sys.stderr)
+            return 2
+        return _summarize_trace(doc, top=args.top)
+    if isinstance(doc, dict) and doc.get("schema") == MANIFEST_SCHEMA:
+        return _summarize_manifest(doc, cache_hit_ratio, top=args.top)
+    if isinstance(doc, dict) and doc.get("schema") == METRICS_SCHEMA:
+        return _summarize_metrics(doc)
+    print(f"{args.file}: not a repro trace, manifest or metrics document",
+          file=sys.stderr)
+    return 2
+
+
+def _summarize_trace(doc, top: int) -> int:
+    spans = [ev for ev in doc["traceEvents"] if ev.get("ph") == "X"]
+    if not spans:
+        print("trace contains no complete spans")
+        return 0
+    # Self time: a span's duration minus its direct children's durations
+    # (the exporter records parent_id in each event's args).
+    child_us: dict = {}
+    for ev in spans:
+        parent = ev.get("args", {}).get("parent_id")
+        if parent is not None:
+            child_us[parent] = child_us.get(parent, 0.0) + ev["dur"]
+    agg: dict = {}
+    for ev in spans:
+        name = ev["name"]
+        entry = agg.setdefault(name, {"count": 0, "total": 0.0, "self": 0.0})
+        entry["count"] += 1
+        entry["total"] += ev["dur"]
+        span_id = ev.get("args", {}).get("span_id")
+        entry["self"] += max(0.0, ev["dur"] - child_us.get(span_id, 0.0))
+    wall = max(ev["ts"] + ev["dur"] for ev in spans) - min(ev["ts"] for ev in spans)
+    print(f"trace: {len(spans)} span(s), {wall / 1e3:.1f} ms wall")
+    print(f"{'span':<28} {'count':>6} {'total ms':>10} {'self ms':>10}")
+    ranked = sorted(agg.items(), key=lambda kv: kv[1]["self"], reverse=True)
+    for name, entry in ranked[:top]:
+        print(f"{name:<28} {entry['count']:>6} "
+              f"{entry['total'] / 1e3:>10.2f} {entry['self'] / 1e3:>10.2f}")
+    return 0
+
+
+def _summarize_manifest(doc, cache_hit_ratio, top: int) -> int:
+    cache = doc.get("cache", {})
+    tasks = doc.get("tasks", [])
+    host = doc.get("host", {})
+    digest = doc.get("source_digest") or "?"
+    print(f"manifest: {len(tasks)} task(s) "
+          f"({len(doc.get('experiment_ids', []))} experiment(s) x "
+          f"{len(doc.get('seeds', []))} seed(s)), jobs={doc.get('jobs')}")
+    print(f"source digest: {digest[:16]}  host: {host.get('host', '?')} "
+          f"python {host.get('python', '?')}")
+    print(f"cache: {cache.get('hits', 0)} hit(s), {cache.get('fresh', 0)} "
+          f"fresh, {cache.get('stale', 0)} stale, "
+          f"{cache.get('corrupt', 0)} corrupt "
+          f"-> hit ratio {cache_hit_ratio(doc):.0%}")
+    print(f"wall: {doc.get('wall_seconds', 0.0):.2f}s")
+    slowest = sorted(tasks, key=lambda t: t.get("seconds", 0.0), reverse=True)
+    if slowest:
+        print("slowest tasks:")
+        for t in slowest[:top]:
+            origin = "cache" if t.get("cached") else "fresh"
+            print(f"  {t['id']}#s{t['seed']:<4} {t.get('seconds', 0.0):8.3f}s  "
+                  f"({origin})")
+    return 0
+
+
+def _summarize_metrics(doc) -> int:
+    metrics = doc.get("metrics", {})
+    print(f"metrics: {len(metrics)} metric(s)")
+    for name in sorted(metrics):
+        m = metrics[name]
+        if m.get("kind") == "histogram":
+            print(f"  {m['kind']:<9} {name:<36} n={m.get('count', 0)} "
+                  f"mean={m.get('mean', 0.0):.4g}")
+        else:
+            print(f"  {m['kind']:<9} {name:<36} {m.get('value')}")
+    return 0
 
 
 def _cmd_run_dsl(args) -> int:
@@ -205,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Parallel I/O evaluation toolkit "
         "(reproduction of Neuwirth & Paul, CLUSTER 2021)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="warning",
+        help="stdlib logging level for repro.* loggers (default warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("figures", help="render the paper's figures")
@@ -238,7 +387,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache location (default results/cache)",
     )
     p.add_argument("--json", help="write results JSON to this path")
+    p.add_argument(
+        "--trace", metavar="OUT.json",
+        help="enable self-telemetry and write a Chrome trace-event JSON "
+        "(load in Perfetto or chrome://tracing)",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="enable self-telemetry and print the metrics table",
+    )
+    p.add_argument(
+        "--metrics-json", metavar="OUT.json",
+        help="enable self-telemetry and write the metrics registry as JSON",
+    )
+    p.add_argument(
+        "--no-manifest", action="store_true",
+        help="skip writing the run-provenance manifest.json",
+    )
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="summarize a self-telemetry artifact (trace, manifest or "
+        "metrics JSON)",
+    )
+    p.add_argument("file", help="path to the JSON artifact")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows to show in rankings (default 10)")
+    p.set_defaults(fn=_cmd_telemetry)
 
     p = sub.add_parser("run-dsl", help="run a DSL workload description")
     p.add_argument("file", help="path to the .wdsl file")
@@ -263,6 +439,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
     return args.fn(args)
 
 

@@ -25,6 +25,14 @@ class ExperimentRecord:
     measured: Dict[str, Any] = field(default_factory=dict)
     supported: Optional[bool] = None
     notes: str = ""
+    #: Reference to the run manifest that produced this record (set by
+    #: :func:`repro.experiments.runner.run_experiments`).  Deliberately
+    #: excluded from :meth:`to_dict`: the canonical payload describes the
+    #: *outcome*, which must be byte-identical whether the record was
+    #: computed fresh or served from cache.
+    provenance: Optional[Dict[str, Any]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def measure(self, **values: Any) -> "ExperimentRecord":
         """Attach measured values (chainable)."""

@@ -32,6 +32,7 @@ from repro.des.events import (
     _PRIORITY_SHIFT,
 )
 from repro.des.process import Process
+from repro.telemetry import TELEMETRY
 
 _INF = float("inf")
 
@@ -170,7 +171,15 @@ class Environment:
             * a float -- run until the clock reaches that time.
             * an :class:`Event` -- run until that event is processed and
               return its value (raising if it failed).
+
+        When self-telemetry is enabled (:mod:`repro.telemetry`) the run is
+        routed through :meth:`_run_instrumented` instead: a wall-clock span
+        plus event/heap counters.  The disabled cost is this single
+        attribute check, which is what ``benchmarks/telemetry_overhead.py``
+        guards.
         """
+        if TELEMETRY.active:
+            return self._run_instrumented(until)
         if until is None:
             return self._drain(_INF)
         if isinstance(until, Event):
@@ -179,6 +188,69 @@ class Environment:
         if stop_time < self._now:
             raise ValueError(f"until={stop_time} is in the past (now={self._now})")
         return self._drain(stop_time)
+
+    def _run_instrumented(self, until: Union[None, float, Event]) -> Any:
+        """Telemetry variant of :meth:`run`: same semantics, plus a span and
+        ``des.*`` metrics (events executed/scheduled, heap high-water).
+
+        Uses the :meth:`step` reference loop -- slower than the inlined
+        drains, but only ever taken when telemetry is enabled.
+        """
+        metrics = TELEMETRY.metrics
+        queue = self._queue
+        start_processed = self.events_processed
+        start_pending = len(queue)
+        high = start_pending
+        step = self.step
+        with TELEMETRY.tracer.span(
+            "Environment.run", cat="des", pending_at_start=start_pending
+        ):
+            try:
+                if until is None:
+                    while queue:
+                        step()
+                        if len(queue) > high:
+                            high = len(queue)
+                    result = None
+                elif isinstance(until, Event):
+                    if until.callbacks is None:  # already processed
+                        result = until.value
+                    else:
+                        while queue:
+                            step()
+                            if len(queue) > high:
+                                high = len(queue)
+                            if until.callbacks is None:
+                                break
+                        else:
+                            raise SimulationError(
+                                "simulation ran out of events before the "
+                                "'until' event fired"
+                            )
+                        if not until._ok:
+                            raise until._value
+                        result = until._value
+                else:
+                    stop_time = float(until)
+                    if stop_time < self._now:
+                        raise ValueError(
+                            f"until={stop_time} is in the past (now={self._now})"
+                        )
+                    while queue and queue[0][0] <= stop_time:
+                        step()
+                        if len(queue) > high:
+                            high = len(queue)
+                    self._now = stop_time
+                    result = None
+            finally:
+                executed = self.events_processed - start_processed
+                metrics.counter("des.runs").inc()
+                metrics.counter("des.events.executed").inc(executed)
+                metrics.counter("des.events.scheduled").inc(
+                    executed + len(queue) - start_pending
+                )
+                metrics.gauge("des.heap.high_water").update_max(high)
+        return result
 
     # -- drain loops (step() inlined; keep in sync with step) ----------------
     def _drain(self, stop_time: float) -> None:

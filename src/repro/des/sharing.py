@@ -29,6 +29,7 @@ from heapq import heappop, heappush
 from typing import Deque, Optional, Tuple
 
 from repro.des.events import Event, URGENT
+from repro.telemetry import TELEMETRY
 
 
 class _Flow:
@@ -143,6 +144,10 @@ class FairShareLink:
         """Arm a completion timer for the earliest-finishing active flow."""
         self._timer_generation += 1
         active = self._active
+        if TELEMETRY.active:
+            m = TELEMETRY.metrics
+            m.counter("des.fairshare.rebalances").inc()
+            m.gauge("des.fairshare.flows_high_water").update_max(len(active))
         if not active:
             # Busy period over: reset the virtual clock so its magnitude is
             # bounded by one busy period's bytes (keeps float eps meaningful).

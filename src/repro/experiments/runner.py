@@ -23,20 +23,34 @@ parallel and perfectly cacheable:
   where the digest hashes every ``.py`` file of the installed ``repro``
   package.  Re-running an unchanged experiment is a file read; any source
   change invalidates the whole cache.
+
+* **Self-telemetry and provenance** -- cache outcomes (hit / miss / stale /
+  corrupt) are counted in the global metrics registry and logged; a stale
+  or corrupt entry is *never* served -- it falls back to re-execution.
+  Every invocation also writes a ``manifest.json`` next to the cache
+  directory (see :mod:`repro.telemetry.provenance`) recording the source
+  digest, the task matrix, per-task wall-clock and which records came from
+  cache, and each returned :class:`ExperimentRecord` carries a
+  ``provenance`` reference to that manifest.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.experiment import ExperimentRecord
+from repro.telemetry import TELEMETRY, build_manifest, write_manifest
+from repro.telemetry.provenance import MANIFEST_NAME
+
+log = logging.getLogger(__name__)
 
 #: Cache location, relative to the caller's working directory by default.
 DEFAULT_CACHE_DIR = Path("results") / "cache"
@@ -113,6 +127,14 @@ def _execute(task: Tuple[str, int]) -> Dict:
     return ALL_EXPERIMENTS[experiment_id](seed=seed).to_dict()
 
 
+def _execute_timed(task: Tuple[str, int]) -> Tuple[Dict, float]:
+    """Worker-side wrapper: run one task and time it in the worker, so the
+    manifest's per-task durations are real even under the process pool."""
+    start = time.perf_counter()
+    payload = _execute(task)
+    return payload, time.perf_counter() - start
+
+
 @dataclass
 class RunResult:
     """Outcome of one (experiment, seed) task."""
@@ -135,6 +157,8 @@ def run_experiments(
     use_cache: bool = True,
     cache_dir: Path | str = DEFAULT_CACHE_DIR,
     digest: Optional[str] = None,
+    manifest: bool = True,
+    manifest_path: Optional[Union[Path, str]] = None,
 ) -> List[RunResult]:
     """Run ``ids`` x ``seeds`` experiment tasks, in parallel when ``jobs > 1``.
 
@@ -154,6 +178,13 @@ def run_experiments(
         Cache directory (created on demand).
     digest:
         Precomputed :func:`source_digest` (recomputed when ``None``).
+    manifest:
+        Write a run-provenance ``manifest.json`` describing this invocation
+        (see :mod:`repro.telemetry.provenance`) and attach a provenance
+        reference to every returned record.
+    manifest_path:
+        Where to write it (default: ``<cache_dir>/../manifest.json``, i.e.
+        next to the results the cache directory lives under).
 
     Returns
     -------
@@ -171,74 +202,165 @@ def run_experiments(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     seeds = list(seeds)
     cache_dir = Path(cache_dir)
+    wall_start = time.perf_counter()
+    tracer = TELEMETRY.tracer if TELEMETRY.active else None
 
     tasks: List[Tuple[str, int]] = [(eid, seed) for eid in ids for seed in seeds]
     results: Dict[Tuple[str, int], RunResult] = {}
+    cache_counts = {"hits": 0, "fresh": 0, "stale": 0, "corrupt": 0}
+    metrics = TELEMETRY.metrics
 
-    if use_cache and digest is None:
-        digest = source_digest()
+    if (use_cache or manifest) and digest is None:
+        if tracer is not None:
+            with tracer.span("source_digest", cat="runner"):
+                digest = source_digest()
+        else:
+            digest = source_digest()
 
-    # Serve cache hits.
+    # Serve cache hits; stale/corrupt entries are counted and recomputed.
     misses: List[Tuple[str, int]] = []
     for task in tasks:
-        hit = _cache_load(cache_dir, task, digest) if use_cache else None
+        hit, status = (
+            _cache_load(cache_dir, task, digest) if use_cache else (None, "miss")
+        )
+        if status == "hit":
+            cache_counts["hits"] += 1
+        else:
+            if status in ("stale", "corrupt"):
+                cache_counts[status] += 1
+            cache_counts["fresh"] += 1  # will be freshly executed
+            misses.append(task)
+        metrics.counter(f"runner.cache.{status}").inc()
         if hit is not None:
             results[task] = hit
-        else:
-            misses.append(task)
+    if use_cache:
+        log.debug(
+            "cache %s: %d hit(s), %d miss(es) of %d task(s)",
+            cache_dir, cache_counts["hits"], len(misses), len(tasks),
+        )
 
     # Compute misses -- in-process for jobs=1, fanned out otherwise.
     if misses:
         if jobs == 1 or len(misses) == 1:
-            outcomes = []
             for task in misses:
                 start = time.perf_counter()
-                outcomes.append(_execute(task))
-                results[task] = RunResult(
-                    task[0], task[1],
-                    record_from_dict(outcomes[-1]),
-                    cached=False,
-                    seconds=time.perf_counter() - start,
-                )
-        else:
-            start = time.perf_counter()
-            with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
-                outcomes = list(pool.map(_execute, misses))
-            elapsed = time.perf_counter() - start
-            for task, payload in zip(misses, outcomes):
+                if tracer is not None:
+                    with tracer.span(
+                        "experiment_task", cat="runner",
+                        experiment=task[0], seed=task[1],
+                    ):
+                        payload = _execute(task)
+                else:
+                    payload = _execute(task)
                 results[task] = RunResult(
                     task[0], task[1],
                     record_from_dict(payload),
                     cached=False,
-                    seconds=elapsed / len(misses),
+                    seconds=time.perf_counter() - start,
                 )
+        else:
+            workers = min(jobs, len(misses))
+            if tracer is not None:
+                with tracer.span(
+                    "pool.map", cat="runner", workers=workers, tasks=len(misses)
+                ):
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        outcomes = list(pool.map(_execute_timed, misses))
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(_execute_timed, misses))
+            for task, (payload, seconds) in zip(misses, outcomes):
+                results[task] = RunResult(
+                    task[0], task[1],
+                    record_from_dict(payload),
+                    cached=False,
+                    seconds=seconds,
+                )
+        log.info(
+            "executed %d task(s) with jobs=%d in %.2fs",
+            len(misses), jobs, time.perf_counter() - wall_start,
+        )
         if use_cache:
             for task in misses:
                 _cache_store(cache_dir, task, digest, results[task].record)
 
-    return [results[task] for task in tasks]
+    ordered = [results[task] for task in tasks]
+    metrics.counter("runner.tasks.total").inc(len(tasks))
+
+    if manifest:
+        out_path = (
+            Path(manifest_path) if manifest_path is not None
+            else cache_dir.parent / MANIFEST_NAME
+        )
+        doc = build_manifest(
+            source_digest=digest,
+            ids=ids,
+            seeds=seeds,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            tasks=[
+                {
+                    "id": r.experiment_id,
+                    "seed": r.seed,
+                    "cached": r.cached,
+                    "seconds": r.seconds,
+                    "record_sha256": hashlib.sha256(r.payload).hexdigest(),
+                }
+                for r in ordered
+            ],
+            cache_counts=cache_counts,
+            wall_seconds=time.perf_counter() - wall_start,
+        )
+        write_manifest(doc, out_path)
+        ref = {"manifest": str(out_path), "source_digest": digest}
+        for r in ordered:
+            r.record.provenance = dict(
+                ref, seed=r.seed, cached=r.cached, seconds=r.seconds
+            )
+
+    return ordered
 
 
 # -- cache I/O ---------------------------------------------------------------
 
 def _cache_load(
     cache_dir: Path, task: Tuple[str, int], digest: Optional[str]
-) -> Optional[RunResult]:
+) -> Tuple[Optional[RunResult], str]:
+    """Try to serve ``task`` from cache.
+
+    Returns ``(result, status)`` where status is one of ``"hit"``,
+    ``"miss"`` (no entry), ``"stale"`` (entry from another source digest)
+    or ``"corrupt"`` (unreadable/invalid entry).  Stale and corrupt entries
+    are logged and *never* served; the caller falls back to re-execution.
+    """
     if digest is None:
-        return None
+        return None, "miss"
     path = _cache_path(cache_dir, task[0], task[1], digest)
     try:
         with open(path, "r", encoding="utf-8") as fh:
             stored = json.load(fh)
-    except (OSError, ValueError):
-        return None
-    if stored.get("digest") != digest:
-        return None
-    return RunResult(
-        task[0], task[1],
-        record_from_dict(stored["record"]),
-        cached=True,
-        seconds=0.0,
+    except FileNotFoundError:
+        return None, "miss"
+    except (OSError, ValueError) as exc:
+        log.warning("corrupt cache entry %s (%s); re-executing", path, exc)
+        return None, "corrupt"
+    if not isinstance(stored, dict) or stored.get("digest") != digest:
+        log.warning(
+            "stale cache entry %s (stored digest %r != %r); re-executing",
+            path,
+            stored.get("digest") if isinstance(stored, dict) else None,
+            digest,
+        )
+        return None, "stale"
+    try:
+        record = record_from_dict(stored["record"])
+    except (KeyError, TypeError) as exc:
+        log.warning("corrupt cache entry %s (%s); re-executing", path, exc)
+        return None, "corrupt"
+    return (
+        RunResult(task[0], task[1], record, cached=True, seconds=0.0),
+        "hit",
     )
 
 

@@ -8,6 +8,7 @@ suitable for :meth:`repro.mpi.runtime.MPIRuntime.launch`.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -17,6 +18,16 @@ from repro.iostack.posix import PosixLayer
 from repro.mpi.runtime import MPIRuntime, RankContext
 from repro.ops import IORecord
 from repro.pfs.filesystem import ParallelFileSystem
+from repro.telemetry import TELEMETRY
+
+log = logging.getLogger(__name__)
+
+
+def _count_layer_record(rec: IORecord) -> None:
+    """Telemetry observer: per-layer record counters (attached only when
+    telemetry is enabled at stack-build time, so disabled runs pay nothing
+    per record)."""
+    TELEMETRY.metrics.counter(f"iostack.records.{rec.layer}").inc()
 
 
 @dataclass
@@ -93,5 +104,9 @@ class IOStackBuilder:
         stack = RankIO(posix=posix, mpiio=mpiio, h5=h5)
         for obs in self.observers:
             stack.add_observer(obs)
+        if TELEMETRY.active:
+            TELEMETRY.metrics.counter("iostack.stacks_built").inc()
+            stack.add_observer(_count_layer_record)
+        log.debug("built I/O stack for rank %d on %s", ctx.rank, ctx.node)
         self.stacks[ctx.rank] = stack
         return stack

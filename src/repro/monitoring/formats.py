@@ -9,11 +9,14 @@ from __future__ import annotations
 
 import gzip
 import json
+import logging
 from pathlib import Path
 from typing import Iterable, List, Union
 
 from repro.monitoring.profiler import JobProfile
 from repro.ops import IORecord
+
+log = logging.getLogger(__name__)
 
 PathLike = Union[str, Path]
 
@@ -27,6 +30,7 @@ def save_trace(records: Iterable[IORecord], path: PathLike) -> int:
         for rec in records:
             fh.write(json.dumps(rec.to_dict()) + "\n")
             n += 1
+    log.debug("saved %d trace record(s) to %s", n, p)
     return n
 
 

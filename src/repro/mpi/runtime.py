@@ -17,6 +17,7 @@ Design notes
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
@@ -24,6 +25,9 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.cluster.network import NetworkFabric
 from repro.des.engine import Environment
 from repro.des.resources import Store
+from repro.telemetry import TELEMETRY
+
+log = logging.getLogger(__name__)
 
 
 class _CollectiveGate:
@@ -133,6 +137,8 @@ class Communicator:
             yield self.env.timeout(cost)
         if rank == 0:
             self.collective_count += 1
+            if TELEMETRY.active:
+                TELEMETRY.metrics.counter(f"mpi.collective.{kind}").inc()
 
     def barrier(self, rank: int, tag: str = "barrier"):
         yield from self._collective("barrier", rank, 0.0, tag)
@@ -168,6 +174,10 @@ class Communicator:
         yield from self.fabric.send(src_node, dst_node, nbytes)
         self.p2p_messages += 1
         self.p2p_bytes += nbytes
+        if TELEMETRY.active:
+            m = TELEMETRY.metrics
+            m.counter("mpi.p2p.messages").inc()
+            m.counter("mpi.p2p.bytes").inc(nbytes)
         self._mailbox(rank, dest, tag).put((nbytes, payload))
 
     def recv(self, rank: int, source: int, tag: int = 0):
@@ -238,6 +248,8 @@ class MPIRuntime:
         ``io_factory(ctx)``, when given, builds the per-rank I/O stack
         (attached as ``ctx.io``) before the program starts.
         """
+        log.debug("launching %d rank(s) on %d node(s)",
+                  self.size, len(set(self.rank_nodes)))
         procs = []
         for rank in range(self.size):
             ctx = RankContext(
@@ -254,6 +266,12 @@ class MPIRuntime:
         io_factory: Optional[Callable[[RankContext], Any]] = None,
     ) -> List[Any]:
         """Launch, run to completion, and return per-rank results."""
+        if TELEMETRY.active:
+            with TELEMETRY.tracer.span("MPIRuntime.run", cat="mpi", ranks=self.size):
+                return self._run_to_completion(program, io_factory)
+        return self._run_to_completion(program, io_factory)
+
+    def _run_to_completion(self, program, io_factory) -> List[Any]:
         procs = self.launch(program, io_factory=io_factory)
         done = self.env.all_of(procs)
         self.env.run(until=done)

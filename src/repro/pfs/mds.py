@@ -20,6 +20,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.des.resources import Resource
 from repro.ops import OpKind
+from repro.telemetry import TELEMETRY
 from repro.pfs.namespace import Namespace
 from repro.pfs.layout import StripeLayout
 
@@ -114,8 +115,10 @@ class MetadataServer:
         Namespace errors (``FileNotFoundError`` etc.) propagate to the
         caller's process.
         """
+        enqueue = self.env.now
         with self._svc.request() as slot:
             yield slot
+            queue_wait = self.env.now - enqueue
             n_entries = 0
             if kind == OpKind.READDIR and self.namespace.is_dir(path):
                 n_entries = len(self.namespace.listdir(path))
@@ -124,6 +127,10 @@ class MetadataServer:
             yield self.env.timeout(service)
             result = self._apply(kind, path, **kwargs)
         self.op_counts[kind] += 1
+        if TELEMETRY.active:
+            m = TELEMETRY.metrics
+            m.counter("pfs.mds.ops").inc()
+            m.histogram("pfs.mds.queue_wait_seconds").observe(queue_wait)
         for listener in self.listeners:
             listener(kind, path, self.env.now)
         return result

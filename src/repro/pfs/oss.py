@@ -14,6 +14,7 @@ from typing import Dict
 
 from repro.cluster.devices import BlockDevice
 from repro.des.resources import Resource
+from repro.telemetry import TELEMETRY
 
 
 @dataclass
@@ -100,6 +101,7 @@ class ObjectStorageServer:
         start = self.env.now
         with self._svc.request() as slot:
             yield slot
+            queue_wait = self.env.now - start
             if self.op_time > 0:
                 yield self.env.timeout(self.op_time)
             yield from device.access(object_offset, nbytes, is_write)
@@ -111,4 +113,9 @@ class ObjectStorageServer:
         else:
             self.stats.read_ops += 1
             self.stats.bytes_read += nbytes
+        if TELEMETRY.active:
+            m = TELEMETRY.metrics
+            m.counter("pfs.oss.rpcs").inc()
+            m.counter("pfs.oss.bytes").inc(nbytes)
+            m.histogram("pfs.oss.queue_wait_seconds").observe(queue_wait)
         return elapsed

@@ -1,0 +1,141 @@
+"""Self-observability for the simulator itself.
+
+The repo already instruments the *simulated* I/O stack
+(:mod:`repro.monitoring` plays the role of Darshan/Recorder for modelled
+workloads); this package instruments the **simulator**: wall-clock span
+tracing (:mod:`repro.telemetry.tracing`), a metrics registry
+(:mod:`repro.telemetry.metrics`), and run provenance manifests
+(:mod:`repro.telemetry.provenance`).
+
+Telemetry is **disabled by default** and designed so disabled overhead is
+one attribute load plus a boolean test at each instrumented site::
+
+    from repro.telemetry import TELEMETRY
+    ...
+    if TELEMETRY.active:
+        TELEMETRY.metrics.counter("pfs.oss.rpcs").inc()
+
+Enable it with :func:`enable` (the CLI does this for ``--trace`` /
+``--metrics``), snapshot with ``TELEMETRY.metrics.render_text()`` or
+``TELEMETRY.tracer.write_chrome(path)``, and wipe collected data with
+:func:`reset`.  The guard lives at the call site rather than inside the
+metric objects so the DES hot loops (see ``benchmarks/check_regression.py``
+and ``benchmarks/telemetry_overhead.py``) never pay for a disabled feature.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    METRICS_SCHEMA,
+)
+from repro.telemetry.provenance import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    cache_hit_ratio,
+    host_metadata,
+    load_manifest,
+    write_manifest,
+)
+from repro.telemetry.tracing import (
+    Span,
+    SpanTracer,
+    TRACE_SCHEMA,
+    validate_chrome_trace,
+)
+
+
+class TelemetryState:
+    """Process-global telemetry switchboard (one instance: ``TELEMETRY``)."""
+
+    __slots__ = ("active", "tracer", "metrics")
+
+    def __init__(self):
+        self.active = False
+        self.tracer = SpanTracer()
+        self.metrics = MetricsRegistry()
+
+
+#: The singleton hot paths test.  Import the *object* (not the module) so
+#: instrumented code pays one attribute load for the ``active`` check.
+TELEMETRY = TelemetryState()
+
+
+def enabled() -> bool:
+    """Is self-telemetry currently collecting?"""
+    return TELEMETRY.active
+
+
+def enable() -> TelemetryState:
+    """Turn on span tracing and gated metric collection."""
+    TELEMETRY.active = True
+    return TELEMETRY
+
+
+def disable() -> TelemetryState:
+    """Stop collecting (already-collected spans/metrics are kept)."""
+    TELEMETRY.active = False
+    return TELEMETRY
+
+
+def reset() -> TelemetryState:
+    """Drop all collected spans and metrics (the enable state is kept)."""
+    TELEMETRY.tracer = SpanTracer()
+    TELEMETRY.metrics = MetricsRegistry()
+    return TELEMETRY
+
+
+def span(name: str, cat: str = "repro", **args):
+    """Open a span on the global tracer (regardless of ``active``)."""
+    return TELEMETRY.tracer.span(name, cat=cat, **args)
+
+
+def traced(name=None, cat: str = "repro"):
+    """Decorator: time calls on the global tracer *when telemetry is on*."""
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        def wrapper(*a, **kw):
+            if not TELEMETRY.active:
+                return fn(*a, **kw)
+            with TELEMETRY.tracer.span(span_name, cat=cat):
+                return fn(*a, **kw)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
+
+
+__all__ = [
+    "TELEMETRY",
+    "TelemetryState",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "span",
+    "traced",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS_SCHEMA",
+    "Span",
+    "SpanTracer",
+    "TRACE_SCHEMA",
+    "validate_chrome_trace",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "cache_hit_ratio",
+    "host_metadata",
+    "load_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,269 @@
+"""Low-overhead span tracer with Chrome ``trace_event`` export.
+
+Spans measure *wall-clock* time inside the simulator's own code (not
+virtual simulation time): how long ``Environment.run`` spun the event loop,
+how long one experiment task took, how long the runner spent hashing
+sources.  Spans nest -- the tracer keeps an open-span stack so each span
+records its parent -- and finished spans serialize to the Chrome
+``trace_event`` JSON format (complete ``"ph": "X"`` events), which loads
+directly in Perfetto / ``chrome://tracing``.
+
+Usage::
+
+    tracer = SpanTracer()
+    with tracer.span("run_experiments", cat="runner", jobs=4):
+        with tracer.span("source_digest", cat="runner"):
+            ...
+    tracer.write_chrome("t.json")
+
+or as a decorator::
+
+    @traced("pfs.build", cat="pfs")
+    def build_pfs(...): ...
+
+The clock is :func:`time.perf_counter_ns` (monotonic, ns resolution);
+timestamps in the export are microseconds relative to the tracer's first
+span, as the trace-event spec expects.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+log = logging.getLogger(__name__)
+
+TRACE_SCHEMA = "repro.telemetry.trace/1"
+
+_perf_ns = time.perf_counter_ns
+
+
+class Span:
+    """One finished (or open) span: a named wall-clock interval."""
+
+    __slots__ = ("name", "cat", "span_id", "parent_id", "start_ns", "end_ns", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_ns: int,
+        args: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.cat = cat
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_ns = start_ns
+        self.end_ns: Optional[int] = None
+        self.args = args
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"dur={self.duration_ns / 1e6:.3f}ms)"
+        )
+
+
+class _SpanHandle:
+    """Context manager that closes its span on exit (even on error)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self._tracer._close(self._span, error=exc_type is not None)
+
+
+class SpanTracer:
+    """Collects nested spans; one instance per process.
+
+    The open-span stack is thread-local so tracing stays correct if spans
+    are ever opened from worker threads, but the common case (the
+    single-threaded simulator) pays only one ``threading.local`` attribute
+    lookup per span.
+    """
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self._local = threading.local()
+        self._next_id = 0
+        #: perf_counter_ns at first span; export timestamps are relative.
+        self._epoch_ns: Optional[int] = None
+
+    # -- recording ----------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        try:
+            return self._local.stack
+        except AttributeError:
+            self._local.stack = []
+            return self._local.stack
+
+    def span(self, name: str, cat: str = "repro", **args: Any) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("name"): ...``."""
+        now = _perf_ns()
+        if self._epoch_ns is None:
+            self._epoch_ns = now
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        self._next_id += 1
+        sp = Span(name, cat, self._next_id, parent_id, now, args or None)
+        stack.append(sp)
+        return _SpanHandle(self, sp)
+
+    def _close(self, sp: Span, error: bool = False) -> None:
+        sp.end_ns = _perf_ns()
+        if error:
+            sp.args = dict(sp.args or ())
+            sp.args["error"] = True
+        stack = self._stack()
+        # Pop through any spans left open by generator abandonment etc. so
+        # one leaked child cannot corrupt all subsequent parentage.
+        while stack:
+            top = stack.pop()
+            if top is sp:
+                break
+        self.spans.append(sp)
+
+    def traced(
+        self, name: Optional[str] = None, cat: str = "repro"
+    ) -> Callable[[Callable], Callable]:
+        """Decorator form: times every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            def wrapper(*a, **kw):
+                with self.span(span_name, cat=cat):
+                    return fn(*a, **kw)
+
+            wrapper.__name__ = fn.__name__
+            wrapper.__qualname__ = fn.__qualname__
+            wrapper.__doc__ = fn.__doc__
+            wrapper.__wrapped__ = fn
+            return wrapper
+
+        return decorate
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._local = threading.local()
+        self._epoch_ns = None
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- analysis -----------------------------------------------------------
+    def self_times(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate per span *name*: call count, total and self seconds.
+
+        Self time is a span's duration minus the durations of its direct
+        children -- the classic profiler statistic that makes the hot frame
+        stand out even under deep nesting.
+        """
+        child_ns: Dict[int, int] = {}
+        for sp in self.spans:
+            if sp.parent_id is not None:
+                child_ns[sp.parent_id] = child_ns.get(sp.parent_id, 0) + sp.duration_ns
+        out: Dict[str, Dict[str, float]] = {}
+        for sp in self.spans:
+            agg = out.setdefault(sp.name, {"count": 0, "total_s": 0.0, "self_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] += sp.duration_ns / 1e9
+            agg["self_s"] += max(0, sp.duration_ns - child_ns.get(sp.span_id, 0)) / 1e9
+        return out
+
+    # -- export -------------------------------------------------------------
+    def to_chrome(self) -> Dict[str, Any]:
+        """Render finished spans as a Chrome trace-event JSON document."""
+        pid = os.getpid()
+        epoch = self._epoch_ns or 0
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro-io simulator"},
+            }
+        ]
+        for sp in self.spans:
+            if sp.end_ns is None:  # still open: not exportable as "X"
+                continue
+            args: Dict[str, Any] = {"span_id": sp.span_id}
+            if sp.parent_id is not None:
+                args["parent_id"] = sp.parent_id
+            if sp.args:
+                args.update(sp.args)
+            events.append(
+                {
+                    "name": sp.name,
+                    "cat": sp.cat,
+                    "ph": "X",
+                    "ts": (sp.start_ns - epoch) / 1e3,
+                    "dur": sp.duration_ns / 1e3,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA},
+        }
+
+    def write_chrome(self, path: Union[str, Path]) -> Path:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with open(p, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh, indent=1)
+        log.info("wrote %d trace span(s) to %s", len(self.spans), p)
+        return p
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Schema check for an exported trace; returns a list of problems.
+
+    Kept in the library (not the tests) so the CLI's ``telemetry``
+    subcommand can reject malformed files with a useful message.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document is not a dict with a 'traceEvents' key"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i} missing {key!r}")
+        if ev.get("ph") == "X":
+            for key in ("ts", "dur"):
+                val = ev.get(key)
+                if not isinstance(val, (int, float)) or val < 0:
+                    problems.append(f"event {i} has bad {key!r}: {val!r}")
+    return problems

@@ -1,0 +1,66 @@
+"""Smoke tests for the telemetry-off overhead gate.
+
+Like ``test_check_regression``, the script is loaded by file path
+(``benchmarks/`` is not a package) and exercised in ``--smoke`` mode so no
+assertion depends on actual machine speed.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "telemetry_overhead.py"
+)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    spec = importlib.util.spec_from_file_location("telemetry_overhead", SCRIPT)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    from repro import telemetry
+
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def test_smoke_run_passes_and_leaves_telemetry_off(harness, capsys):
+    from repro import telemetry
+
+    assert harness.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry off" in out and "telemetry on" in out
+    # The harness enables telemetry for the informational timing but must
+    # restore the disabled default before returning.
+    assert not telemetry.enabled()
+
+    assert len(telemetry.TELEMETRY.tracer) == 0  # reset() wiped the spans
+
+
+def test_reference_prefers_noise_aware_baseline(harness):
+    ref = harness.reference_seconds()
+    # The committed baseline always carries the event-loop reference.
+    assert ref is not None and ref > 0
+    import json
+
+    baseline = json.loads(harness.BASELINE_PATH.read_text())
+    assert ref == baseline["reference_min"][harness.BENCH_NAME]
+
+
+def test_workload_matches_check_regression(harness):
+    # The gate times the same event-loop workload the regression harness
+    # gates on; a drift between the two would make the reference moot.
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", SCRIPT.parent / "check_regression.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert harness.BENCH_NAME in mod.BENCHMARKS

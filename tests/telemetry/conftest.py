@@ -1,0 +1,15 @@
+"""Shared fixtures: the telemetry switchboard is process-global state."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Each test starts and ends with telemetry disabled and empty."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
