@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Scenario-layer overhead gate for harness construction.
+
+The declarative scenario layer (``repro.scenario``) sits between every
+experiment and the simulator: ``build(get_scenario(...))`` must cost the
+same as wiring the platform + file system + harness by hand, plus only
+the spec lookup/validation itself.  This gate times both paths on the
+``tiny`` preset, interleaved round by round to ride out host noise, and
+fails when the declarative path's median exceeds the manual path's by
+more than ``--tolerance`` (a few percent locally; CI uses a relaxed
+bound because shared runners jitter).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scenario_overhead.py             # gate
+    PYTHONPATH=src python benchmarks/scenario_overhead.py --smoke     # fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster.platform import platform_from_spec  # noqa: E402
+from repro.pfs.filesystem import DEVICE_CLASSES, ParallelFileSystem  # noqa: E402
+from repro.scenario import build, get_scenario  # noqa: E402
+from repro.simulate.execsim import ExperimentHarness  # noqa: E402
+
+# The representative platform: the fixed per-spec cost (validation, the
+# registry lookup) must vanish against a realistic harness construction.
+PRESET = "medium"
+
+
+def build_declarative() -> ExperimentHarness:
+    """The scenario path every experiment now takes."""
+    return build(get_scenario(PRESET))
+
+
+def build_manual() -> ExperimentHarness:
+    """The hand-wired equivalent (what the experiments did pre-refactor)."""
+    spec = get_scenario(PRESET)
+    platform = platform_from_spec(spec.platform, seed=spec.seed)
+    pfs = ParallelFileSystem(
+        platform,
+        stripe_size=spec.storage.stripe_size,
+        default_stripe_count=spec.storage.default_stripe_count,
+        max_rpc=spec.storage.max_rpc,
+        device_cls=DEVICE_CLASSES[spec.storage.device],
+        alloc_policy=spec.storage.alloc_policy,
+    )
+    return ExperimentHarness(platform=platform, pfs=pfs,
+                             stack_defaults=spec.stack.kwargs())
+
+
+def measure(rounds: int):
+    for _ in range(5):  # warmup both paths
+        build_declarative()
+        build_manual()
+    t_scenario, t_manual = [], []
+    for i in range(rounds):
+        gc.collect()
+        gc.disable()
+        # Alternate which path goes first: the build right after a
+        # gc.collect pays allocator warm-up, and it must not always be
+        # the same side.
+        order = ((build_manual, t_manual), (build_declarative, t_scenario))
+        if i % 2:
+            order = order[::-1]
+        for fn, sink in order:
+            start = time.perf_counter()
+            fn()
+            sink.append(time.perf_counter() - start)
+        gc.enable()
+    # The minimum is the noise-free floor of a microbenchmark; medians of
+    # sub-millisecond constructions still carry scheduler jitter.
+    return min(t_scenario), min(t_manual)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=200,
+                        help="timed rounds per path (default: 200)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="max allowed relative overhead (default: 0.05)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="few rounds, loose tolerance (CI smoke)")
+    args = parser.parse_args()
+    rounds = 30 if args.smoke else args.rounds
+    tolerance = max(args.tolerance, 0.25) if args.smoke else args.tolerance
+
+    scenario_s, manual_s = measure(rounds)
+    overhead = (scenario_s - manual_s) / manual_s
+    print(f"scenario build ({PRESET}): best of {rounds} = {scenario_s * 1e3:.3f} ms")
+    print(f"manual build   ({PRESET}): best of {rounds} = {manual_s * 1e3:.3f} ms")
+    print(f"relative overhead: {overhead:+.2%} (tolerance {tolerance:.0%})")
+
+    if overhead > tolerance:
+        print(f"FAIL: declarative layer costs {overhead:.2%} over hand-wiring")
+        return 1
+    print("OK: scenario layer adds no meaningful construction cost")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

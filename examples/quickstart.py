@@ -1,43 +1,60 @@
 #!/usr/bin/env python
 """Quickstart: one full turn of the I/O evaluation cycle (paper Fig. 4).
 
-Builds a simulated cluster with a Lustre-like parallel file system, runs
-an IOR-like benchmark on it with Darshan-like profiling and Recorder-like
-tracing attached (phase 1), synthesizes a representative workload from the
-profile (phase 2), simulates the synthetic workload on a fresh system
-(phase 3), and compares the two -- the closed loop the paper's taxonomy is
-organised around.
+Declares the whole evaluation as a scenario (platform + parallel file
+system + I/O stack + workload in one spec), builds it into a running
+simulated system, runs the IOR-like benchmark with Darshan-like profiling
+and Recorder-like tracing attached (phase 1), synthesizes a
+representative workload from the profile (phase 2), simulates the
+synthetic workload on a fresh system (phase 3), and compares the two --
+the closed loop the paper's taxonomy is organised around.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.cluster import tiny_cluster
 from repro.core.cycle import EvaluationCycle
 from repro.monitoring import DarshanProfiler, RecorderTracer
-from repro.pfs import build_pfs
-from repro.simulate import run_workload
+from repro.scenario import (
+    ScenarioSpec,
+    WorkloadSpec,
+    build,
+    build_platform,
+    instantiate_workloads,
+)
+from repro.cluster.platform import tiny_spec
 from repro.survey.figures import fig1_platform
-from repro.workloads import IORConfig, IORWorkload
 
 MiB = 1024 * 1024
 
 
 def main() -> None:
-    # --- the system under study -------------------------------------------
-    platform = tiny_cluster(seed=42)
-    print(fig1_platform(platform))
+    # --- the whole evaluation, declared ------------------------------------
+    scenario = ScenarioSpec(
+        name="quickstart",
+        platform=tiny_spec(),
+        seed=42,
+        workloads=(
+            WorkloadSpec("ior", 4, {"block_size": 8 * MiB, "transfer_size": MiB,
+                                    "read": True, "stripe_count": -1}),
+        ),
+    ).validate()
+    print(f"scenario: {scenario.describe()}")
+    print(f"digest  : {scenario.digest()[:16]} "
+          f"(canonical JSON round-trips: "
+          f"{ScenarioSpec.from_json(scenario.to_json()) == scenario})")
+    print()
+
+    # --- build it into a running simulated system --------------------------
+    harness = build(scenario)
+    print(fig1_platform(harness.platform))
     print()
 
     # --- phase 1: measurement with monitoring attached ---------------------
-    pfs = build_pfs(platform)
     profiler = DarshanProfiler(job_name="ior-demo")
     tracer = RecorderTracer()
-    workload = IORWorkload(
-        IORConfig(block_size=8 * MiB, transfer_size=MiB, read=True, stripe_count=-1),
-        n_ranks=4,
-    )
+    (_, workload), = instantiate_workloads(scenario)
     print(f"running: {workload.describe()}")
-    result = run_workload(platform, pfs, workload, observers=[profiler, tracer])
+    result = harness.run(workload, observers=[profiler, tracer])
     print(f"  {result.summary()}")
     print(f"  trace: {len(tracer.records)} records at layers "
           f"{tracer.archive.layers()}")
@@ -50,12 +67,8 @@ def main() -> None:
 
     # --- phases 2+3, iterated: model, generate, simulate, compare ----------
     cycle = EvaluationCycle(
-        platform_factory=lambda: tiny_cluster(seed=42),
-        workload_factory=lambda: IORWorkload(
-            IORConfig(block_size=8 * MiB, transfer_size=MiB, read=True,
-                      stripe_count=-1),
-            n_ranks=4,
-        ),
+        platform_factory=lambda: build_platform(scenario),
+        workload_factory=lambda: instantiate_workloads(scenario)[0][1],
         include_think_time=False,
     )
     for report in cycle.run(iterations=2):

@@ -12,8 +12,16 @@ Subcommands::
                                        --no-cache forces recomputation;
                                        --trace/--metrics enable the
                                        simulator's self-telemetry)
+    repro-io scenario list             named scenario presets
+    repro-io scenario run <name|file>  build + run one declared scenario
+    repro-io scenario sweep <name|file> key=v1,v2 ...
+                                       cartesian sweep over a base
+                                       scenario (--jobs fans out, points
+                                       are cached, a sweep manifest
+                                       records per-point provenance)
     repro-io telemetry <file>          summarize a trace / manifest /
-                                       metrics JSON emitted by the above
+                                       metrics / sweep JSON emitted by
+                                       the above
     repro-io run-dsl <file>            run a DSL workload on a simulated
                                        cluster and print its profile
     repro-io cycle                     run one evaluation-cycle iteration
@@ -164,8 +172,112 @@ def _cmd_experiment(args) -> int:
     return 1 if failed else 0
 
 
+def _scenario_spec(ref: str, seed: int):
+    """Resolve a scenario reference: a preset name or a JSON file path."""
+    from pathlib import Path
+
+    from repro.scenario import ScenarioSpec, get_scenario
+
+    if Path(ref).is_file() or ref.endswith(".json"):
+        with open(ref, "r", encoding="utf-8") as fh:
+            return ScenarioSpec.from_json(fh.read()).with_seed(seed).validate()
+    return get_scenario(ref, seed)
+
+
+def _parse_sweep_value(text: str):
+    """Coerce one sweep value: int, float, bool, else string."""
+    low = text.strip().lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text.strip()
+
+
+def _cmd_scenario(args) -> int:
+    from repro.scenario import ScenarioError
+
+    try:
+        if args.action == "list":
+            from repro.scenario import get_scenario, list_scenarios
+
+            for name in list_scenarios():
+                print(f"{name:<16} {get_scenario(name, args.seed).describe()}")
+            return 0
+
+        if args.action == "run":
+            from repro.scenario import run_scenario
+
+            spec = _scenario_spec(args.scenario, args.seed)
+            run = run_scenario(spec)
+            print(spec.describe())
+            print(f"scenario digest: {spec.digest()[:16]}")
+            print(run.summary())
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    json.dump(run.to_dict(), fh, indent=1)
+                print(f"results written to {args.json}")
+            return 0
+
+        # sweep
+        from repro.scenario import run_sweep
+
+        spec = _scenario_spec(args.scenario, args.seed)
+        grid = {}
+        for item in args.params:
+            if "=" not in item:
+                print(f"bad sweep parameter {item!r} (want key=v1,v2,...)",
+                      file=sys.stderr)
+                return 2
+            key, _, values = item.partition("=")
+            grid[key] = [_parse_sweep_value(v) for v in values.split(",") if v]
+            if not grid[key]:
+                print(f"no values for sweep parameter {key!r}", file=sys.stderr)
+                return 2
+        if not grid:
+            print("sweep needs at least one key=v1,v2 parameter", file=sys.stderr)
+            return 2
+        results = run_sweep(
+            spec, grid,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            manifest=not args.no_manifest,
+        )
+        for r in results:
+            o = r.outcome
+            origin = "cache" if r.cached else f"{r.seconds:.2f}s"
+            mb_w = o.get("bytes_written", 0) / 1e6
+            mb_r = o.get("bytes_read", 0) / 1e6
+            print(f"{r.point.name:<56} {o.get('duration', 0.0):8.3f}s sim  "
+                  f"W {mb_w:8.1f} MB  R {mb_r:8.1f} MB  [{origin}]")
+        n_cached = sum(1 for r in results if r.cached)
+        print(f"{len(results)} point(s): {len(results) - n_cached} computed, "
+              f"{n_cached} from cache (jobs={args.jobs})")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(
+                    [{"name": r.point.name, "overrides": r.point.overrides,
+                      "cached": r.cached, "outcome": r.outcome}
+                     for r in results],
+                    fh, indent=1,
+                )
+            print(f"results written to {args.json}")
+        return 0
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot read scenario: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_telemetry(args) -> int:
-    """Summarize a telemetry artifact (trace / manifest / metrics JSON)."""
+    """Summarize a telemetry artifact (trace / manifest / metrics / sweep)."""
+    from repro.scenario.sweep import SWEEP_SCHEMA
     from repro.telemetry import (
         MANIFEST_SCHEMA,
         METRICS_SCHEMA,
@@ -190,7 +302,9 @@ def _cmd_telemetry(args) -> int:
         return _summarize_manifest(doc, cache_hit_ratio, top=args.top)
     if isinstance(doc, dict) and doc.get("schema") == METRICS_SCHEMA:
         return _summarize_metrics(doc)
-    print(f"{args.file}: not a repro trace, manifest or metrics document",
+    if isinstance(doc, dict) and doc.get("schema") == SWEEP_SCHEMA:
+        return _summarize_sweep(doc, top=args.top)
+    print(f"{args.file}: not a repro trace, manifest, metrics or sweep document",
           file=sys.stderr)
     return 2
 
@@ -260,6 +374,28 @@ def _summarize_metrics(doc) -> int:
                   f"mean={m.get('mean', 0.0):.4g}")
         else:
             print(f"  {m['kind']:<9} {name:<36} {m.get('value')}")
+    return 0
+
+
+def _summarize_sweep(doc, top: int) -> int:
+    points = doc.get("points", [])
+    grid = doc.get("grid", {})
+    n_cached = sum(1 for p in points if p.get("cached"))
+    print(f"sweep manifest: base {doc.get('base_scenario', '?')} "
+          f"({str(doc.get('base_digest', '?'))[:16]}), "
+          f"{len(points)} point(s), jobs={doc.get('jobs')}")
+    print("grid: " + "; ".join(f"{k} in {v}" for k, v in grid.items()))
+    print(f"source digest: {str(doc.get('source_digest', '?'))[:16]}  "
+          f"host: {doc.get('host', {}).get('host', '?')}")
+    print(f"cache: {n_cached} hit(s), {len(points) - n_cached} fresh; "
+          f"wall {doc.get('wall_seconds', 0.0):.2f}s")
+    slowest = sorted(points, key=lambda p: p.get("seconds", 0.0), reverse=True)
+    if slowest:
+        print("slowest points:")
+        for p in slowest[:top]:
+            origin = "cache" if p.get("cached") else "fresh"
+            print(f"  {p.get('name', '?'):<56} {p.get('seconds', 0.0):8.3f}s  "
+                  f"({origin})")
     return 0
 
 
@@ -405,6 +541,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip writing the run-provenance manifest.json",
     )
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser(
+        "scenario",
+        help="declare, run and sweep whole-evaluation scenarios",
+    )
+    scen_sub = p.add_subparsers(dest="action", required=True)
+
+    sp = scen_sub.add_parser("list", help="list named scenario presets")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=_cmd_scenario)
+
+    sp = scen_sub.add_parser(
+        "run", help="build and run one scenario (preset name or JSON file)"
+    )
+    sp.add_argument("scenario", help="preset name or path to a scenario JSON")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--json", help="write the scenario outcome JSON here")
+    sp.set_defaults(fn=_cmd_scenario)
+
+    sp = scen_sub.add_parser(
+        "sweep",
+        help="cartesian sweep: scenario plus key=v1,v2 parameter grids",
+    )
+    sp.add_argument("scenario", help="base preset name or scenario JSON path")
+    sp.add_argument(
+        "params", nargs="+", metavar="key=v1,v2",
+        help="grid axes; dotted paths (platform.n_oss, "
+        "workloads.0.params.transfer_size) or bare names (n_oss, "
+        "stripe_count) resolved layer by layer",
+    )
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the point fan-out (default 1)")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="recompute every point and do not cache")
+    sp.add_argument("--cache-dir", default="results/cache",
+                    help="point cache location (default results/cache)")
+    sp.add_argument("--no-manifest", action="store_true",
+                    help="skip writing the sweep provenance manifest")
+    sp.add_argument("--json", help="write all point outcomes JSON here")
+    sp.set_defaults(fn=_cmd_scenario)
 
     p = sub.add_parser(
         "telemetry",

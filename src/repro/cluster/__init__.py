@@ -31,12 +31,17 @@ from repro.cluster.burst_buffer import BurstBuffer
 from repro.cluster.scheduler import BatchScheduler
 from repro.cluster.platform import (
     GENERATIONS,
+    PLATFORM_PRESETS,
     Platform,
     PlatformGeneration,
     PlatformSpec,
     large_cluster,
+    large_spec,
     medium_cluster,
+    medium_spec,
+    platform_from_spec,
     tiny_cluster,
+    tiny_spec,
 )
 
 __all__ = [
@@ -49,6 +54,7 @@ __all__ = [
     "FatTreeTopology",
     "GENERATIONS",
     "IONode",
+    "PLATFORM_PRESETS",
     "NetworkFabric",
     "NodeRole",
     "Platform",
@@ -58,6 +64,10 @@ __all__ = [
     "StorageNode",
     "Topology",
     "large_cluster",
+    "large_spec",
     "medium_cluster",
+    "medium_spec",
+    "platform_from_spec",
     "tiny_cluster",
+    "tiny_spec",
 ]

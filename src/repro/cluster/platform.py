@@ -197,40 +197,78 @@ class Platform:
         )
 
 
+def platform_from_spec(
+    spec: PlatformSpec,
+    seed: Optional[int] = None,
+    env: Optional[Environment] = None,
+) -> Platform:
+    """Spec-driven platform factory (the scenario layer's entry point).
+
+    ``seed``, when given, overrides the spec's seed without mutating the
+    caller's spec object (presets are shared constants).
+    """
+    if seed is not None and seed != spec.seed:
+        from dataclasses import replace
+
+        spec = replace(spec, seed=seed)
+    return Platform(spec, env=env)
+
+
+def tiny_spec(seed: int = 1234) -> PlatformSpec:
+    """Spec of :func:`tiny_cluster` (4 compute, 1 BB, 1 MDS, 2 OSS x 2)."""
+    return PlatformSpec(
+        name="tiny", n_compute=4, n_io=1, n_mds=1, n_oss=2, osts_per_oss=2,
+        seed=seed,
+    )
+
+
+def medium_spec(seed: int = 1234) -> PlatformSpec:
+    """Spec of :func:`medium_cluster` (16 compute, 2 BB, 1 MDS, 4 OSS x 4)."""
+    return PlatformSpec(
+        name="medium", n_compute=16, n_io=2, n_mds=1, n_oss=4, osts_per_oss=4,
+        seed=seed,
+    )
+
+
+def large_spec(seed: int = 1234) -> PlatformSpec:
+    """Spec of :func:`large_cluster` (64 compute, 4 BB, 2 MDS, 8 OSS x 8)."""
+    return PlatformSpec(
+        name="large",
+        n_compute=64,
+        n_io=4,
+        n_mds=2,
+        n_oss=8,
+        osts_per_oss=8,
+        ib_core_bandwidth=400e9,
+        eth_core_bandwidth=80e9,
+        seed=seed,
+    )
+
+
+#: Named platform sizings, for scenario specs and the CLI.
+PLATFORM_PRESETS = {
+    "tiny": tiny_spec,
+    "medium": medium_spec,
+    "large": large_spec,
+}
+
+
 def tiny_cluster(seed: int = 1234) -> Platform:
     """4 compute nodes, 1 burst buffer, 1 MDS, 2 OSS x 2 OST.
 
     Small enough for unit tests and quick examples.
     """
-    return Platform(
-        PlatformSpec(name="tiny", n_compute=4, n_io=1, n_mds=1, n_oss=2, osts_per_oss=2, seed=seed)
-    )
+    return platform_from_spec(tiny_spec(seed))
 
 
 def medium_cluster(seed: int = 1234) -> Platform:
     """16 compute nodes, 2 burst buffers, 1 MDS, 4 OSS x 4 OST."""
-    return Platform(
-        PlatformSpec(
-            name="medium", n_compute=16, n_io=2, n_mds=1, n_oss=4, osts_per_oss=4, seed=seed
-        )
-    )
+    return platform_from_spec(medium_spec(seed))
 
 
 def large_cluster(seed: int = 1234) -> Platform:
     """64 compute nodes, 4 burst buffers, 2 MDS, 8 OSS x 8 OST."""
-    return Platform(
-        PlatformSpec(
-            name="large",
-            n_compute=64,
-            n_io=4,
-            n_mds=2,
-            n_oss=8,
-            osts_per_oss=8,
-            ib_core_bandwidth=400e9,
-            eth_core_bandwidth=80e9,
-            seed=seed,
-        )
-    )
+    return platform_from_spec(large_spec(seed))
 
 
 @dataclass(frozen=True)

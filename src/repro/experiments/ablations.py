@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.cluster import tiny_cluster
 from repro.core.experiment import ExperimentRecord
 from repro.des.ross import (
     ConservativeExecutor,
@@ -11,10 +10,10 @@ from repro.des.ross import (
     SequentialExecutor,
 )
 from repro.monitoring import DarshanProfiler
-from repro.pfs import build_pfs
-from repro.simulate import run_workload
+from repro.scenario.build import build, instantiate_workloads, run_scenario
+from repro.scenario.presets import get_scenario
+from repro.scenario.sweep import expand_grid
 from repro.wgen import synthesize_from_profile
-from repro.workloads import IORConfig, IORWorkload
 
 MiB = 1024 * 1024
 KiB = 1024
@@ -111,26 +110,22 @@ def run_a2(seed: int = 0) -> ExperimentRecord:
     """A2: profile-synthesized workloads approximate the original
     (the IOWA [20] Darshan-synthesis technique).
 
-    An IOR run is profiled; the synthesized workload must reproduce the
-    byte volumes exactly and the runtime within a factor, despite seeing
-    only counters (no trace).
+    An IOR run (scenario ``a2-ior``) is profiled; the synthesized workload
+    must reproduce the byte volumes exactly and the runtime within a
+    factor, despite seeing only counters (no trace).
     """
     rec = ExperimentRecord(
         "A2", "workloads synthesized from profiles approximate the original"
     )
-    platform = tiny_cluster(seed=seed)
-    pfs = build_pfs(platform)
+    spec = get_scenario("a2-ior", seed)
+    harness = build(spec)
     profiler = DarshanProfiler(job_name="a2")
-    w = IORWorkload(
-        IORConfig(block_size=8 * MiB, transfer_size=MiB, read=True), 4
-    )
-    original = run_workload(platform, pfs, w, observers=[profiler])
+    (_, w), = instantiate_workloads(spec)
+    original = harness.run(w, observers=[profiler])
     profile = profiler.profile(n_ranks=4)
 
     synth = synthesize_from_profile(profile, seed=seed, include_think_time=False)
-    platform2 = tiny_cluster(seed=seed)
-    pfs2 = build_pfs(platform2)
-    replayed = run_workload(platform2, pfs2, synth)
+    replayed = build(spec).run(synth)
 
     duration_ratio = replayed.duration / original.duration
     rec.measure(
@@ -230,13 +225,11 @@ def run_a5(seed: int = 0) -> ExperimentRecord:
     Many small strided writes followed by a close are issued twice: with
     write-through (every 64 KiB write pays the full RPC + device path) and
     with a write-back cache (writes absorb at memory speed; close flushes
-    one coalesced streaming write).  The cached run must be substantially
-    faster with identical durable bytes -- the client-side analogue of the
+    one coalesced streaming write) on the platform-only scenario
+    ``a5-client``.  The cached run must be substantially faster with
+    identical durable bytes -- the client-side analogue of the
     two-phase-I/O coalescing claim.
     """
-    from repro.cluster import tiny_cluster
-    from repro.pfs import build_pfs
-
     rec = ExperimentRecord(
         "A5", "client write-back caching coalesces small writes"
     )
@@ -247,8 +240,8 @@ def run_a5(seed: int = 0) -> ExperimentRecord:
     piece = 4 * KiB
 
     def run_mode(write_cache):
-        platform = tiny_cluster(seed=seed)
-        pfs = build_pfs(platform)
+        harness = build(get_scenario("a5-client", seed))
+        platform, pfs = harness.platform, harness.pfs
         client = pfs.client("c0", write_cache_bytes=write_cache)
         done = {}
 
@@ -286,21 +279,18 @@ def run_a3(seed: int = 0) -> ExperimentRecord:
 
     IOR bandwidth must increase with stripe width (parallelism across
     OSTs) and with transfer size (seek amortisation) -- the sanity surface
-    every parallel file system paper sweeps.
+    every parallel file system paper sweeps, here declared as a grid over
+    the ``a3-ior`` base scenario.
     """
     rec = ExperimentRecord(
         "A3", "bandwidth grows with stripe width and transfer size"
     )
+    grid = {"stripe_count": (1, 2, 4), "transfer_size": (128 * KiB, MiB)}
     results = {}
-    for stripe in (1, 2, 4):
-        for transfer in (128 * KiB, MiB):
-            platform = tiny_cluster(seed=seed)
-            pfs = build_pfs(platform)
-            cfg = IORConfig(
-                block_size=8 * MiB, transfer_size=transfer, stripe_count=stripe
-            )
-            r = run_workload(platform, pfs, IORWorkload(cfg, 4))
-            results[(stripe, transfer)] = r.write_bandwidth
+    for point in expand_grid(get_scenario("a3-ior", seed), grid):
+        r = run_scenario(point.scenario).results[0]
+        key = (point.overrides["stripe_count"], point.overrides["transfer_size"])
+        results[key] = r.write_bandwidth
 
     stripes_help = all(
         results[(2, t)] > results[(1, t)] and results[(4, t)] >= results[(2, t)] * 0.9

@@ -1,10 +1,18 @@
-"""Experiments C6, C7, C8: modeling and prediction claims."""
+"""Experiments C6, C7, C8: modeling and prediction claims.
+
+The simulated configurations feeding the models are declared scenarios:
+C6's training set is a declarative grid (:func:`repro.scenario.sweep
+.expand_grid`) over the ``c6-ior`` base, C7 traces the ``c7-checkpoint``
+scenario, and C8 extrapolates the ``c8-direct`` IOR job from smaller rank
+counts derived off the same spec.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
-from repro.cluster import tiny_cluster
 from repro.core.experiment import ExperimentRecord
 from repro.modeling import (
     PerformancePredictor,
@@ -16,58 +24,47 @@ from repro.modeling import (
 )
 from repro.monitoring import RecorderTracer
 from repro.ops import IOOp, OpKind
-from repro.pfs import build_pfs
 from repro.replay import verify_fidelity
-from repro.simulate import run_workload
-from repro.workloads import (
-    CheckpointConfig,
-    CheckpointWorkload,
-    IORConfig,
-    IORWorkload,
-    OpStreamWorkload,
-)
+from repro.scenario.build import build, instantiate_workloads, run_scenario
+from repro.scenario.presets import get_scenario
+from repro.scenario.sweep import expand_grid
+from repro.workloads import OpStreamWorkload
 
 MiB = 1024 * 1024
 KiB = 1024
-
-
-def _simulate_ior_time(n_ranks, transfer, block, stripe, random_offsets, seed):
-    platform = tiny_cluster(seed=seed)
-    pfs = build_pfs(platform)
-    cfg = IORConfig(
-        block_size=block, transfer_size=transfer, stripe_count=stripe,
-        random_offsets=random_offsets, seed=seed,
-    )
-    return run_workload(platform, pfs, IORWorkload(cfg, n_ranks)).duration
 
 
 def run_c6(seed: int = 0) -> ExperimentRecord:
     """C6: learned models beat linear models for I/O time prediction
     (Schmid & Kunkel [56], Sun et al. [57]).
 
-    A sweep of IOR configurations is simulated to build the training set
-    (configuration features -> measured time); linear regression, an MLP
-    and a random forest are then compared on held-out MAPE.
+    A declared grid of IOR configurations (base scenario ``c6-ior``) is
+    simulated to build the training set (configuration features ->
+    measured time); linear regression, an MLP and a random forest are then
+    compared on held-out MAPE.
     """
     rec = ExperimentRecord(
         "C6", "ML models predict I/O time better than linear models"
     )
+    block = 4 * MiB
+    grid = {
+        "n_ranks": (1, 2, 4),
+        "transfer_size": (64 * KiB, 256 * KiB, MiB),
+        "stripe_count": (1, 2, 4),
+        "random_offsets": (False, True),
+    }
     X, y = [], []
-    for n_ranks in (1, 2, 4):
-        for transfer in (64 * KiB, 256 * KiB, MiB):
-            for stripe in (1, 2, 4):
-                for random_offsets in (False, True):
-                    block = 4 * MiB
-                    t = _simulate_ior_time(
-                        n_ranks, transfer, block, stripe, random_offsets, seed
-                    )
-                    X.append(
-                        workload_features(
-                            n_ranks, transfer, block, segments=1,
-                            random_offsets=random_offsets, stripe_count=stripe,
-                        )
-                    )
-                    y.append(t)
+    for point in expand_grid(get_scenario("c6-ior", seed), grid):
+        t = run_scenario(point.scenario).results[0].duration
+        o = point.overrides
+        X.append(
+            workload_features(
+                o["n_ranks"], o["transfer_size"], block, segments=1,
+                random_offsets=o["random_offsets"],
+                stripe_count=o["stripe_count"],
+            )
+        )
+        y.append(t)
     X = np.array(X)
     y = np.array(y)
     predictor = PerformancePredictor(seed=seed, test_fraction=0.25)
@@ -87,40 +84,34 @@ def run_c7(seed: int = 0) -> ExperimentRecord:
     """C7: trace compression shrinks repetitive traces drastically while
     replay stays exact (Hao et al. [15]).
 
-    A periodic checkpoint application is traced; the suffix-fold
-    compressor must reach a high ratio, decompression must be bit-exact,
-    and the replayed workload must reproduce the original's I/O.
+    The periodic checkpoint scenario ``c7-checkpoint`` is traced; the
+    suffix-fold compressor must reach a high ratio, decompression must be
+    bit-exact, and the replayed workload must reproduce the original's
+    I/O.
     """
     rec = ExperimentRecord(
         "C7", "repetitive traces compress by large factors with exact replay"
     )
-    n_ranks = 2
-    workload = CheckpointWorkload(
-        CheckpointConfig(
-            bytes_per_rank=32 * MiB, steps=6, transfer_size=256 * KiB,
-            compute_seconds=0.5, file_per_process=False, fsync=False,
-            path_prefix="/c7ckpt",
-        ),
-        n_ranks,
-    )
+    spec = get_scenario("c7-checkpoint", seed)
+    (_, workload), = instantiate_workloads(spec)
+
     # Direct op-level compression check.
     ops0 = list(workload.ops(0))
     ct = compress_ops(ops0)
     exact = decompress(ct) == ops0
 
     # End-to-end: trace the run, build the replay model, replay, verify.
-    platform = tiny_cluster(seed=seed)
-    pfs = build_pfs(platform)
+    harness = build(spec)
     tracer = RecorderTracer()
-    run_workload(platform, pfs, workload, observers=[tracer])
+    harness.run(workload, observers=[tracer])
     original_posix = [r for r in tracer.records if r.layer == "posix"]
 
     model = ReplayModel.from_records(tracer.records, name="c7")
-    platform2 = tiny_cluster(seed=seed)
-    pfs2 = build_pfs(platform2)
+    replay_harness = build(spec)  # fresh, identically-configured system
     tracer2 = RecorderTracer()
     model.predict_runtime(
-        platform2, pfs2, include_think_time=False, observers=[tracer2]
+        replay_harness.platform, replay_harness.pfs,
+        include_think_time=False, observers=[tracer2],
     )
     replay_posix = [r for r in tracer2.records if r.layer == "posix"]
     fidelity = verify_fidelity(original_posix, replay_posix)
@@ -143,18 +134,20 @@ def run_c8(seed: int = 0) -> ExperimentRecord:
     """C8: traces from small runs extrapolate to larger scales
     (ScalaIOExtrap [16], [17]).
 
-    IOR data-op traces at 2/4/8 ranks are fitted; the predicted 16-rank
-    trace must match the true 16-rank pattern exactly (offsets/sizes), and
-    replaying the prediction must estimate the direct 16-rank simulation's
-    runtime closely.
+    IOR data-op traces at 2/4/8 ranks (the ``c8-direct`` workload spec at
+    reduced rank counts) are fitted; the predicted 16-rank trace must
+    match the true 16-rank pattern exactly (offsets/sizes), and replaying
+    the prediction must estimate the direct 16-rank simulation's runtime
+    closely.
     """
     rec = ExperimentRecord(
         "C8", "small-scale traces extrapolate to unseen larger scales"
     )
-    cfg_for = lambda: IORConfig(block_size=4 * MiB, transfer_size=MiB, segments=2)
+    spec = get_scenario("c8-direct", seed)
+    wspec = spec.workloads[0]
 
     def data_ops(n):
-        w = IORWorkload(cfg_for(), n)
+        _, w = dataclasses.replace(wspec, n_ranks=n).build()
         return [[op for op in w.ops(r) if op.kind.is_data] for r in range(n)]
 
     ex = TraceExtrapolator().fit({n: data_ops(n) for n in (2, 4, 8)})
@@ -168,19 +161,16 @@ def run_c8(seed: int = 0) -> ExperimentRecord:
     )
 
     # Runtime prediction: replay the extrapolated trace vs direct run.
-    platform_a = tiny_cluster(seed=seed)
-    pfs_a = build_pfs(platform_a)
-    direct = run_workload(platform_a, pfs_a, IORWorkload(cfg_for(), 16))
+    direct = run_scenario(spec).results[0]
 
-    platform_b = tiny_cluster(seed=seed)
-    pfs_b = build_pfs(platform_b)
+    replay_harness = build(get_scenario("c8-replay", seed))
     # The predicted stream holds only data ops; pre-create the shared file.
     setup = OpStreamWorkload(
         "setup",
         [[IOOp(kind=OpKind.CREATE, path="/ior.data", meta={"stripe_count": -1})]],
     )
-    run_workload(platform_b, pfs_b, setup)
-    replayed = run_workload(platform_b, pfs_b, predicted)
+    replay_harness.run(setup)
+    replayed = replay_harness.run(predicted)
 
     runtime_error = abs(replayed.duration - direct.duration) / direct.duration
     rec.measure(

@@ -1,27 +1,18 @@
-"""Experiments C1, C2, C5, C10: system-level claims."""
+"""Experiments C1, C2, C5, C10: system-level claims.
+
+Each system under test is declared as a named scenario
+(:mod:`repro.scenario.presets`) rather than hand-wired, so every
+configuration here can also be inspected, serialized and re-run through
+``repro-io scenario run <name>``.
+"""
 
 from __future__ import annotations
 
-from repro.cluster import GENERATIONS, tiny_cluster
+from repro.cluster import GENERATIONS
 from repro.core.experiment import ExperimentRecord
-from repro.des.engine import Environment
-from repro.pfs import build_pfs
 from repro.pfs.interference import SlowdownReport
-from repro.simulate import run_workload
-from repro.simulate.execsim import ExperimentHarness
-from repro.workloads import (
-    AnalyticsConfig,
-    AnalyticsWorkload,
-    CheckpointConfig,
-    CheckpointWorkload,
-    DLIOConfig,
-    DLIOWorkload,
-    IORConfig,
-    IORWorkload,
-    OpStreamWorkload,
-    montage_like_workflow,
-)
-from repro.workloads.workflow import workflow_bootstrap_ops
+from repro.scenario.build import build, run_scenario
+from repro.scenario.presets import get_scenario
 
 MiB = 1024 * 1024
 KiB = 1024
@@ -54,51 +45,27 @@ def run_c1(seed: int = 0) -> ExperimentRecord:
     return rec
 
 
-def _mix_read_write(workload_specs, seed):
-    """Run a workload sequence on one shared system; return (read, written)."""
-    harness = ExperimentHarness.fresh(lambda: tiny_cluster(seed=seed))
-    for workload in workload_specs:
-        harness.run(workload)
-    return harness.pfs.total_bytes_read(), harness.pfs.total_bytes_written()
+def _month_read_write(scenario_name, seed):
+    """Run one monthly-traffic scenario; return (read, written) totals."""
+    run = run_scenario(get_scenario(scenario_name, seed))
+    pfs = run.harness.pfs
+    return pfs.total_bytes_read(), pfs.total_bytes_written()
 
 
 def run_c2(seed: int = 0) -> ExperimentRecord:
     """C2: HPC storage is no longer write-dominated (Patel et al. [53]).
 
-    A traditional-only month (checkpoints + write-phase IOR) is compared
-    with a mixed month that adds the emerging workloads of Sec. V (DL
-    training, analytics, workflows).  The read share of total traffic must
-    rise decisively, crossing 50% -- the "unexpected" finding.
+    A traditional-only month (scenario ``c2-traditional``: checkpoints +
+    write-phase IOR) is compared with a mixed month (``c2-mixed``) that
+    adds the emerging workloads of Sec. V (DL training, analytics,
+    workflows).  The read share of total traffic must rise decisively,
+    crossing 50% -- the "unexpected" finding.
     """
     rec = ExperimentRecord(
         "C2", "emerging workloads shift HPC storage from write- to read-dominance"
     )
-    traditional = [
-        CheckpointWorkload(
-            CheckpointConfig(bytes_per_rank=8 * MiB, steps=2, compute_seconds=0.2,
-                             fsync=False),
-            n_ranks=4,
-        ),
-        IORWorkload(IORConfig(block_size=8 * MiB, transfer_size=MiB), 4),
-    ]
-    t_read, t_written = _mix_read_write(traditional, seed)
-
-    dlio = DLIOWorkload(
-        DLIOConfig(n_samples=256, sample_bytes=128 * KiB, n_shards=4,
-                   batch_size=16, epochs=6, compute_per_batch=0.0),
-        n_ranks=4,
-    )
-    analytics = AnalyticsWorkload(
-        AnalyticsConfig(input_bytes=64 * MiB, compute_per_mb=0.0), n_ranks=4
-    )
-    wf = montage_like_workflow(n_inputs=8, n_ranks=4, input_bytes=2 * MiB)
-    emerging_setup = [
-        OpStreamWorkload("dlio-gen", [list(dlio.generation_ops(r)) for r in range(4)]),
-        OpStreamWorkload("ana-gen", [list(analytics.generation_ops(r)) for r in range(4)]),
-        OpStreamWorkload("wf-boot", [list(workflow_bootstrap_ops(wf, 2 * MiB, 8))]),
-    ]
-    mixed = traditional + emerging_setup + [dlio, analytics, wf]
-    m_read, m_written = _mix_read_write(mixed, seed)
+    t_read, t_written = _month_read_write("c2-traditional", seed)
+    m_read, m_written = _month_read_write("c2-mixed", seed)
 
     trad_share = t_read / (t_read + t_written)
     mixed_share = m_read / (m_read + m_written)
@@ -119,9 +86,10 @@ def run_c5(seed: int = 0) -> ExperimentRecord:
     """C5: burst buffers absorb checkpoint bursts (Sec. II, [33], [59]).
 
     The same checkpoint burst is written (a) directly to the disk-backed
-    PFS and (b) into the I/O-node burst buffer with background drain to
-    the same PFS.  The application-visible write time must drop by a large
-    factor while the drain completes asynchronously.
+    PFS (scenario ``c5-direct``) and (b) into the I/O-node burst buffer
+    with background drain to the same PFS (hand-wired staging on the
+    platform-only scenario ``c5-bb``).  The application-visible write time
+    must drop by a large factor while the drain completes asynchronously.
     """
     rec = ExperimentRecord(
         "C5", "a burst-buffer tier absorbs checkpoint bursts at SSD speed"
@@ -129,23 +97,13 @@ def run_c5(seed: int = 0) -> ExperimentRecord:
     burst_bytes = 64 * MiB
 
     # (a) Direct to PFS.
-    platform_a = tiny_cluster(seed=seed)
-    pfs_a = build_pfs(platform_a)
-    direct = run_workload(
-        platform_a,
-        pfs_a,
-        CheckpointWorkload(
-            CheckpointConfig(bytes_per_rank=burst_bytes // 4, steps=1,
-                             compute_seconds=0.0, fsync=False),
-            n_ranks=4,
-        ),
-    )
+    direct = run_scenario(get_scenario("c5-direct", seed)).results[0]
 
     # (b) Through the burst-buffer staging client, draining to the same PFS.
     from repro.pfs.staging import StagingClient
 
-    platform_b = tiny_cluster(seed=seed)
-    pfs_b = build_pfs(platform_b)
+    harness = build(get_scenario("c5-bb", seed))
+    platform_b, pfs_b = harness.platform, harness.pfs
     bb = platform_b.burst_buffers["bb0"]
     staging = StagingClient(bb, pfs_b.client(platform_b.io_nodes[0].name))
     env = platform_b.env
@@ -181,28 +139,17 @@ def run_c5(seed: int = 0) -> ExperimentRecord:
 def run_c10(seed: int = 0) -> ExperimentRecord:
     """C10: cross-application interference degrades I/O (Yildiz et al. [40]).
 
-    An IOR job striped over all OSTs is timed alone, then co-scheduled
-    with an identical competitor sharing the same OSTs.  The slowdown must
-    be substantial (near 2x for two equal jobs on a shared device pool).
+    An IOR job striped over all OSTs is timed alone (scenario
+    ``c10-alone``), then co-scheduled with an identical competitor sharing
+    the same OSTs (the concurrent scenario ``c10-shared``).  The slowdown
+    must be substantial (near 2x for two equal jobs on a shared device
+    pool).
     """
     rec = ExperimentRecord(
         "C10", "co-scheduled applications interfere through shared storage"
     )
-
-    def make_job(path):
-        cfg = IORConfig(
-            block_size=16 * MiB, transfer_size=4 * MiB, stripe_count=-1,
-            test_file=path,
-        )
-        return IORWorkload(cfg, 2)
-
-    harness_alone = ExperimentHarness.fresh(lambda: tiny_cluster(seed=seed))
-    alone = harness_alone.run(make_job("/alone"))
-
-    harness_shared = ExperimentHarness.fresh(lambda: tiny_cluster(seed=seed))
-    together = harness_shared.run_concurrently(
-        [make_job("/jobA"), make_job("/jobB")]
-    )
+    alone = run_scenario(get_scenario("c10-alone", seed)).results[0]
+    together = run_scenario(get_scenario("c10-shared", seed)).results
     report = SlowdownReport(
         alone={"jobA": alone.duration, "jobB": alone.duration},
         together={"jobA": together[0].duration, "jobB": together[1].duration},

@@ -1,24 +1,16 @@
-"""Experiments C3, C4, C9: workload-behaviour claims."""
+"""Experiments C3, C4, C9: workload-behaviour claims.
+
+Every system under test and workload here is declared as a scenario
+(:mod:`repro.scenario.presets`); the experiments only interpose
+measurements (tracers, MDS counters) between scenario phases.
+"""
 
 from __future__ import annotations
 
-from repro.cluster import tiny_cluster
 from repro.core.experiment import ExperimentRecord
-from repro.pfs import build_pfs
-from repro.simulate import run_workload
-from repro.workloads import (
-    BTIOConfig,
-    BTIOWorkload,
-    CheckpointConfig,
-    CheckpointWorkload,
-    DLIOConfig,
-    DLIOWorkload,
-    IORConfig,
-    IORWorkload,
-    OpStreamWorkload,
-    montage_like_workflow,
-)
-from repro.workloads.workflow import workflow_bootstrap_ops
+from repro.scenario.build import build, instantiate_workloads, run_scenario
+from repro.scenario.presets import get_scenario
+from repro.scenario.sweep import apply_overrides
 
 MiB = 1024 * 1024
 KiB = 1024
@@ -29,54 +21,25 @@ def run_c3(seed: int = 0) -> ExperimentRecord:
     systems handle poorly ([71], Sec. V-B).
 
     The same data volume is read twice on identical disk-backed systems:
-    once by sequential IOR, once by shuffled DLIO mini-batches.  The
+    once by sequential IOR (scenario ``c3-sequential``: a write phase then
+    the measured large-transfer read phase), once by shuffled DLIO
+    mini-batches (``c3-dlio``, data generation bundled as setup).  The
     effective read bandwidth must collapse for DLIO, and the device seek
     ratio must explain why.
     """
     rec = ExperimentRecord(
         "C3", "shuffled DL training reads are far slower than sequential reads"
     )
-    n_ranks = 4
-    n_samples = 512
-    sample_bytes = 128 * KiB
-    volume = n_samples * sample_bytes
+    volume = 512 * 128 * KiB
 
-    # Sequential baseline: well-formed HPC reads (large transfers) of the
-    # same volume.  The write phase runs as a separate setup job so the
-    # measured duration is the read phase alone.
-    platform_a = tiny_cluster(seed=seed)
-    pfs_a = build_pfs(platform_a)
-    setup = IORWorkload(
-        IORConfig(block_size=volume // n_ranks, transfer_size=4 * MiB,
-                  write=True, read=False),
-        n_ranks,
-    )
-    run_workload(platform_a, pfs_a, setup)
-    reader = IORWorkload(
-        IORConfig(block_size=volume // n_ranks, transfer_size=4 * MiB,
-                  write=False, read=True),
-        n_ranks,
-    )
-    seq = run_workload(platform_a, pfs_a, reader)
+    seq_run = run_scenario(get_scenario("c3-sequential", seed))
+    seq = seq_run.results[1]  # the read phase; results[0] wrote the data
     seq_bw = seq.bytes_read / seq.duration
 
-    # DLIO shuffled mini-batches.
-    platform_b = tiny_cluster(seed=seed)
-    pfs_b = build_pfs(platform_b)
-    dlio = DLIOWorkload(
-        DLIOConfig(
-            n_samples=n_samples, sample_bytes=sample_bytes, n_shards=4,
-            batch_size=16, epochs=1, compute_per_batch=0.0, seed=seed,
-        ),
-        n_ranks,
-    )
-    gen = OpStreamWorkload(
-        "dlio-gen", [list(dlio.generation_ops(r)) for r in range(n_ranks)]
-    )
-    run_workload(platform_b, pfs_b, gen)
-    train = run_workload(platform_b, pfs_b, dlio)
+    dlio_run = run_scenario(get_scenario("c3-dlio", seed))
+    train = dlio_run.results[0]
     dlio_bw = train.bytes_read / train.duration
-    seeks = pfs_b.aggregate_device_stats()
+    seeks = dlio_run.harness.pfs.aggregate_device_stats()
 
     slowdown = seq_bw / dlio_bw if dlio_bw > 0 else float("inf")
     rec.measure(
@@ -97,34 +60,28 @@ def run_c4(seed: int = 0) -> ExperimentRecord:
     """C4: data-intensive workflows are metadata-intensive and
     small-transaction ([73], Sec. V-C).
 
-    A Montage-like workflow and a checkpoint job moving a comparable data
-    volume are compared on metadata operations per MiB transferred and on
-    MDS load.  The workflow must exceed the checkpoint by an order of
-    magnitude on the former.
+    A Montage-like workflow (scenario ``c4-workflow``) and a checkpoint
+    job (``c4-checkpoint``) moving a comparable data volume are compared
+    on metadata operations per MiB transferred and on MDS load.  The
+    workflow must exceed the checkpoint by an order of magnitude on the
+    former.  The workflow scenario is run phase by phase so the MDS
+    busy-time delta covers exactly the workflow proper (not its
+    bootstrap).
     """
     rec = ExperimentRecord(
         "C4", "workflows are metadata-intensive; checkpoints are not"
     )
-    n_ranks = 4
-
-    platform_a = tiny_cluster(seed=seed)
-    pfs_a = build_pfs(platform_a)
-    ckpt = CheckpointWorkload(
-        CheckpointConfig(bytes_per_rank=16 * MiB, steps=2, compute_seconds=0.1,
-                         fsync=False),
-        n_ranks,
-    )
-    r_ckpt = run_workload(platform_a, pfs_a, ckpt)
+    r_ckpt = run_scenario(get_scenario("c4-checkpoint", seed)).results[0]
     ckpt_md_per_mib = r_ckpt.meta_ops / (r_ckpt.bytes_written / MiB)
 
-    platform_b = tiny_cluster(seed=seed)
-    pfs_b = build_pfs(platform_b)
-    wf = montage_like_workflow(n_inputs=12, n_ranks=n_ranks, input_bytes=MiB)
-    boot = OpStreamWorkload("boot", [list(workflow_bootstrap_ops(wf, MiB, 12))])
-    run_workload(platform_b, pfs_b, boot)
-    mds_before = pfs_b.mds_servers[0][0].busy_time
-    r_wf = run_workload(platform_b, pfs_b, wf)
-    mds_busy = pfs_b.mds_servers[0][0].busy_time - mds_before
+    wf_spec = get_scenario("c4-workflow", seed)
+    harness = build(wf_spec)
+    (setup, wf), = instantiate_workloads(wf_spec)
+    for boot in setup:
+        harness.run(boot)
+    mds_before = harness.pfs.mds_servers[0][0].busy_time
+    r_wf = harness.run(wf)
+    mds_busy = harness.pfs.mds_servers[0][0].busy_time - mds_before
     moved = (r_wf.bytes_written + r_wf.bytes_read) / MiB
     wf_md_per_mib = r_wf.meta_ops / moved
 
@@ -144,27 +101,26 @@ def run_c9(seed: int = 0) -> ExperimentRecord:
     """C9: collective (two-phase) I/O beats independent I/O for
     non-contiguous access (the Fig. 2 middleware's raison d'etre).
 
-    BT-IO's nested-strided dump is written with collective buffering on
-    and off; collective mode must win clearly, and the trace must show the
-    coalescing (far fewer POSIX writes than MPI-IO requests).
+    BT-IO's nested-strided dump (scenario ``c9-btio``) is written with
+    collective buffering on and off (the off variant derived by a
+    scenario override); collective mode must win clearly, and the trace
+    must show the coalescing (far fewer POSIX writes than MPI-IO
+    requests).
     """
     rec = ExperimentRecord(
         "C9", "collective two-phase I/O outperforms independent strided writes"
     )
+    base = get_scenario("c9-btio", seed)
     results = {}
     posix_ops = {}
     for collective in (True, False):
-        platform = tiny_cluster(seed=seed)
-        pfs = build_pfs(platform)
         from repro.monitoring import RecorderTracer
 
+        spec = apply_overrides(base, {"collective": collective})
+        harness = build(spec)
+        (_, w), = instantiate_workloads(spec)
         tracer = RecorderTracer()
-        w = BTIOWorkload(
-            BTIOConfig(grid=32, cell_bytes=40, dumps=2, compute_seconds=0.0,
-                       collective=collective),
-            n_ranks=8,
-        )
-        results[collective] = run_workload(platform, pfs, w, observers=[tracer])
+        results[collective] = harness.run(w, observers=[tracer])
         posix = tracer.archive.at_layer("posix").data_ops()
         posix_ops[collective] = len(posix.records)
 

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-from repro.cluster import medium_cluster, tiny_cluster
 from repro.core.cycle import EvaluationCycle
 from repro.core.experiment import ExperimentRecord
 from repro.monitoring.tracer import RecorderTracer
-from repro.pfs import build_pfs
-from repro.simulate import run_workload
+from repro.scenario.build import build, build_platform
+from repro.scenario.presets import get_scenario
 from repro.survey.analysis import (
     distribution_by_publisher,
     distribution_by_type,
@@ -34,7 +33,7 @@ def run_e1(seed: int = 0) -> ExperimentRecord:
     rec = ExperimentRecord(
         "E1", "Fig. 1: HPC system with a center-wide parallel file system"
     )
-    platform = medium_cluster(seed=seed)
+    platform = build_platform(get_scenario("e1-platform", seed))
     text = fig1_platform(platform)
     checks = {
         "has_compute": all(n.name in text for n in platform.compute_nodes[:4]),
@@ -72,8 +71,8 @@ def run_e2(seed: int = 0) -> ExperimentRecord:
     from repro.mpi import MPIRuntime
     from repro.mpi.runtime import round_robin_nodes
 
-    platform = tiny_cluster(seed=seed)
-    pfs = build_pfs(platform)
+    harness = build(get_scenario("e2-stack", seed))
+    platform, pfs = harness.platform, harness.pfs
     nodes = round_robin_nodes([n.name for n in platform.compute_nodes], 2)
     runtime = MPIRuntime(platform.env, platform.compute_fabric, nodes)
     tracer = RecorderTracer()
@@ -140,7 +139,7 @@ def run_e4(seed: int = 0) -> ExperimentRecord:
     rec = ExperimentRecord("E4", "Fig. 4: the iterative evaluation cycle (executed)")
     text = fig4_cycle()
     cycle = EvaluationCycle(
-        platform_factory=lambda: tiny_cluster(seed=seed),
+        platform_factory=lambda: build_platform(get_scenario("e4-cycle", seed)),
         workload_factory=lambda: IORWorkload(
             IORConfig(block_size=2 * MiB, transfer_size=512 * 1024), 2
         ),

@@ -12,8 +12,15 @@ from __future__ import annotations
 import zlib
 from typing import Dict, Optional, Tuple, Type
 
-from repro.cluster.devices import BlockDevice, DiskDevice
+from repro.cluster.devices import BlockDevice, DiskDevice, SSDDevice
 from repro.cluster.platform import Platform
+
+#: OST device classes addressable by name from a declarative
+#: :class:`~repro.scenario.spec.StorageSpec`.
+DEVICE_CLASSES: Dict[str, Type[BlockDevice]] = {
+    "disk": DiskDevice,
+    "ssd": SSDDevice,
+}
 from repro.pfs.client import PFSClient
 from repro.pfs.layout import StripeLayout
 from repro.pfs.mds import MetadataServer
@@ -93,6 +100,27 @@ class ParallelFileSystem:
         self.n_osts = ost_id
         self._alloc_cursor = 0
         self.alloc_policy = alloc_policy
+
+    @classmethod
+    def from_spec(cls, platform: Platform, storage) -> "ParallelFileSystem":
+        """Spec-driven factory: attach a file system described by a
+        :class:`~repro.scenario.spec.StorageSpec` (duck-typed -- anything
+        with ``stripe_size`` / ``default_stripe_count`` / ``max_rpc`` /
+        ``device`` / ``alloc_policy`` attributes works)."""
+        device_cls = DEVICE_CLASSES.get(storage.device)
+        if device_cls is None:
+            raise ValueError(
+                f"unknown storage device {storage.device!r}; "
+                f"available: {', '.join(sorted(DEVICE_CLASSES))}"
+            )
+        return cls(
+            platform,
+            stripe_size=storage.stripe_size,
+            default_stripe_count=storage.default_stripe_count,
+            max_rpc=storage.max_rpc,
+            device_cls=device_cls,
+            alloc_policy=storage.alloc_policy,
+        )
 
     # -- layout allocation -------------------------------------------------------
     def ost_load(self, ost_id: int) -> float:

@@ -1,0 +1,137 @@
+"""Scenario assembly: spec -> running simulated system.
+
+:func:`build` is the one entry point that threads a
+:class:`~repro.scenario.spec.ScenarioSpec` through every layer --
+platform (:func:`repro.cluster.platform.platform_from_spec`), parallel
+file system (:meth:`repro.pfs.filesystem.ParallelFileSystem.from_spec`)
+and per-rank I/O stack defaults -- and returns a ready
+:class:`~repro.simulate.execsim.ExperimentHarness`.
+
+:func:`run_scenario` additionally instantiates and runs the declared
+workloads (sequentially, or concurrently for interference scenarios) and
+returns a :class:`ScenarioRun` with per-workload results and aggregate
+file-system counters.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.platform import Platform, platform_from_spec
+from repro.ops import IORecord
+from repro.pfs.filesystem import ParallelFileSystem
+from repro.scenario.spec import ScenarioSpec
+from repro.simulate.execsim import ExperimentHarness
+from repro.workloads.base import Workload, WorkloadResult
+
+log = logging.getLogger(__name__)
+
+
+def build_platform(spec: ScenarioSpec) -> Platform:
+    """Assemble only the platform of a scenario (seed-overridden)."""
+    spec.validate()
+    return platform_from_spec(spec.platform, seed=spec.seed)
+
+
+def build(spec: ScenarioSpec) -> ExperimentHarness:
+    """Assemble the full system under test of a scenario.
+
+    The returned harness carries the scenario's stack defaults: every
+    ``harness.run(...)`` builds per-rank I/O stacks with the declared
+    collective-buffering and client-cache settings unless the call
+    overrides them explicitly.
+    """
+    platform = build_platform(spec)
+    pfs = ParallelFileSystem.from_spec(platform, spec.storage)
+    if log.isEnabledFor(logging.DEBUG):  # describe() formats eagerly
+        log.debug("built scenario %r: %s", spec.name, spec.describe())
+    return ExperimentHarness(
+        platform=platform,
+        pfs=pfs,
+        stack_defaults=spec.stack.kwargs(),
+        scenario=spec,
+    )
+
+
+def instantiate_workloads(spec: ScenarioSpec):
+    """Build every declared workload: ``[(setup_list, main), ...]``."""
+    return [w.build() for w in spec.workloads]
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of :func:`run_scenario`: results plus the live harness."""
+
+    scenario: ScenarioSpec
+    harness: ExperimentHarness
+    #: Main-workload results, in declaration order.
+    results: List[WorkloadResult] = field(default_factory=list)
+    #: Setup-workload results (data generation etc.), in run order.
+    setup_results: List[WorkloadResult] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Total simulated time consumed by the scenario."""
+        return self.harness.platform.env.now
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical result payload (used by the sweep cache/manifest)."""
+        from dataclasses import asdict
+
+        pfs = self.harness.pfs
+        return {
+            "scenario": self.scenario.name,
+            "scenario_digest": self.scenario.digest(),
+            "seed": self.scenario.seed,
+            "duration": self.duration,
+            "bytes_written": pfs.total_bytes_written(),
+            "bytes_read": pfs.total_bytes_read(),
+            "meta_ops": pfs.total_metadata_ops(),
+            "results": [asdict(r) for r in self.results],
+            "setup_results": [asdict(r) for r in self.setup_results],
+        }
+
+    def summary(self) -> str:
+        lines = [f"scenario {self.scenario.name}: "
+                 f"{len(self.results)} workload(s), "
+                 f"{self.duration:.3f}s simulated"]
+        lines.extend(f"  {r.summary()}" for r in self.results)
+        return "\n".join(lines)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    observers: Optional[List[Callable[[IORecord], None]]] = None,
+) -> ScenarioRun:
+    """Build a scenario and run its declared workloads.
+
+    Sequential scenarios run each workload's setup then its main, in
+    declaration order, on the shared file system.  Concurrent scenarios
+    run every setup first (sequentially -- data generation is not the
+    measured contention), then all mains at the same simulated time.
+
+    ``observers`` (e.g. a tracer or profiler) attach to every *main*
+    workload's stacks; setup workloads run unobserved, matching how the
+    experiments treat data generation.
+    """
+    harness = build(spec)
+    built = instantiate_workloads(spec)
+    run = ScenarioRun(scenario=spec, harness=harness)
+
+    if spec.concurrent:
+        for setup, _ in built:
+            for w in setup:
+                run.setup_results.append(harness.run(w))
+        run.results.extend(
+            harness.run_concurrently(
+                [main for _, main in built], observers=observers
+            )
+        )
+    else:
+        for setup, main in built:
+            for w in setup:
+                run.setup_results.append(harness.run(w))
+            run.results.append(harness.run(main, observers=observers))
+    return run

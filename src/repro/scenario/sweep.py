@@ -1,0 +1,392 @@
+"""Cartesian parameter sweeps over a base scenario.
+
+The evaluation loops every parallel-I/O paper runs ("for each stripe
+count, for each transfer size, ...") become data: :func:`expand_grid`
+takes a base :class:`~repro.scenario.spec.ScenarioSpec` and an ordered
+``{parameter: [values...]}`` grid and yields one fully-resolved scenario
+per grid point, in :func:`itertools.product` order (first key outermost --
+matching the nested-loop order a hand-written sweep would use).
+
+Parameters address any layer of the spec:
+
+* dotted paths pin the layer explicitly -- ``platform.n_oss``,
+  ``storage.default_stripe_count``, ``stack.cb_nodes``,
+  ``workloads.0.n_ranks``, ``workloads.0.params.transfer_size``;
+* bare names resolve by layer order: a platform field, else a storage
+  field, else a stack field, else a workload field (``n_ranks``/``kind``,
+  applied to every workload), else a workload *parameter* applied to every
+  workload (so ``stripe_count=4`` reaches each job's config).
+
+:func:`run_sweep` executes the expanded points through the same machinery
+as the experiment runner: process-pool fan-out, an on-disk cache keyed by
+``(scenario digest, source digest)``, and a sweep manifest recording per-
+point provenance (overrides, digests, cache status, wall-clock, result
+hash).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import logging
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.cluster.platform import PlatformSpec
+from repro.scenario.spec import (
+    ScenarioError,
+    ScenarioSpec,
+    StackSpec,
+    StorageSpec,
+    WorkloadSpec,
+)
+
+log = logging.getLogger(__name__)
+
+SWEEP_SCHEMA = "repro.scenario.sweep/1"
+SWEEP_MANIFEST_NAME = "sweep-manifest.json"
+
+#: Sweep result cache, next to the experiment runner's cache.
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+_WORKLOAD_FIELDS = ("kind", "n_ranks")
+
+
+def _spec_fields(cls) -> set:
+    return {f.name for f in dataclasses.fields(cls)}
+
+
+def _replace_workload(w: WorkloadSpec, parts: Sequence[str], value) -> WorkloadSpec:
+    if parts and parts[0] == "params":
+        if len(parts) != 2:
+            raise ScenarioError(
+                f"workload params path must be 'params.<name>', got "
+                f"{'.'.join(parts)!r}"
+            )
+        params = dict(w.params)
+        params[parts[1]] = value
+        return dataclasses.replace(w, params=params)
+    if len(parts) == 1 and parts[0] in _WORKLOAD_FIELDS:
+        return dataclasses.replace(w, **{parts[0]: value})
+    raise ScenarioError(f"unknown workload override path {'.'.join(parts)!r}")
+
+
+def _apply_one(spec: ScenarioSpec, key: str, value) -> ScenarioSpec:
+    parts = key.split(".")
+    head = parts[0]
+
+    if len(parts) == 1 and head in ("seed", "concurrent", "name"):
+        return spec.replace(**{head: value})
+
+    if head in ("platform", "storage", "stack") and len(parts) == 2:
+        sub = getattr(spec, head)
+        if parts[1] not in _spec_fields(type(sub)):
+            raise ScenarioError(f"{head} has no field {parts[1]!r}")
+        return spec.replace(**{head: dataclasses.replace(sub, **{parts[1]: value})})
+
+    if head == "workloads":
+        if len(parts) < 3:
+            raise ScenarioError(
+                f"workload override needs 'workloads.<index>.<field>', got {key!r}"
+            )
+        try:
+            idx = int(parts[1])
+            wl = list(spec.workloads)
+            wl[idx] = _replace_workload(wl[idx], parts[2:], value)
+        except (ValueError, IndexError) as exc:
+            raise ScenarioError(f"bad workload index in {key!r}: {exc}") from exc
+        return spec.replace(workloads=tuple(wl))
+
+    if len(parts) == 1:
+        # Bare name: resolve platform -> storage -> stack -> workloads.
+        if head in _spec_fields(PlatformSpec):
+            return spec.replace(
+                platform=dataclasses.replace(spec.platform, **{head: value})
+            )
+        if head in _spec_fields(StorageSpec):
+            return spec.replace(
+                storage=dataclasses.replace(spec.storage, **{head: value})
+            )
+        if head in _spec_fields(StackSpec):
+            return spec.replace(
+                stack=dataclasses.replace(spec.stack, **{head: value})
+            )
+        if not spec.workloads:
+            raise ScenarioError(
+                f"cannot resolve bare parameter {head!r}: no matching spec "
+                f"field and the scenario declares no workloads"
+            )
+        if head in _WORKLOAD_FIELDS:
+            wl = [dataclasses.replace(w, **{head: value}) for w in spec.workloads]
+        else:
+            wl = [
+                dataclasses.replace(w, params={**w.params, head: value})
+                for w in spec.workloads
+            ]
+        return spec.replace(workloads=tuple(wl))
+
+    raise ScenarioError(f"unknown override path {key!r}")
+
+
+def apply_overrides(spec: ScenarioSpec, overrides: Mapping[str, Any]) -> ScenarioSpec:
+    """Return ``spec`` with every override applied (spec is not mutated)."""
+    for key, value in overrides.items():
+        spec = _apply_one(spec, key, value)
+    return spec
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def point_name(base: ScenarioSpec, overrides: Mapping[str, Any]) -> str:
+    """Human-readable point label, e.g. ``a3-ior/stripe_count=4,transfer_size=1048576``."""
+    pairs = ",".join(
+        f"{k.rsplit('.', 1)[-1]}={_fmt_value(v)}" for k, v in overrides.items()
+    )
+    return f"{base.name}/{pairs}" if pairs else base.name
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved grid point."""
+
+    name: str
+    #: The flat override mapping that produced this point.
+    overrides: Dict[str, Any]
+    scenario: ScenarioSpec
+
+
+def expand_grid(
+    base: ScenarioSpec, grid: Mapping[str, Sequence[Any]]
+) -> List[SweepPoint]:
+    """Expand the cartesian product of ``grid`` over ``base``.
+
+    Iteration order is :func:`itertools.product` over the grid's key
+    order: the first key is the outermost loop.  Every point is validated;
+    an invalid combination fails the whole expansion (before anything
+    runs).
+    """
+    if not grid:
+        return [SweepPoint(base.name, {}, base.validate())]
+    keys = list(grid)
+    empty = [k for k in keys if not list(grid[k])]
+    if empty:
+        raise ScenarioError(f"empty value list for sweep parameter(s): {empty}")
+    points: List[SweepPoint] = []
+    for combo in itertools.product(*(list(grid[k]) for k in keys)):
+        overrides = dict(zip(keys, combo))
+        name = point_name(base, overrides)
+        spec = apply_overrides(base, overrides).replace(name=name)
+        points.append(SweepPoint(name, overrides, spec.validate()))
+    return points
+
+
+# -- execution ---------------------------------------------------------------
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep point."""
+
+    point: SweepPoint
+    #: :meth:`repro.scenario.build.ScenarioRun.to_dict` payload.
+    outcome: Dict[str, Any]
+    cached: bool
+    seconds: float
+
+    @property
+    def payload(self) -> bytes:
+        return json.dumps(
+            self.outcome, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+
+def _execute_point(scenario_json: str) -> Dict[str, Any]:
+    """Run one scenario (module-level: picklable for the process pool)."""
+    from repro.scenario.build import run_scenario
+
+    spec = ScenarioSpec.from_json(scenario_json)
+    # Isolate accidental global-RNG use from pool scheduling order, exactly
+    # like the experiment runner's per-task seeding guard.
+    ts = int.from_bytes(
+        hashlib.sha256(spec.digest().encode("utf-8")).digest()[:8], "big"
+    )
+    random.seed(ts)
+    try:
+        import numpy as np
+
+        np.random.seed(ts % 2**32)
+    except ImportError:  # pragma: no cover
+        pass
+    return run_scenario(spec).to_dict()
+
+
+def _execute_point_timed(scenario_json: str):
+    start = time.perf_counter()
+    outcome = _execute_point(scenario_json)
+    return outcome, time.perf_counter() - start
+
+
+def _cache_path(cache_dir: Path, scenario_digest: str, source_digest: str) -> Path:
+    return cache_dir / f"sweep-{scenario_digest[:16]}-{source_digest[:16]}.json"
+
+
+def _cache_load(path: Path, source_digest: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            stored = json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        log.warning("corrupt sweep cache entry %s (%s); re-executing", path, exc)
+        return None
+    if not isinstance(stored, dict) or stored.get("source_digest") != source_digest:
+        log.warning("stale sweep cache entry %s; re-executing", path)
+        return None
+    outcome = stored.get("outcome")
+    return outcome if isinstance(outcome, dict) else None
+
+
+def _cache_store(
+    path: Path, scenario_digest: str, source_digest: str, outcome: Dict[str, Any]
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "scenario_digest": scenario_digest,
+                "source_digest": source_digest,
+                "outcome": outcome,
+            },
+            fh,
+            indent=1,
+        )
+    tmp.replace(path)
+
+
+def run_sweep(
+    base: ScenarioSpec,
+    grid: Mapping[str, Sequence[Any]],
+    jobs: int = 1,
+    use_cache: bool = True,
+    cache_dir: Union[Path, str] = DEFAULT_CACHE_DIR,
+    seed: Optional[int] = None,
+    manifest: bool = True,
+    manifest_path: Optional[Union[Path, str]] = None,
+) -> List[SweepResult]:
+    """Run every grid point of a sweep, in parallel when ``jobs > 1``.
+
+    Points are executed through :func:`repro.scenario.build.run_scenario`
+    on worker processes and cached on disk keyed by ``(scenario digest,
+    source digest)`` -- the same invalidation discipline as the experiment
+    runner: any source change re-runs everything, an unchanged point is a
+    file read.  Results come back in grid order regardless of ``jobs``.
+
+    When ``manifest`` is true a sweep manifest (schema
+    ``repro.scenario.sweep/1``) is written next to the cache directory
+    recording, for every point, the overrides, the scenario digest, cache
+    status, wall-clock seconds and a SHA-256 of the result payload.
+    """
+    from repro.experiments.runner import source_digest as compute_source_digest
+    from repro.telemetry.provenance import host_metadata, write_manifest
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if seed is not None:
+        base = base.with_seed(seed)
+    points = expand_grid(base, grid)
+    cache_dir = Path(cache_dir)
+    wall_start = time.perf_counter()
+    src_digest = compute_source_digest()
+
+    results: Dict[int, SweepResult] = {}
+    misses: List[int] = []
+    for i, point in enumerate(points):
+        outcome = (
+            _cache_load(
+                _cache_path(cache_dir, point.scenario.digest(), src_digest),
+                src_digest,
+            )
+            if use_cache
+            else None
+        )
+        if outcome is not None:
+            results[i] = SweepResult(point, outcome, cached=True, seconds=0.0)
+        else:
+            misses.append(i)
+    log.info(
+        "sweep %s: %d point(s), %d cached, %d to run (jobs=%d)",
+        base.name, len(points), len(points) - len(misses), len(misses), jobs,
+    )
+
+    if misses:
+        payloads = [points[i].scenario.canonical_json() for i in misses]
+        if jobs == 1 or len(misses) == 1:
+            outcomes = [_execute_point_timed(p) for p in payloads]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
+                outcomes = list(pool.map(_execute_point_timed, payloads))
+        for i, (outcome, seconds) in zip(misses, outcomes):
+            results[i] = SweepResult(points[i], outcome, cached=False, seconds=seconds)
+            if use_cache:
+                _cache_store(
+                    _cache_path(cache_dir, points[i].scenario.digest(), src_digest),
+                    points[i].scenario.digest(), src_digest, outcome,
+                )
+
+    ordered = [results[i] for i in range(len(points))]
+
+    if manifest:
+        out_path = (
+            Path(manifest_path) if manifest_path is not None
+            else cache_dir.parent / SWEEP_MANIFEST_NAME
+        )
+        doc = {
+            "schema": SWEEP_SCHEMA,
+            "created": time.time(),
+            "base_scenario": base.name,
+            "base_digest": base.digest(),
+            "source_digest": src_digest,
+            "grid": {k: list(v) for k, v in grid.items()},
+            "jobs": jobs,
+            "use_cache": use_cache,
+            "cache_dir": str(cache_dir),
+            "points": [
+                {
+                    "name": r.point.name,
+                    "overrides": dict(r.point.overrides),
+                    "scenario_digest": r.point.scenario.digest(),
+                    "cached": r.cached,
+                    "seconds": r.seconds,
+                    "result_sha256": hashlib.sha256(r.payload).hexdigest(),
+                }
+                for r in ordered
+            ],
+            "wall_seconds": time.perf_counter() - wall_start,
+            "host": host_metadata(),
+        }
+        write_manifest(doc, out_path)
+
+    return ordered
+
+
+def load_sweep_manifest(path: Union[Path, str]) -> Dict[str, Any]:
+    """Read a sweep manifest back, validating its schema marker."""
+    with open(Path(path), "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SWEEP_SCHEMA:
+        raise ValueError(
+            f"{path} is not a scenario sweep manifest (schema={doc.get('schema')!r})"
+        )
+    return doc

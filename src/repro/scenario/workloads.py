@@ -1,0 +1,168 @@
+"""Declarative workload builders: ``WorkloadSpec`` -> workload instances.
+
+Each *kind* maps a JSON-native parameter dict onto one workload of the zoo
+(:mod:`repro.workloads`).  A builder returns ``(setup_workloads, main)``:
+the setup list creates whatever on-disk state the main workload consumes
+(dataset shards, raw workflow inputs) and runs before it.
+
+Data-dependent workloads come in two shapes so scenarios can either stay
+compact or control phase ordering exactly:
+
+* ``dlio`` / ``analytics`` / ``workflow`` accept ``generate: true``
+  (``bootstrap: true`` for workflows) to bundle their data-generation
+  phase as setup;
+* ``dlio_gen`` / ``analytics_gen`` / ``workflow_boot`` expose *only* the
+  generation phase as a standalone workload, for scenarios that interleave
+  several workloads' phases (e.g. the C2 mixed-month scenario generates
+  all datasets before running any consumer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.workloads import (
+    AnalyticsConfig,
+    AnalyticsWorkload,
+    BTIOConfig,
+    BTIOWorkload,
+    CheckpointConfig,
+    CheckpointWorkload,
+    DLIOConfig,
+    DLIOWorkload,
+    FacilityConfig,
+    FacilityIngestWorkload,
+    H5BenchConfig,
+    H5BenchWorkload,
+    IORConfig,
+    IORWorkload,
+    MdtestConfig,
+    MdtestWorkload,
+    OpStreamWorkload,
+    Workload,
+    montage_like_workflow,
+)
+from repro.workloads.workflow import workflow_bootstrap_ops
+
+BuiltWorkload = Tuple[List[Workload], Workload]
+WorkloadBuilder = Callable[["WorkloadSpec"], BuiltWorkload]  # noqa: F821
+
+
+def _config_workload(config_cls, workload_cls):
+    """Builder for plain ``Workload(Config(**params), n_ranks)`` kinds."""
+
+    def build(spec) -> BuiltWorkload:
+        return [], workload_cls(config_cls(**spec.params), spec.n_ranks)
+
+    return build
+
+
+def _build_h5bench(spec) -> BuiltWorkload:
+    params = dict(spec.params)
+    if "dims" in params:  # JSON carries lists; the config wants a tuple
+        params["dims"] = tuple(params["dims"])
+    return [], H5BenchWorkload(H5BenchConfig(**params), spec.n_ranks)
+
+
+def _dlio_instance(spec) -> DLIOWorkload:
+    params = {k: v for k, v in spec.params.items() if k != "generate"}
+    return DLIOWorkload(DLIOConfig(**params), spec.n_ranks)
+
+
+def _dlio_generation(spec) -> OpStreamWorkload:
+    w = _dlio_instance(spec)
+    return OpStreamWorkload(
+        "dlio-gen", [list(w.generation_ops(r)) for r in range(spec.n_ranks)]
+    )
+
+
+def _build_dlio(spec) -> BuiltWorkload:
+    setup = [_dlio_generation(spec)] if spec.params.get("generate") else []
+    return setup, _dlio_instance(spec)
+
+
+def _build_dlio_gen(spec) -> BuiltWorkload:
+    return [], _dlio_generation(spec)
+
+
+def _analytics_instance(spec) -> AnalyticsWorkload:
+    params = {k: v for k, v in spec.params.items() if k != "generate"}
+    return AnalyticsWorkload(AnalyticsConfig(**params), spec.n_ranks)
+
+
+def _analytics_generation(spec) -> OpStreamWorkload:
+    w = _analytics_instance(spec)
+    return OpStreamWorkload(
+        "analytics-gen",
+        [list(w.generation_ops(r)) for r in range(spec.n_ranks)],
+    )
+
+
+def _build_analytics(spec) -> BuiltWorkload:
+    setup = [_analytics_generation(spec)] if spec.params.get("generate") else []
+    return setup, _analytics_instance(spec)
+
+
+def _build_analytics_gen(spec) -> BuiltWorkload:
+    return [], _analytics_generation(spec)
+
+
+_WORKFLOW_KEYS = ("n_inputs", "input_bytes", "work_dir")
+
+
+def _workflow_instance(spec):
+    params = {k: spec.params[k] for k in _WORKFLOW_KEYS if k in spec.params}
+    return montage_like_workflow(n_ranks=spec.n_ranks, **params)
+
+
+def _workflow_bootstrap(spec) -> OpStreamWorkload:
+    wf = _workflow_instance(spec)
+    n_inputs = spec.params.get("n_inputs", 8)
+    input_bytes = spec.params.get("input_bytes", 4 * 1024 * 1024)
+    return OpStreamWorkload(
+        "wf-boot", [list(workflow_bootstrap_ops(wf, input_bytes, n_inputs))]
+    )
+
+
+def _build_workflow(spec) -> BuiltWorkload:
+    setup = [_workflow_bootstrap(spec)] if spec.params.get("bootstrap") else []
+    return setup, _workflow_instance(spec)
+
+
+def _build_workflow_boot(spec) -> BuiltWorkload:
+    return [], _workflow_bootstrap(spec)
+
+
+#: Every declarable workload kind.
+WORKLOAD_KINDS: Dict[str, WorkloadBuilder] = {
+    "ior": _config_workload(IORConfig, IORWorkload),
+    "mdtest": _config_workload(MdtestConfig, MdtestWorkload),
+    "checkpoint": _config_workload(CheckpointConfig, CheckpointWorkload),
+    "btio": _config_workload(BTIOConfig, BTIOWorkload),
+    "h5bench": _build_h5bench,
+    "facility": _config_workload(FacilityConfig, FacilityIngestWorkload),
+    "dlio": _build_dlio,
+    "dlio_gen": _build_dlio_gen,
+    "analytics": _build_analytics,
+    "analytics_gen": _build_analytics_gen,
+    "workflow": _build_workflow,
+    "workflow_boot": _build_workflow_boot,
+}
+
+
+def build_workload(spec) -> BuiltWorkload:
+    """Instantiate one :class:`~repro.scenario.spec.WorkloadSpec`.
+
+    Raises :class:`~repro.scenario.spec.ScenarioError` for unknown kinds
+    and ``TypeError``/``ValueError`` for parameters the kind's config
+    rejects (configs validate themselves).
+    """
+    from repro.scenario.spec import ScenarioError
+
+    builder = WORKLOAD_KINDS.get(spec.kind)
+    if builder is None:
+        raise ScenarioError(
+            f"unknown workload kind {spec.kind!r}; "
+            f"available: {', '.join(sorted(WORKLOAD_KINDS))}"
+        )
+    return builder(spec)

@@ -8,13 +8,18 @@ runs the workload program inside the simulator, and returns a
 :class:`ExperimentHarness` bundles a platform + file system and runs
 several workloads (sequentially or concurrently) against the same storage
 state -- the building block for interference and mixed-workload
-experiments.
+experiments.  Harnesses are usually assembled from a declarative
+:class:`~repro.scenario.spec.ScenarioSpec` via
+:meth:`ExperimentHarness.from_scenario` (or
+:func:`repro.scenario.build.build`), which threads the scenario's stack
+configuration into every ``run`` call as defaults.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.cluster.platform import Platform
 from repro.mpi.runtime import MPIRuntime, round_robin_nodes
@@ -23,6 +28,8 @@ from repro.iostack.stack import IOStackBuilder
 from repro.pfs.filesystem import ParallelFileSystem, build_pfs
 from repro.workloads.base import Workload, WorkloadResult
 
+log = logging.getLogger(__name__)
+
 
 def run_workload(
     platform: Platform,
@@ -30,6 +37,7 @@ def run_workload(
     workload: Workload,
     observers: Optional[List[Callable[[IORecord], None]]] = None,
     read_cache_bytes: int = 0,
+    write_cache_bytes: int = 0,
     cb_nodes: Optional[int] = None,
     compute_nodes: Optional[List[str]] = None,
 ) -> WorkloadResult:
@@ -44,8 +52,8 @@ def run_workload(
         Any :class:`~repro.workloads.base.Workload`.
     observers:
         Monitoring callbacks attached to every stack layer of every rank.
-    read_cache_bytes:
-        Per-rank client read cache.
+    read_cache_bytes / write_cache_bytes:
+        Per-rank client cache sizes.
     cb_nodes:
         Collective-buffering aggregator count.
     compute_nodes:
@@ -59,23 +67,30 @@ def run_workload(
         runtime,
         cb_nodes=cb_nodes,
         read_cache_bytes=read_cache_bytes,
+        write_cache_bytes=write_cache_bytes,
         observers=observers,
     )
-    start = platform.env.now
+    env = platform.env
+    start = env.now
     start_w = pfs.total_bytes_written()
     start_r = pfs.total_bytes_read()
     start_m = pfs.total_metadata_ops()
 
     procs = runtime.launch(workload.program, io_factory=builder.io_factory)
-    done = platform.env.all_of(procs)
-    platform.env.run(until=done)
+    # Record each rank's actual completion time (the per-rank imbalance is
+    # what stragglers/interference studies look at; filling every slot with
+    # the aggregate duration would hide it).
+    finish_times: List[float] = [0.0] * len(procs)
+    for i, proc in enumerate(procs):
+        proc.add_callback(lambda ev, i=i: finish_times.__setitem__(i, env.now))
+    done = env.all_of(procs)
+    env.run(until=done)
 
-    per_rank = [platform.env.now - start] * workload.n_ranks
     result = WorkloadResult(
         name=workload.name,
         n_ranks=workload.n_ranks,
-        duration=platform.env.now - start,
-        per_rank_seconds=per_rank,
+        duration=env.now - start,
+        per_rank_seconds=[t - start for t in finish_times],
         bytes_written=pfs.total_bytes_written() - start_w,
         bytes_read=pfs.total_bytes_read() - start_r,
         meta_ops=pfs.total_metadata_ops() - start_m,
@@ -85,19 +100,45 @@ def run_workload(
 
 @dataclass
 class ExperimentHarness:
-    """A platform + file system pair with convenience run methods."""
+    """A platform + file system pair with convenience run methods.
+
+    ``stack_defaults`` (usually installed by the scenario builder) are the
+    I/O-stack keyword arguments -- ``cb_nodes``, ``read_cache_bytes``,
+    ``write_cache_bytes`` -- applied to every ``run``/``run_concurrently``
+    call unless that call overrides them explicitly.
+    """
 
     platform: Platform
     pfs: ParallelFileSystem
+    stack_defaults: Optional[Dict[str, Any]] = None
+    #: The spec this harness was built from, when scenario-assembled.
+    scenario: Optional[Any] = field(default=None, repr=False)
 
     @classmethod
     def fresh(cls, platform_factory: Callable[[], Platform], **pfs_kwargs) -> "ExperimentHarness":
         platform = platform_factory()
         return cls(platform=platform, pfs=build_pfs(platform, **pfs_kwargs))
 
+    @classmethod
+    def from_scenario(cls, spec) -> "ExperimentHarness":
+        """Assemble a harness from a :class:`ScenarioSpec` (see
+        :func:`repro.scenario.build.build`)."""
+        from repro.scenario.build import build
+
+        return build(spec)
+
+    def _with_stack_defaults(self, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+        if not self.stack_defaults:
+            return kwargs
+        merged = dict(self.stack_defaults)
+        merged.update(kwargs)
+        return merged
+
     def run(self, workload: Workload, **kwargs) -> WorkloadResult:
         """Run one workload on this system."""
-        return run_workload(self.platform, self.pfs, workload, **kwargs)
+        return run_workload(
+            self.platform, self.pfs, workload, **self._with_stack_defaults(kwargs)
+        )
 
     def run_concurrently(
         self, workloads: Iterable[Workload], **kwargs
@@ -109,16 +150,27 @@ class ExperimentHarness:
         the setup for interference studies (claim C10).
         """
         workloads = list(workloads)
+        kwargs = self._with_stack_defaults(kwargs)
         env = self.platform.env
         all_nodes = [n.name for n in self.platform.compute_nodes]
         # Give each workload a disjoint slice of nodes if there are enough.
         slices: List[List[str]] = []
-        if len(all_nodes) >= len(workloads):
+        oversubscribed = len(all_nodes) < len(workloads)
+        if not oversubscribed:
             per = len(all_nodes) // len(workloads)
             for i in range(len(workloads)):
                 chunk = all_nodes[i * per : (i + 1) * per] or all_nodes
                 slices.append(chunk)
         else:
+            # Every workload shares every node: rank placement overlaps,
+            # so compute-side contention mixes into the storage-side
+            # interference the caller presumably wants to isolate.
+            log.warning(
+                "run_concurrently: %d workload(s) on only %d compute "
+                "node(s); node slices overlap fully and results include "
+                "compute-placement contention",
+                len(workloads), len(all_nodes),
+            )
             slices = [all_nodes for _ in workloads]
 
         starts = env.now
@@ -141,12 +193,14 @@ class ExperimentHarness:
         results = []
         for (workload, procs), finishes in zip(runs, rank_finish):
             end = max(finishes) if finishes else env.now
-            results.append(
-                WorkloadResult(
-                    name=workload.name,
-                    n_ranks=workload.n_ranks,
-                    duration=end - starts,
-                    per_rank_seconds=[t - starts for t in finishes],
-                )
+            result = WorkloadResult(
+                name=workload.name,
+                n_ranks=workload.n_ranks,
+                duration=end - starts,
+                per_rank_seconds=[t - starts for t in finishes],
             )
+            if oversubscribed:
+                result.extra["nodes_shared_with"] = float(len(workloads) - 1)
+                result.extra["node_overlap"] = 1.0
+            results.append(result)
         return results

@@ -3,11 +3,36 @@
 These are the same functions the benchmark harness wraps; running them in
 the test suite guarantees ``pytest tests/`` alone certifies the full
 reproduction, independent of the benchmark run.
+
+The golden fixture ``golden_seed0.json`` holds every record computed at
+seed 0 *before* the experiments were refactored onto the declarative
+scenario layer; ``test_experiment_matches_pre_refactor_golden`` pins the
+refactor to those values.  Each experiment runs once per session (the
+cached ``_record`` helper) and both the claim check and the golden check
+share that record.
 """
+
+import functools
+import json
+import math
+from pathlib import Path
 
 import pytest
 
 from repro.experiments import ALL_EXPERIMENTS
+
+GOLDEN_PATH = Path(__file__).parent / "golden_seed0.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: Experiments whose notes embed formatted floats tight enough that a
+#: benign numerical wiggle (e.g. a different BLAS) could alter the string
+#: while the claim still holds.  Their notes are checked loosely.
+_FLOAT_NOTES = {"C6"}
+
+
+@functools.lru_cache(maxsize=None)
+def _record(eid):
+    return ALL_EXPERIMENTS[eid](seed=0)
 
 
 def test_registry_is_complete():
@@ -18,14 +43,51 @@ def test_registry_is_complete():
     }
 
 
+def test_golden_fixture_covers_registry():
+    assert set(GOLDEN) == set(ALL_EXPERIMENTS)
+
+
 @pytest.mark.parametrize("eid", sorted(ALL_EXPERIMENTS))
 def test_experiment_supports_claim(eid):
-    record = ALL_EXPERIMENTS[eid](seed=0)
+    record = _record(eid)
     assert record.id == eid
     assert record.measured, f"{eid} recorded no measurements"
     assert record.supported is True, (
         f"{eid} claim not supported: {record.measured} ({record.notes})"
     )
+
+
+def _assert_value_matches(eid, key, got, want):
+    if isinstance(want, bool) or want is None:
+        assert got == want, f"{eid}.measured[{key}]: {got!r} != {want!r}"
+    elif isinstance(want, float) or isinstance(got, float):
+        if isinstance(want, float) and math.isnan(want):
+            assert math.isnan(got), f"{eid}.measured[{key}]: {got!r} != NaN"
+        else:
+            assert got == pytest.approx(want, rel=1e-6, abs=1e-12), (
+                f"{eid}.measured[{key}]: {got!r} != {want!r}"
+            )
+    else:
+        assert got == want, f"{eid}.measured[{key}]: {got!r} != {want!r}"
+
+
+@pytest.mark.parametrize("eid", sorted(ALL_EXPERIMENTS))
+def test_experiment_matches_pre_refactor_golden(eid):
+    """The scenario-layer refactor changed how experiments are *declared*,
+    not what they compute: at seed 0 every record must match the values
+    captured before the refactor."""
+    got = _record(eid).to_dict()
+    want = GOLDEN[eid]
+    assert got["id"] == want["id"]
+    assert got["claim"] == want["claim"]
+    assert got["supported"] == want["supported"]
+    assert set(got["measured"]) == set(want["measured"]), (
+        f"{eid} measured keys changed"
+    )
+    for key, want_val in want["measured"].items():
+        _assert_value_matches(eid, key, got["measured"][key], want_val)
+    if eid not in _FLOAT_NOTES:
+        assert got["notes"] == want["notes"]
 
 
 @pytest.mark.parametrize("eid", ["C3", "C7", "C10"])
@@ -44,7 +106,6 @@ def test_records_serialise(tmp_path):
         collector.records[rec.id] = rec
     out = tmp_path / "results.json"
     collector.save(out)
-    import json
 
     data = json.loads(out.read_text())
     assert {d["id"] for d in data} == {"E3", "C1"}

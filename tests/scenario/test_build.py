@@ -1,0 +1,158 @@
+"""Builder tests: spec -> harness -> results, sequential and concurrent."""
+
+import pytest
+
+from repro.cluster.platform import tiny_spec
+from repro.pfs.filesystem import ParallelFileSystem, SSDDevice
+from repro.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    StackSpec,
+    StorageSpec,
+    WorkloadSpec,
+    build,
+    build_platform,
+    build_workload,
+    instantiate_workloads,
+    run_scenario,
+)
+from repro.simulate.execsim import ExperimentHarness
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def _ior(n_ranks=2, **params):
+    base = {"block_size": 256 * KiB, "transfer_size": 64 * KiB}
+    base.update(params)
+    return WorkloadSpec("ior", n_ranks, base)
+
+
+def _scenario(**changes):
+    defaults = dict(
+        name="buildtest",
+        platform=tiny_spec(),
+        workloads=(_ior(),),
+        seed=5,
+    )
+    defaults.update(changes)
+    return ScenarioSpec(**defaults)
+
+
+def test_build_returns_configured_harness():
+    spec = _scenario(
+        storage=StorageSpec(default_stripe_count=2, device="ssd"),
+        stack=StackSpec(cb_nodes=1, write_cache_bytes=MiB),
+    )
+    harness = build(spec)
+    assert isinstance(harness, ExperimentHarness)
+    assert harness.scenario is spec
+    assert harness.stack_defaults == {
+        "cb_nodes": 1, "read_cache_bytes": 0, "write_cache_bytes": MiB,
+    }
+    assert len(harness.platform.compute_nodes) == spec.platform.n_compute
+    assert harness.pfs.default_stripe_count == 2
+    assert all(
+        isinstance(dev, SSDDevice)
+        for oss, _ in harness.pfs.oss_servers for dev in oss.osts.values()
+    )
+
+
+def test_build_validates_first():
+    with pytest.raises(ScenarioError):
+        build(_scenario(storage=StorageSpec(device="tape")))
+
+
+def test_build_platform_only():
+    platform = build_platform(_scenario(workloads=()))
+    assert len(platform.compute_nodes) == tiny_spec().n_compute
+
+
+def test_from_spec_rejects_unknown_device():
+    platform = build_platform(_scenario(workloads=()))
+    with pytest.raises(ValueError, match="unknown storage device"):
+        ParallelFileSystem.from_spec(platform, StorageSpec(device="tape"))
+
+
+def test_build_workload_rejects_unknown_kind():
+    with pytest.raises(ScenarioError, match="unknown workload kind"):
+        build_workload(WorkloadSpec("nope"))
+
+
+def test_instantiate_workloads_bundles_setup():
+    spec = _scenario(workloads=(
+        WorkloadSpec("dlio", 2, {
+            "n_samples": 16, "sample_bytes": 4 * KiB, "n_shards": 2,
+            "batch_size": 4, "epochs": 1, "generate": True,
+        }),
+    ))
+    (setup, main), = instantiate_workloads(spec)
+    assert len(setup) == 1
+    assert main.n_ranks == 2
+
+
+def test_run_scenario_sequential():
+    spec = _scenario(workloads=(_ior(), _ior()))
+    run = run_scenario(spec)
+    assert len(run.results) == 2
+    assert run.setup_results == []
+    assert run.duration > 0
+    assert all(r.bytes_written > 0 for r in run.results)
+    # The second workload starts after the first on the shared system.
+    assert run.results[0].duration < run.duration
+
+
+def test_run_scenario_concurrent():
+    spec = _scenario(concurrent=True, workloads=(_ior(), _ior()))
+    run = run_scenario(spec)
+    assert len(run.results) == 2
+    # Concurrent: total simulated time is the max, not the sum.
+    assert run.duration < sum(r.duration for r in run.results) + 1e-9
+    assert all(len(r.per_rank_seconds) == r.n_ranks for r in run.results)
+
+
+def test_run_scenario_to_dict_payload():
+    run = run_scenario(_scenario())
+    doc = run.to_dict()
+    assert doc["scenario"] == "buildtest"
+    assert doc["scenario_digest"] == run.scenario.digest()
+    assert doc["seed"] == 5
+    assert doc["bytes_written"] > 0
+    assert len(doc["results"]) == 1
+    assert doc["results"][0]["name"]
+
+
+def test_run_scenario_observers_attach_to_mains():
+    from repro.monitoring import RecorderTracer
+
+    tracer = RecorderTracer()
+    run_scenario(_scenario(), observers=[tracer])
+    assert tracer.records
+
+
+def test_scenario_seed_overrides_platform_seed():
+    """The scenario seed is authoritative: same platform spec, different
+    scenario seeds -> independently seeded systems."""
+    a = run_scenario(_scenario(seed=1, workloads=(
+        WorkloadSpec("ior", 2, {"block_size": 256 * KiB,
+                                "transfer_size": 64 * KiB,
+                                "random_offsets": True}),
+    )))
+    b = run_scenario(_scenario(seed=1, workloads=(
+        WorkloadSpec("ior", 2, {"block_size": 256 * KiB,
+                                "transfer_size": 64 * KiB,
+                                "random_offsets": True}),
+    )))
+    assert a.results[0].duration == b.results[0].duration
+
+
+def test_harness_run_kwargs_override_stack_defaults():
+    spec = _scenario(stack=StackSpec(write_cache_bytes=4 * MiB))
+    harness = build(spec)
+    (_, w), = instantiate_workloads(spec)
+    # An explicit kwarg must win over the scenario's stack defaults.
+    merged = harness._with_stack_defaults({"write_cache_bytes": 0})
+    assert merged["write_cache_bytes"] == 0
+    assert merged["cb_nodes"] is None
+    result = harness.run(w, write_cache_bytes=0)
+    assert result.bytes_written > 0

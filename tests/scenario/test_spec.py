@@ -1,0 +1,179 @@
+"""Spec-layer tests: validation, canonical serialization, round-trips."""
+
+import json
+
+import pytest
+
+from repro.cluster.platform import PlatformSpec, tiny_spec
+from repro.scenario import (
+    SCENARIO_SCHEMA,
+    ScenarioError,
+    ScenarioSpec,
+    StackSpec,
+    StorageSpec,
+    WorkloadSpec,
+    get_scenario,
+)
+
+MiB = 1024 * 1024
+
+
+def _sample():
+    return ScenarioSpec(
+        name="sample",
+        platform=tiny_spec(),
+        storage=StorageSpec(default_stripe_count=2, device="ssd"),
+        stack=StackSpec(cb_nodes=2, write_cache_bytes=MiB),
+        workloads=(
+            WorkloadSpec("ior", 4, {"block_size": 4 * MiB, "transfer_size": MiB}),
+            WorkloadSpec("mdtest", 2, {"n_files": 10}),
+        ),
+        seed=7,
+    )
+
+
+# -- round trips --------------------------------------------------------------
+
+def test_dict_round_trip_is_identity():
+    spec = _sample()
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_json_round_trip_is_identity():
+    spec = _sample()
+    again = ScenarioSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.digest() == spec.digest()
+
+
+@pytest.mark.parametrize("name", ["tiny", "c2-mixed", "c10-shared"])
+def test_preset_round_trip_preserves_digest(name):
+    spec = get_scenario(name, seed=3)
+    assert ScenarioSpec.from_json(spec.to_json()).digest() == spec.digest()
+
+
+def test_workloads_tuple_coercion():
+    spec = ScenarioSpec(name="x", workloads=[WorkloadSpec("ior")])
+    assert isinstance(spec.workloads, tuple)
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+# -- canonical form and digests ----------------------------------------------
+
+def test_canonical_json_is_compact_and_sorted():
+    text = _sample().canonical_json()
+    payload = json.loads(text)
+    assert ": " not in text and ", " not in text
+    assert text == json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    assert payload["schema"] == SCENARIO_SCHEMA
+
+
+def test_digest_is_stable_and_seed_sensitive():
+    spec = _sample()
+    assert spec.digest() == spec.digest() == _sample().digest()
+    assert spec.with_seed(spec.seed + 1).digest() != spec.digest()
+
+
+def test_with_seed_does_not_mutate():
+    spec = _sample()
+    derived = spec.with_seed(99)
+    assert spec.seed == 7
+    assert derived.seed == 99
+    assert derived.replace(seed=7) == spec
+
+
+# -- validation ---------------------------------------------------------------
+
+def test_valid_spec_validates_and_chains():
+    spec = _sample()
+    assert spec.validate() is spec
+
+
+@pytest.mark.parametrize("changes, message", [
+    (dict(name=""), "needs a name"),
+    (dict(storage=StorageSpec(device="tape")), "unknown storage device"),
+    (dict(storage=StorageSpec(alloc_policy="random")), "unknown alloc_policy"),
+    (dict(storage=StorageSpec(stripe_size=0)), "must be positive"),
+    (dict(storage=StorageSpec(default_stripe_count=0)), "default_stripe_count"),
+    (dict(stack=StackSpec(cb_nodes=0)), "cb_nodes"),
+    (dict(stack=StackSpec(read_cache_bytes=-1)), "non-negative"),
+    (dict(workloads=(WorkloadSpec("nope"),)), "unknown workload kind"),
+    (dict(workloads=(WorkloadSpec("ior", n_ranks=0),)), "n_ranks"),
+    (dict(workloads=(WorkloadSpec("ior"),), concurrent=True), ">= 2 workloads"),
+])
+def test_invalid_specs_are_rejected(changes, message):
+    with pytest.raises(ScenarioError, match=message):
+        _sample().replace(**changes).validate()
+
+
+def test_workload_errors_name_their_index():
+    spec = _sample().replace(
+        workloads=(_sample().workloads[0], WorkloadSpec("nope")),
+    )
+    with pytest.raises(ScenarioError, match=r"workloads\[1\]"):
+        spec.validate()
+
+
+def test_platform_errors_are_wrapped():
+    spec = _sample().replace(platform=PlatformSpec(n_compute=0))
+    with pytest.raises(ScenarioError, match="platform:"):
+        spec.validate()
+
+
+# -- deserialization strictness ----------------------------------------------
+
+def test_unknown_scenario_field_rejected():
+    payload = _sample().to_dict()
+    payload["workload"] = []  # a typo'd key must not be silently dropped
+    with pytest.raises(ScenarioError, match="unknown scenario field"):
+        ScenarioSpec.from_dict(payload)
+
+
+@pytest.mark.parametrize("section", ["platform", "storage", "stack"])
+def test_unknown_section_field_rejected(section):
+    payload = _sample().to_dict()
+    payload[section]["bogus"] = 1
+    with pytest.raises(ScenarioError, match="bogus"):
+        ScenarioSpec.from_dict(payload)
+
+
+def test_unknown_workload_field_rejected():
+    payload = _sample().to_dict()
+    payload["workloads"][0]["ranks"] = 8
+    with pytest.raises(ScenarioError, match="ranks"):
+        ScenarioSpec.from_dict(payload)
+
+
+def test_workload_needs_kind():
+    with pytest.raises(ScenarioError, match="kind"):
+        WorkloadSpec.from_dict({"n_ranks": 4})
+
+
+def test_wrong_schema_rejected():
+    payload = _sample().to_dict()
+    payload["schema"] = "repro.scenario/999"
+    with pytest.raises(ScenarioError, match="unsupported scenario schema"):
+        ScenarioSpec.from_dict(payload)
+
+
+def test_missing_name_rejected():
+    with pytest.raises(ScenarioError, match="needs a 'name'"):
+        ScenarioSpec.from_dict({"schema": SCENARIO_SCHEMA})
+
+
+def test_non_mapping_document_rejected():
+    with pytest.raises(ScenarioError, match="must be a mapping"):
+        ScenarioSpec.from_dict([1, 2, 3])
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ScenarioError, match="invalid scenario JSON"):
+        ScenarioSpec.from_json("{not json")
+
+
+def test_defaults_fill_missing_sections():
+    spec = ScenarioSpec.from_dict({"name": "bare"})
+    assert spec.storage == StorageSpec()
+    assert spec.stack == StackSpec()
+    assert spec.workloads == ()
+    assert spec.seed == 0 and spec.concurrent is False
