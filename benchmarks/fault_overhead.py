@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Disarmed fault-path overhead gate for the PFS write path.
+
+PR 4 added fault injection and client resilience (per-RPC timeout, retry,
+failover) to the data path.  When a scenario declares no faults and no
+resilience knobs, the client must take the original RPC body behind a
+single boolean check (``PFSClient._resilient``) -- structurally under 2%
+of a data RPC.  This gate times the same ``pfs_write_path`` workload as
+``benchmarks/check_regression.py`` with resilience **disarmed** and fails
+when it falls outside ``--tolerance`` of the committed reference timing
+(``BENCH_BASELINE.json``'s noise-aware ``reference_min``), exactly like
+the telemetry-off gate.
+
+For context (never gated -- paying for retries under faults is the point
+of the feature, only the fault-free cost is a bug) the report also times
+the loop with resilience enabled (timeout armed, no faults firing) and
+with a fault timeline armed, and prints both ratios.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fault_overhead.py           # gate
+    PYTHONPATH=src python benchmarks/fault_overhead.py --smoke   # fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_BASELINE.json"
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BENCH_NAME = "pfs_write_path"
+MiB = 1024 * 1024
+
+
+def _write_path(scale: float, mode: str) -> None:
+    """The exact workload of check_regression's pfs_write_path, in one of
+    three configurations: resilience disarmed (the gated default path),
+    resilience enabled with no faults, or a fault timeline armed."""
+    from repro.cluster import tiny_cluster
+    from repro.pfs import build_pfs
+    from repro.simulate import run_workload
+    from repro.workloads import IORConfig, IORWorkload
+
+    block = max(1, int(4 * scale)) * MiB
+    platform = tiny_cluster()
+    pfs = build_pfs(platform)
+    kwargs = {}
+    if mode in ("resilient", "armed"):
+        kwargs = dict(rpc_timeout=30.0, rpc_retries=4)
+    if mode == "armed":
+        from repro.faults import FaultEventSpec, FaultInjector, FaultSpec
+
+        # A short slowdown early in the run: arming machinery plus one
+        # inject/revert cycle, without turning the run into a retry storm.
+        FaultInjector(platform, pfs, FaultSpec((
+            FaultEventSpec(kind="ost_slowdown", target=0, start=0.0,
+                           duration=0.005, factor=2.0),
+        ))).arm()
+    w = IORWorkload(IORConfig(block_size=block, transfer_size=MiB), 4)
+    result = run_workload(platform, pfs, w, **kwargs)
+    assert result.bytes_written == 4 * block
+
+
+def time_mode(mode: str, rounds: int, scale: float) -> Dict[str, float]:
+    for _ in range(3):  # warmup
+        _write_path(scale, mode)
+    times = []
+    for _ in range(rounds):
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        _write_path(scale, mode)
+        times.append(time.perf_counter() - start)
+        gc.enable()
+    return {"median": statistics.median(times), "min": min(times)}
+
+
+def reference_seconds() -> Optional[float]:
+    """Noise-aware reference min for the write path from the baseline."""
+    if BASELINE_PATH.exists():
+        with open(BASELINE_PATH, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        return (baseline.get("reference_min") or {}).get(BENCH_NAME)
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown vs the committed reference "
+                        "(host noise dominates the <2%% structural cost)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload, 1 round, no pass/fail gate")
+    args = parser.parse_args(argv)
+
+    rounds, scale = args.rounds, args.scale
+    if args.smoke:
+        rounds, scale = 1, 0.25
+
+    disarmed = time_mode("disarmed", rounds, scale)
+    resilient = time_mode("resilient", rounds, scale)
+    armed = time_mode("armed", rounds, scale)
+
+    r_ratio = resilient["min"] / disarmed["min"] if disarmed["min"] else float("inf")
+    a_ratio = armed["min"] / disarmed["min"] if disarmed["min"] else float("inf")
+    print(f"resilience disarmed : {disarmed['min'] * 1e3:8.3f} ms (min of {rounds})")
+    print(f"resilience enabled  : {resilient['min'] * 1e3:8.3f} ms "
+          f"({r_ratio:.2f}x, informational)")
+    print(f"faults armed        : {armed['min'] * 1e3:8.3f} ms "
+          f"({a_ratio:.2f}x, informational)")
+
+    gated = not args.smoke and scale == 1.0
+    ref = reference_seconds() if gated else None
+    if ref is not None:
+        slowdown = disarmed["min"] / ref
+        print(f"committed reference : {ref * 1e3:8.3f} ms -> disarmed-path "
+              f"slowdown {slowdown:.2f}x (tolerance {args.tolerance:.0%})")
+        if disarmed["min"] > ref * (1.0 + args.tolerance):
+            print("FAIL: fault-free PFS write path regressed beyond "
+                  "tolerance", file=sys.stderr)
+            return 1
+    elif gated:
+        print("no committed reference timing found; gate skipped",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

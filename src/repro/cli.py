@@ -115,32 +115,32 @@ def _cmd_experiment(args) -> int:
             return 2
     else:
         seeds = [args.seed]
+    kwargs = dict(
+        seeds=seeds,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        manifest=not args.no_manifest,
+        fail_fast=args.fail_fast,
+    )
     if want_telemetry:
         with telemetry.span(
             "repro-io experiment", cat="cli",
             ids=len(ids), seeds=len(seeds), jobs=args.jobs,
         ):
-            results = run_experiments(
-                ids,
-                seeds=seeds,
-                jobs=args.jobs,
-                use_cache=not args.no_cache,
-                cache_dir=args.cache_dir,
-                manifest=not args.no_manifest,
-            )
+            results = run_experiments(ids, **kwargs)
     else:
-        results = run_experiments(
-            ids,
-            seeds=seeds,
-            jobs=args.jobs,
-            use_cache=not args.no_cache,
-            cache_dir=args.cache_dir,
-            manifest=not args.no_manifest,
-        )
+        results = run_experiments(ids, **kwargs)
     collector = ResultsCollector()
     failed = 0
+    errored = 0
     for res in results:
         record = res.record
+        if record is None:
+            print(f"[{res.experiment_id}#s{res.seed}] FAILED: {res.error}")
+            print()
+            errored += 1
+            continue
         key = record.id if len(seeds) == 1 else f"{record.id}#s{res.seed}"
         collector.records[key] = record
         print(record.summary())
@@ -152,6 +152,7 @@ def _cmd_experiment(args) -> int:
         f"{len(ids)} experiment(s) x {len(seeds)} seed(s): "
         f"{len(results) - n_cached} computed, {n_cached} from cache "
         f"(jobs={args.jobs})"
+        + (f", {errored} FAILED" if errored else "")
     )
     if args.json:
         collector.save(args.json)
@@ -169,7 +170,7 @@ def _cmd_experiment(args) -> int:
         with open(args.metrics_json, "w", encoding="utf-8") as fh:
             fh.write(telemetry.TELEMETRY.metrics.render_json())
         print(f"metrics JSON written to {args.metrics_json}")
-    return 1 if failed else 0
+    return 1 if failed or errored else 0
 
 
 def _scenario_spec(ref: str, seed: int):
@@ -246,8 +247,14 @@ def _cmd_scenario(args) -> int:
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
             manifest=not args.no_manifest,
+            fail_fast=args.fail_fast,
         )
+        errored = 0
         for r in results:
+            if r.failed:
+                print(f"{r.point.name:<56} FAILED: {r.error}")
+                errored += 1
+                continue
             o = r.outcome
             origin = "cache" if r.cached else f"{r.seconds:.2f}s"
             mb_w = o.get("bytes_written", 0) / 1e6
@@ -256,17 +263,19 @@ def _cmd_scenario(args) -> int:
                   f"W {mb_w:8.1f} MB  R {mb_r:8.1f} MB  [{origin}]")
         n_cached = sum(1 for r in results if r.cached)
         print(f"{len(results)} point(s): {len(results) - n_cached} computed, "
-              f"{n_cached} from cache (jobs={args.jobs})")
+              f"{n_cached} from cache (jobs={args.jobs})"
+              + (f", {errored} FAILED" if errored else ""))
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
                 json.dump(
                     [{"name": r.point.name, "overrides": r.point.overrides,
-                      "cached": r.cached, "outcome": r.outcome}
+                      "cached": r.cached, "outcome": r.outcome,
+                      **({"error": r.error} if r.failed else {})}
                      for r in results],
                     fh, indent=1,
                 )
             print(f"results written to {args.json}")
-        return 0
+        return 1 if errored else 0
     except ScenarioError as exc:
         print(f"scenario error: {exc}", file=sys.stderr)
         return 2
@@ -504,7 +513,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_corpus)
 
     p = sub.add_parser("experiment", help="run reproduction experiments")
-    p.add_argument("id", help="experiment id (E1-E4, C1-C10, A1-A5) or 'all'")
+    p.add_argument(
+        "id", help="experiment id (E1-E4, C1-C10, A1-A5, R1-R3) or 'all'"
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--seeds",
@@ -539,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-manifest", action="store_true",
         help="skip writing the run-provenance manifest.json",
+    )
+    p.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort on the first failed task instead of recording it and "
+        "finishing the rest",
     )
     p.set_defaults(fn=_cmd_experiment)
 
@@ -580,6 +596,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="point cache location (default results/cache)")
     sp.add_argument("--no-manifest", action="store_true",
                     help="skip writing the sweep provenance manifest")
+    sp.add_argument("--fail-fast", action="store_true",
+                    help="abort on the first failed point instead of "
+                    "recording it and finishing the rest")
     sp.add_argument("--json", help="write all point outcomes JSON here")
     sp.set_defaults(fn=_cmd_scenario)
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.des.resources import Resource
+from repro.ops import StorageUnavailable
 
 
 @dataclass
@@ -94,6 +95,11 @@ class BlockDevice:
         # degraded OST is the classic storage straggler that server-side
         # monitoring exists to catch.
         self._degradation = 1.0
+        # Fault injection: an OST taken out of service rejects new accesses
+        # with StorageUnavailable until it recovers.  In-flight transfers
+        # are allowed to finish (the outage models losing the target, not
+        # corrupting what was already streaming).
+        self._available = True
 
     @property
     def queue_length(self) -> int:
@@ -116,6 +122,19 @@ class BlockDevice:
             raise ValueError(f"degradation factor must be >= 1.0, got {factor}")
         self._degradation = float(factor)
 
+    @property
+    def available(self) -> bool:
+        """Whether the device currently accepts accesses."""
+        return self._available
+
+    def fail(self) -> None:
+        """Take the device out of service (injected outage)."""
+        self._available = False
+
+    def recover(self) -> None:
+        """Bring the device back into service."""
+        self._available = True
+
     def service_time(self, offset: int, nbytes: int) -> float:
         """Raw service time for an access, excluding queueing."""
         t = self.op_overhead + nbytes / self.bandwidth
@@ -131,9 +150,14 @@ class BlockDevice:
         """
         if offset < 0 or nbytes < 0:
             raise ValueError("offset and nbytes must be non-negative")
+        if not self._available:
+            raise StorageUnavailable(f"device {self.name} is down")
         start = self.env.now
         with self._channels.request() as slot:
             yield slot
+            if not self._available:
+                # The outage started while this request sat in the queue.
+                raise StorageUnavailable(f"device {self.name} is down")
             seeked = self._head_position is None or offset != self._head_position
             service = self.op_overhead + nbytes / self.bandwidth
             if seeked:

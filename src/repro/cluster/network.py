@@ -106,6 +106,23 @@ class NetworkFabric:
     def endpoints(self) -> list[str]:
         return list(self._endpoints)
 
+    # -- fault injection ------------------------------------------------------
+    def degrade_endpoint(self, endpoint: str, factor: float) -> None:
+        """Degrade one endpoint's NIC (ingress and egress) by ``factor``.
+
+        Models a flapping host link or a straggling node's NIC;
+        ``factor=1.0`` restores health.
+        """
+        ep = self._endpoints.get(endpoint)
+        if ep is None:
+            raise KeyError(f"unknown endpoint {endpoint!r} on fabric {self.name!r}")
+        ep.ingress.set_degradation(factor)
+        ep.egress.set_degradation(factor)
+
+    def degrade_core(self, factor: float) -> None:
+        """Degrade the shared core (bisection) link by ``factor``."""
+        self.core.set_degradation(factor)
+
     # -- latency -------------------------------------------------------------
     def latency(self, src: str, dst: str) -> float:
         """One-way message latency between two endpoints."""

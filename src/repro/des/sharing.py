@@ -77,6 +77,9 @@ class FairShareLink:
             raise ValueError("concurrency_limit must be positive or None")
         self.env = env
         self.rate = float(rate)
+        #: Healthy aggregate rate; :meth:`set_degradation` derives the
+        #: effective :attr:`rate` from it (fault injection).
+        self._base_rate = self.rate
         self.concurrency_limit = concurrency_limit
         #: Min-heap of admitted flows, keyed by (finish_tag, seq).
         self._active: list[_Flow] = []
@@ -107,6 +110,26 @@ class FairShareLink:
         if self._active:
             busy += self.env.now - self._last_update
         return min(1.0, busy / elapsed)
+
+    @property
+    def degradation(self) -> float:
+        """Current rate-division factor (1.0 = healthy)."""
+        return self._base_rate / self.rate
+
+    def set_degradation(self, factor: float) -> None:
+        """Inject a slowdown: the link serves at ``base_rate / factor``.
+
+        Models a flapping/renegotiated link or a straggling NIC.  In-flight
+        transfers finish at the new rate from now on: virtual service is
+        accrued at the old rate up to this instant, then the completion
+        timer is re-armed at the new rate (the generation counter
+        invalidates the stale timer).  ``factor=1.0`` restores health.
+        """
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1.0, got {factor}")
+        self._advance()
+        self.rate = self._base_rate / float(factor)
+        self._reschedule()
 
     def transfer(self, nbytes: float) -> Event:
         """Start transferring ``nbytes``; the event fires on completion."""

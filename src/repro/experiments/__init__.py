@@ -16,6 +16,12 @@ from repro.experiments.claims_system import run_c1, run_c2, run_c5, run_c10
 from repro.experiments.claims_workloads import run_c3, run_c4, run_c9
 from repro.experiments.claims_modeling import run_c6, run_c7, run_c8
 from repro.experiments.ablations import run_a1, run_a2, run_a3, run_a4, run_a5
+from repro.experiments.resilience import (
+    RESILIENCE_EXPERIMENTS,
+    run_r1,
+    run_r2,
+    run_r3,
+)
 
 #: Every experiment, by id.
 ALL_EXPERIMENTS = {
@@ -38,6 +44,9 @@ ALL_EXPERIMENTS = {
     "A3": run_a3,
     "A4": run_a4,
     "A5": run_a5,
+    **RESILIENCE_EXPERIMENTS,
 }
 
-__all__ = ["ALL_EXPERIMENTS"] + [f"run_{k.lower()}" for k in ALL_EXPERIMENTS]
+__all__ = ["ALL_EXPERIMENTS", "RESILIENCE_EXPERIMENTS"] + [
+    f"run_{k.lower()}" for k in ALL_EXPERIMENTS
+]

@@ -24,6 +24,13 @@ parallel and perfectly cacheable:
   package.  Re-running an unchanged experiment is a file read; any source
   change invalidates the whole cache.
 
+* **Failure containment** -- a task that raises, or whose worker process
+  dies outright, is recorded as a failed result (``RunResult.error``)
+  in the manifest while the rest of the matrix completes; tasks whose
+  pool broke are retried once in a fresh pool first (see
+  :func:`repro.ioutil.resilient_pool_map`).  ``fail_fast=True`` restores
+  abort-on-first-failure.
+
 * **Self-telemetry and provenance** -- cache outcomes (hit / miss / stale /
   corrupt) are counted in the global metrics registry and logged; a stale
   or corrupt entry is *never* served -- it falls back to re-execution.
@@ -41,12 +48,12 @@ import json
 import logging
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.experiment import ExperimentRecord
+from repro.ioutil import atomic_write_json, resilient_pool_map
 from repro.telemetry import TELEMETRY, build_manifest, write_manifest
 from repro.telemetry.provenance import MANIFEST_NAME
 
@@ -137,16 +144,31 @@ def _execute_timed(task: Tuple[str, int]) -> Tuple[Dict, float]:
 
 @dataclass
 class RunResult:
-    """Outcome of one (experiment, seed) task."""
+    """Outcome of one (experiment, seed) task.
+
+    ``record`` is ``None`` exactly when the task failed (worker crash or
+    in-task exception); ``error`` then carries a human-readable reason and
+    the failure is recorded in the run manifest instead of aborting the
+    whole invocation (unless ``fail_fast``).
+    """
 
     experiment_id: str
     seed: int
-    record: ExperimentRecord
+    record: Optional[ExperimentRecord]
     cached: bool
     seconds: float
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.record is None
 
     @property
     def payload(self) -> bytes:
+        if self.record is None:
+            return json.dumps(
+                {"error": self.error}, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
         return record_payload(self.record)
 
 
@@ -159,6 +181,7 @@ def run_experiments(
     digest: Optional[str] = None,
     manifest: bool = True,
     manifest_path: Optional[Union[Path, str]] = None,
+    fail_fast: bool = False,
 ) -> List[RunResult]:
     """Run ``ids`` x ``seeds`` experiment tasks, in parallel when ``jobs > 1``.
 
@@ -185,6 +208,12 @@ def run_experiments(
     manifest_path:
         Where to write it (default: ``<cache_dir>/../manifest.json``, i.e.
         next to the results the cache directory lives under).
+    fail_fast:
+        When false (default) a task that raises -- or whose worker process
+        dies -- becomes a failed :class:`RunResult` (``record is None``,
+        ``error`` set, recorded in the manifest) while every other task
+        still completes.  When true the first failure propagates as an
+        exception, aborting the run.
 
     Returns
     -------
@@ -244,48 +273,74 @@ def run_experiments(
         if jobs == 1 or len(misses) == 1:
             for task in misses:
                 start = time.perf_counter()
-                if tracer is not None:
-                    with tracer.span(
-                        "experiment_task", cat="runner",
-                        experiment=task[0], seed=task[1],
-                    ):
+                try:
+                    if tracer is not None:
+                        with tracer.span(
+                            "experiment_task", cat="runner",
+                            experiment=task[0], seed=task[1],
+                        ):
+                            payload = _execute(task)
+                    else:
                         payload = _execute(task)
+                except Exception as exc:
+                    if fail_fast:
+                        raise
+                    log.error("task %s#s%d failed: %s", task[0], task[1], exc)
+                    results[task] = RunResult(
+                        task[0], task[1], None, cached=False,
+                        seconds=time.perf_counter() - start,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 else:
-                    payload = _execute(task)
-                results[task] = RunResult(
-                    task[0], task[1],
-                    record_from_dict(payload),
-                    cached=False,
-                    seconds=time.perf_counter() - start,
-                )
+                    results[task] = RunResult(
+                        task[0], task[1],
+                        record_from_dict(payload),
+                        cached=False,
+                        seconds=time.perf_counter() - start,
+                    )
         else:
             workers = min(jobs, len(misses))
             if tracer is not None:
                 with tracer.span(
                     "pool.map", cat="runner", workers=workers, tasks=len(misses)
                 ):
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
-                        outcomes = list(pool.map(_execute_timed, misses))
+                    outcomes = resilient_pool_map(_execute_timed, misses, workers)
             else:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(_execute_timed, misses))
-            for task, (payload, seconds) in zip(misses, outcomes):
-                results[task] = RunResult(
-                    task[0], task[1],
-                    record_from_dict(payload),
-                    cached=False,
-                    seconds=seconds,
-                )
+                outcomes = resilient_pool_map(_execute_timed, misses, workers)
+            for task, (value, error) in zip(misses, outcomes):
+                if error is not None:
+                    if fail_fast:
+                        raise RuntimeError(
+                            f"experiment task {task[0]}#s{task[1]} failed: {error}"
+                        )
+                    log.error("task %s#s%d failed: %s", task[0], task[1], error)
+                    results[task] = RunResult(
+                        task[0], task[1], None, cached=False, seconds=0.0,
+                        error=error,
+                    )
+                else:
+                    payload, seconds = value
+                    results[task] = RunResult(
+                        task[0], task[1],
+                        record_from_dict(payload),
+                        cached=False,
+                        seconds=seconds,
+                    )
         log.info(
             "executed %d task(s) with jobs=%d in %.2fs",
             len(misses), jobs, time.perf_counter() - wall_start,
         )
         if use_cache:
             for task in misses:
-                _cache_store(cache_dir, task, digest, results[task].record)
+                if not results[task].failed:  # never cache a failure
+                    _cache_store(cache_dir, task, digest, results[task].record)
 
     ordered = [results[task] for task in tasks]
     metrics.counter("runner.tasks.total").inc(len(tasks))
+    n_failed = sum(1 for r in ordered if r.failed)
+    if n_failed:
+        metrics.counter("runner.tasks.failed").inc(n_failed)
+        log.warning("%d of %d task(s) failed", n_failed, len(tasks))
 
     if manifest:
         out_path = (
@@ -306,6 +361,7 @@ def run_experiments(
                     "cached": r.cached,
                     "seconds": r.seconds,
                     "record_sha256": hashlib.sha256(r.payload).hexdigest(),
+                    **({"error": r.error} if r.failed else {}),
                 }
                 for r in ordered
             ],
@@ -315,9 +371,10 @@ def run_experiments(
         write_manifest(doc, out_path)
         ref = {"manifest": str(out_path), "source_digest": digest}
         for r in ordered:
-            r.record.provenance = dict(
-                ref, seed=r.seed, cached=r.cached, seconds=r.seconds
-            )
+            if r.record is not None:
+                r.record.provenance = dict(
+                    ref, seed=r.seed, cached=r.cached, seconds=r.seconds
+                )
 
     return ordered
 
@@ -375,17 +432,12 @@ def _cache_store(
                 stale.unlink()
             except OSError:  # pragma: no cover - concurrent cleanup
                 pass
-    path = _cache_path(cache_dir, task[0], task[1], digest)
-    tmp = path.with_suffix(".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(
-            {
-                "experiment_id": task[0],
-                "seed": task[1],
-                "digest": digest,
-                "record": record.to_dict(),
-            },
-            fh,
-            indent=1,
-        )
-    tmp.replace(path)
+    atomic_write_json(
+        {
+            "experiment_id": task[0],
+            "seed": task[1],
+            "digest": digest,
+            "record": record.to_dict(),
+        },
+        _cache_path(cache_dir, task[0], task[1], digest),
+    )

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for resilience scenarios.
+
+Declare *what goes wrong* with :class:`~repro.faults.spec.FaultSpec`
+(JSON-round-trippable, digest-stable, seed-deterministic), and
+:class:`~repro.faults.injector.FaultInjector` executes the timeline
+against a live platform + file system through the components' fault hooks.
+Client-side resilience (per-RPC timeout, bounded retry, stripe failover)
+lives in :class:`repro.pfs.client.PFSClient`.
+"""
+
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultEventSpec,
+    FaultSpec,
+    FaultSpecError,
+    make_faults,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEventSpec",
+    "FaultSpec",
+    "FaultSpecError",
+    "FaultInjector",
+    "make_faults",
+]

@@ -1,0 +1,247 @@
+"""Declarative fault timelines.
+
+A :class:`FaultSpec` is the "what goes wrong and when" half of a
+resilience scenario: an ordered tuple of :class:`FaultEventSpec` entries,
+each declaring one fault kind, its target, schedule (start/duration, with
+optional periodic repetition) and severity.  Like the rest of
+:mod:`repro.scenario.spec` it is a frozen, JSON-round-trippable value
+object: canonical serialization, strict unknown-field rejection, and
+content-digest identity -- so a fault timeline participates in scenario
+caching and sweeps exactly like any other spec layer.
+
+Kinds (targets in parentheses):
+
+* ``ost_slowdown`` (OST id) -- the OST's block device serves at
+  ``1/factor`` of its healthy rate for ``duration`` seconds;
+* ``ost_outage`` (OST id) -- the device raises
+  :class:`~repro.ops.StorageUnavailable` until recovery;
+* ``oss_outage`` (OSS index) -- the whole server rejects data RPCs;
+* ``mds_brownout`` (MDS index) -- metadata op service time inflates by
+  ``factor``;
+* ``link_flap`` (endpoint name, or ``"core"``) -- the storage fabric's
+  NIC (or bisection) bandwidth drops by ``factor``;
+* ``node_straggler`` (node name) -- the node's NICs on every fabric it
+  is attached to degrade by ``factor`` (a slow host).
+
+Scheduling is deterministic by construction: optional ``jitter`` is drawn
+from the platform's named ``"faults"`` RNG stream, so the same spec + seed
+always produces the same timeline (verified by test).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
+
+#: Fault kinds understood by :class:`repro.faults.injector.FaultInjector`.
+FAULT_KINDS = (
+    "ost_slowdown",
+    "ost_outage",
+    "oss_outage",
+    "mds_brownout",
+    "link_flap",
+    "node_straggler",
+)
+
+#: Kinds whose target is an integer index (OST/OSS/MDS).
+_INT_TARGET_KINDS = ("ost_slowdown", "ost_outage", "oss_outage", "mds_brownout")
+#: Kinds that degrade by a rate factor (outages ignore ``factor``).
+_FACTOR_KINDS = ("ost_slowdown", "mds_brownout", "link_flap", "node_straggler")
+
+
+class FaultSpecError(ValueError):
+    """A fault timeline is invalid or cannot be deserialized."""
+
+
+def _check_fields(cls, payload: Mapping[str, Any], where: str) -> None:
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise FaultSpecError(f"unknown {where} field(s): {', '.join(unknown)}")
+
+
+@dataclass(frozen=True)
+class FaultEventSpec:
+    """One scheduled fault (possibly repeating periodically).
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    target:
+        OST id / OSS index / MDS index (int), or endpoint/node name (str)
+        for ``link_flap`` / ``node_straggler``.  ``"core"`` flaps the
+        storage fabric's bisection link.
+    start:
+        Injection time, simulated seconds.
+    duration:
+        How long the fault stays active before it reverts.
+    factor:
+        Rate-degradation factor (>= 1) for the slowdown kinds; ignored by
+        outages.
+    jitter:
+        Half-width of a uniform perturbation applied to each occurrence's
+        start time, drawn from the platform's ``"faults"`` RNG stream
+        (deterministic per seed).  ``0`` schedules exactly at ``start``.
+    repeat / period:
+        Fire ``repeat`` occurrences, ``period`` seconds apart (a flapping
+        link is ``repeat=5, period=2.0``).  ``repeat=1`` (default) is a
+        single occurrence and ignores ``period``.
+    """
+
+    kind: str
+    target: Union[int, str]
+    start: float
+    duration: float
+    factor: float = 1.0
+    jitter: float = 0.0
+    repeat: int = 1
+    period: float = 0.0
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        if self.kind in _INT_TARGET_KINDS:
+            if not isinstance(self.target, int) or isinstance(self.target, bool):
+                raise FaultSpecError(
+                    f"{self.kind} target must be an integer index, "
+                    f"got {self.target!r}"
+                )
+            if self.target < 0:
+                raise FaultSpecError(f"{self.kind} target must be >= 0")
+        else:
+            if not isinstance(self.target, str) or not self.target:
+                raise FaultSpecError(
+                    f"{self.kind} target must be a non-empty endpoint/node "
+                    f"name, got {self.target!r}"
+                )
+        if self.start < 0:
+            raise FaultSpecError("fault start must be non-negative")
+        if self.duration <= 0:
+            raise FaultSpecError("fault duration must be positive")
+        if self.factor < 1.0:
+            raise FaultSpecError(
+                f"fault factor must be >= 1.0, got {self.factor}"
+            )
+        if self.kind in _FACTOR_KINDS and self.factor == 1.0:
+            raise FaultSpecError(
+                f"{self.kind} with factor 1.0 is a no-op; set factor > 1"
+            )
+        if self.jitter < 0:
+            raise FaultSpecError("fault jitter must be non-negative")
+        if self.repeat < 1:
+            raise FaultSpecError("fault repeat must be >= 1")
+        if self.repeat > 1 and self.period <= 0:
+            raise FaultSpecError("repeating faults need a positive period")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultEventSpec":
+        if not isinstance(payload, Mapping):
+            raise FaultSpecError(
+                f"fault event must be a mapping, got {type(payload).__name__}"
+            )
+        _check_fields(cls, payload, "fault event")
+        for key in ("kind", "target", "start", "duration"):
+            if key not in payload:
+                raise FaultSpecError(f"fault event needs a {key!r}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """An ordered fault timeline (the scenario's ``faults`` layer).
+
+    Empty timelines are falsy, serialize to an empty event list, and --
+    crucially -- are *omitted* from a scenario's canonical serialization,
+    so pre-existing scenario digests (and the result cache keyed on them)
+    are untouched by this layer's existence.
+    """
+
+    events: Tuple[FaultEventSpec, ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate(self) -> "FaultSpec":
+        for i, ev in enumerate(self.events):
+            try:
+                ev.validate()
+            except FaultSpecError as exc:
+                raise FaultSpecError(f"events[{i}]: {exc}") from exc
+        return self
+
+    def validate_against(self, platform_spec) -> None:
+        """Cross-check integer targets against a platform's actual sizes."""
+        n_osts = platform_spec.n_oss * platform_spec.osts_per_oss
+        limits = {
+            "ost_slowdown": (n_osts, "OST"),
+            "ost_outage": (n_osts, "OST"),
+            "oss_outage": (platform_spec.n_oss, "OSS"),
+            "mds_brownout": (platform_spec.n_mds, "MDS"),
+        }
+        for i, ev in enumerate(self.events):
+            limit = limits.get(ev.kind)
+            if limit is None:
+                continue
+            count, label = limit
+            if not 0 <= ev.target < count:
+                raise FaultSpecError(
+                    f"events[{i}]: {ev.kind} target {ev.target} out of "
+                    f"range for {count} {label}(s)"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [ev.to_dict() for ev in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(payload, Mapping):
+            raise FaultSpecError(
+                f"fault spec must be a mapping, got {type(payload).__name__}"
+            )
+        _check_fields(cls, payload, "fault spec")
+        events = payload.get("events", ())
+        if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+            raise FaultSpecError("'events' must be a list of fault events")
+        return cls(events=tuple(FaultEventSpec.from_dict(e) for e in events))
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialization."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        if not self.events:
+            return "no faults"
+        parts = [
+            f"{ev.kind}@{ev.target}"
+            + (f" x{ev.repeat}" if ev.repeat > 1 else "")
+            for ev in self.events
+        ]
+        return ", ".join(parts)
+
+
+def make_faults(*events: Mapping[str, Any]) -> FaultSpec:
+    """Convenience: build a validated timeline from event dicts."""
+    return FaultSpec(
+        events=tuple(FaultEventSpec.from_dict(e) for e in events)
+    ).validate()

@@ -60,6 +60,10 @@ class IOStackBuilder:
         :class:`~repro.iostack.mpiio.MPIIOLayer`).
     read_cache_bytes:
         Per-rank client read cache size.
+    rpc_timeout / rpc_retries / retry_backoff / retry_backoff_cap:
+        Client resilience knobs, forwarded to every rank's
+        :class:`~repro.pfs.client.PFSClient` (see there); left at their
+        defaults the clients are byte-identical to pre-resilience ones.
     observers:
         Observers attached to every layer of every rank (e.g. a tracer).
     """
@@ -71,6 +75,10 @@ class IOStackBuilder:
         cb_nodes: Optional[int] = None,
         read_cache_bytes: int = 0,
         write_cache_bytes: int = 0,
+        rpc_timeout: float = 0.0,
+        rpc_retries: int = 0,
+        retry_backoff: float = 0.005,
+        retry_backoff_cap: float = 0.5,
         observers: Optional[List[Callable[[IORecord], None]]] = None,
     ):
         self.pfs = pfs
@@ -78,6 +86,10 @@ class IOStackBuilder:
         self.cb_nodes = cb_nodes
         self.read_cache_bytes = read_cache_bytes
         self.write_cache_bytes = write_cache_bytes
+        self.rpc_timeout = rpc_timeout
+        self.rpc_retries = rpc_retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
         self.observers = list(observers or [])
         self._mpiio_registry = MPIIOLayer.make_shared_registry()
         self._h5_shared = H5File.make_shared_state()
@@ -91,6 +103,10 @@ class IOStackBuilder:
             ctx.node, rank=ctx.rank,
             read_cache_bytes=self.read_cache_bytes,
             write_cache_bytes=self.write_cache_bytes,
+            rpc_timeout=self.rpc_timeout,
+            rpc_retries=self.rpc_retries,
+            retry_backoff=self.retry_backoff,
+            retry_backoff_cap=self.retry_backoff_cap,
         )
         posix = PosixLayer(client, rank=ctx.rank)
         mpiio = MPIIOLayer(

@@ -1,0 +1,149 @@
+"""Durable filesystem and process-pool primitives for the result layers.
+
+Two failure modes kept showing up at the edges of the caching/provenance
+machinery and the parallel runners:
+
+* **Torn writes** -- the cache and manifest writers used a fixed
+  ``<name>.tmp`` sibling before renaming into place, so two concurrent
+  invocations sharing a cache directory could interleave writes to the
+  *same* temp file and rename a hybrid.  :func:`atomic_write_json` uses a
+  :func:`tempfile.mkstemp` name (unique per writer) plus :func:`os.replace`,
+  so readers only ever observe an old-complete or new-complete file.
+
+* **Worker-process death** -- ``ProcessPoolExecutor.map`` raises
+  :class:`~concurrent.futures.process.BrokenProcessPool` the moment any
+  worker dies (OOM kill, segfault in a C extension, ``os._exit``), taking
+  every other in-flight result down with it.  :func:`resilient_pool_map`
+  submits futures individually, retries the tasks that were in flight when
+  a pool broke once in a fresh pool (a transient kill should not fail a
+  long sweep), and converts anything that still fails into a per-task
+  error string instead of an exception -- callers record the failure and
+  keep going.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+log = logging.getLogger(__name__)
+
+PathLike = Union[str, Path]
+
+
+def atomic_write_json(
+    payload: Any,
+    path: PathLike,
+    *,
+    indent: Optional[int] = 1,
+    sort_keys: bool = False,
+    trailing_newline: bool = False,
+) -> Path:
+    """Write ``payload`` as JSON so readers never see a partial file.
+
+    The document is serialized to a uniquely-named temp file in the target
+    directory (same filesystem, so the final :func:`os.replace` is atomic)
+    and renamed over ``path``.  Parent directories are created on demand;
+    the temp file is removed on any failure.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=sort_keys)
+            if trailing_newline:
+                fh.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed or cleaned up
+            pass
+        raise
+    return path
+
+
+#: One pool-map outcome: ``(value, None)`` on success, ``(None, error)`` on
+#: failure, where ``error`` is a human-readable string for the manifest.
+PoolOutcome = Tuple[Optional[Any], Optional[str]]
+
+
+def _describe_exception(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def resilient_pool_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: int,
+    *,
+    crash_retries: int = 1,
+) -> List[PoolOutcome]:
+    """Map ``fn`` over ``items`` on a process pool, surviving worker death.
+
+    Returns one :data:`PoolOutcome` per item, in item order.  Exceptions
+    raised *inside* a worker are deterministic task failures: they are
+    recorded immediately and never retried.  A :class:`BrokenProcessPool`
+    (the worker process itself died) poisons every in-flight future, so
+    those tasks are retried up to ``crash_retries`` times in a fresh pool
+    -- distinguishing one transient kill from a task that reliably crashes
+    its worker -- before being recorded as failures.
+    """
+    results: List[Optional[PoolOutcome]] = [None] * len(items)
+    crashed: List[int] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        futures = [(i, pool.submit(fn, items[i])) for i in range(len(items))]
+        for i, future in futures:
+            try:
+                results[i] = (future.result(), None)
+            except BrokenProcessPool as exc:
+                crashed.append(i)
+                results[i] = (
+                    None,
+                    f"worker process crashed ({_describe_exception(exc)})",
+                )
+            except Exception as exc:
+                log.debug("pool task %d failed", i, exc_info=exc)
+                results[i] = (None, _describe_exception(exc))
+
+    # Retry the tasks that were in flight when the pool broke, each in its
+    # own single-worker pool: one task that deterministically kills its
+    # worker must not poison the innocent bystanders a second time.
+    for round_ in range(crash_retries):
+        if not crashed:
+            break
+        log.warning(
+            "process pool broke with %d task(s) in flight; retrying each "
+            "in an isolated pool (retry %d/%d)",
+            len(crashed), round_ + 1, crash_retries,
+        )
+        still_crashing: List[int] = []
+        for i in crashed:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                try:
+                    results[i] = (pool.submit(fn, items[i]).result(), None)
+                except BrokenProcessPool as exc:
+                    still_crashing.append(i)
+                    results[i] = (
+                        None,
+                        f"worker process crashed ({_describe_exception(exc)})",
+                    )
+                except Exception as exc:
+                    log.debug("pool task %d failed", i, exc_info=exc)
+                    results[i] = (None, _describe_exception(exc))
+        crashed = still_crashing
+    if crashed:
+        log.warning(
+            "%d task(s) still crashing their worker after %d isolated "
+            "retry(ies); recording as failed", len(crashed), crash_retries,
+        )
+    return [r if r is not None else (None, "task never ran") for r in results]

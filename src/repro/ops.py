@@ -20,6 +20,17 @@ from enum import Enum
 from typing import Any, Dict, Optional
 
 
+class StorageUnavailable(RuntimeError):
+    """A storage target (OST device or OSS) is down for fault injection.
+
+    Raised by :meth:`repro.cluster.devices.BlockDevice.access` and
+    :meth:`repro.pfs.oss.ObjectStorageServer.serve_data` while an injected
+    outage is active.  Lives here (the dependency-free vocabulary module)
+    so the device layer, the PFS layers and :mod:`repro.faults` can all
+    name it without import cycles.
+    """
+
+
 class OpKind(str, Enum):
     """Operation types across the whole I/O stack."""
 

@@ -22,8 +22,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
-from repro.ops import IORecord, OpKind
+from repro.ops import IORecord, OpKind, StorageUnavailable
 from repro.pfs.layout import StripeLayout
+from repro.telemetry import TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pfs.filesystem import ParallelFileSystem
@@ -53,6 +54,14 @@ class ClientStats:
     buffered_writes: int = 0
     #: Write-back flush operations issued to the PFS.
     flushes: int = 0
+    #: Data RPCs re-issued after a failure/timeout (resilience).
+    retries: int = 0
+    #: Data RPCs abandoned because they exceeded ``rpc_timeout``.
+    rpc_timeouts: int = 0
+    #: Data RPCs re-issued to a replica OST after the primary failed.
+    failovers: int = 0
+    #: Best-effort mirror writes dropped because their OST was down.
+    degraded_writes: int = 0
 
 
 class PFSClient:
@@ -70,6 +79,22 @@ class PFSClient:
         Capacity of the local read cache (0 disables it).
     cache_block:
         Cache block granularity in bytes.
+    rpc_timeout:
+        Per-data-RPC timeout in simulated seconds; an attempt still in
+        flight after this long is abandoned (it keeps consuming server
+        resources, like a real duplicate RPC) and retried.  ``0`` (the
+        default) disables the timeout.
+    rpc_retries:
+        Bounded retry budget per data RPC after the first attempt.  Each
+        retry waits an exponential backoff ``min(retry_backoff_cap,
+        retry_backoff * 2^n)`` first -- this is what lets a client ride
+        out an injected OST/OSS outage ("block until recovery").
+    retry_backoff / retry_backoff_cap:
+        Base and upper bound of the backoff delay, seconds.
+
+    Resilience is off (and the RPC path byte-identical to a client
+    without these parameters) unless ``rpc_timeout`` or ``rpc_retries``
+    is set.
     """
 
     def __init__(
@@ -80,11 +105,21 @@ class PFSClient:
         read_cache_bytes: int = 0,
         cache_block: int = 1024 * 1024,
         write_cache_bytes: int = 0,
+        rpc_timeout: float = 0.0,
+        rpc_retries: int = 0,
+        retry_backoff: float = 0.005,
+        retry_backoff_cap: float = 0.5,
     ):
         if cache_block <= 0:
             raise ValueError("cache_block must be positive")
         if write_cache_bytes < 0:
             raise ValueError("write_cache_bytes must be non-negative")
+        if rpc_timeout < 0 or rpc_retries < 0:
+            raise ValueError("rpc_timeout and rpc_retries must be non-negative")
+        if retry_backoff <= 0 or retry_backoff_cap < retry_backoff:
+            raise ValueError(
+                "retry_backoff must be positive and <= retry_backoff_cap"
+            )
         self.fs = fs
         self.env = fs.env
         self.node = node
@@ -97,6 +132,13 @@ class PFSClient:
         self.write_cache_bytes = int(write_cache_bytes)
         self._dirty: "OrderedDict[str, list]" = OrderedDict()
         self._dirty_bytes = 0
+        self.rpc_timeout = float(rpc_timeout)
+        self.rpc_retries = int(rpc_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_cap = float(retry_backoff_cap)
+        # One boolean, checked once per data RPC: the zero-fault path stays
+        # the exact pre-resilience code (same events, same order).
+        self._resilient = self.rpc_timeout > 0.0 or self.rpc_retries > 0
         self.stats = ClientStats()
         self.observers: List[Callable[[IORecord], None]] = []
 
@@ -241,11 +283,21 @@ class PFSClient:
     def _write_through(self, path: str, offset: int, nbytes: int, layout=None):
         if layout is None:
             layout = yield from self._layout(path)
-        procs = [
-            self.env.process(self._data_rpc(sl.ost_id, obj_off, length, True))
-            for sl in layout.slices(offset, nbytes)
-            for obj_off, length in self._chunks(sl.object_offset, sl.length)
-        ]
+        procs = []
+        for sl in layout.slices(offset, nbytes):
+            alt = layout.replica_of(sl.ost_index)
+            for obj_off, length in self._chunks(sl.object_offset, sl.length):
+                procs.append(self.env.process(
+                    self._data_rpc(sl.ost_id, obj_off, length, True,
+                                   alt_ost_id=alt)
+                ))
+                if alt is not None:
+                    # Mirror copy: best effort -- if its OST is down the
+                    # primary copy carries the data (resync is offline).
+                    procs.append(self.env.process(
+                        self._data_rpc(alt, obj_off, length, True,
+                                       best_effort=True)
+                    ))
         yield self.env.all_of(procs)
         self.fs.namespace.update_size(path, offset + nbytes, now=self.env.now)
         self._invalidate_extent(path, offset, nbytes)
@@ -326,12 +378,17 @@ class PFSClient:
                 yield self.env.timeout(_CACHE_HIT_LATENCY + nbytes / _MEM_BANDWIDTH)
             else:
                 self.stats.cache_misses += 1
-                procs = [
-                    self.env.process(self._data_rpc(sl.ost_id, obj_off, length, False))
-                    for m_off, m_len in miss_ranges
-                    for sl in layout.slices(m_off, m_len)
-                    for obj_off, length in self._chunks(sl.object_offset, sl.length)
-                ]
+                procs = []
+                for m_off, m_len in miss_ranges:
+                    for sl in layout.slices(m_off, m_len):
+                        alt = layout.replica_of(sl.ost_index)
+                        for obj_off, length in self._chunks(
+                            sl.object_offset, sl.length
+                        ):
+                            procs.append(self.env.process(
+                                self._data_rpc(sl.ost_id, obj_off, length,
+                                               False, alt_ost_id=alt)
+                            ))
                 yield self.env.all_of(procs)
                 self._cache_insert(path, offset, nbytes)
         self.stats.reads += 1
@@ -351,7 +408,24 @@ class PFSClient:
             yield pos, take
             pos += take
 
-    def _data_rpc(self, ost_id: int, object_offset: int, nbytes: int, is_write: bool):
+    def _data_rpc(
+        self,
+        ost_id: int,
+        object_offset: int,
+        nbytes: int,
+        is_write: bool,
+        alt_ost_id: Optional[int] = None,
+        best_effort: bool = False,
+    ):
+        if not self._resilient:
+            yield from self._rpc_once(ost_id, object_offset, nbytes, is_write)
+            return
+        yield from self._data_rpc_resilient(
+            ost_id, object_offset, nbytes, is_write, alt_ost_id, best_effort
+        )
+
+    def _rpc_once(self, ost_id: int, object_offset: int, nbytes: int, is_write: bool):
+        """One data RPC attempt: request out, server service, reply back."""
         oss, oss_node = self.fs.ost_location(ost_id)
         fabric = self.fs.fabric
         if is_write:
@@ -362,6 +436,109 @@ class PFSClient:
             yield from fabric.send(self.node, oss_node, RPC_HEADER)
             yield from oss.serve_data(ost_id, object_offset, nbytes, False)
             yield from fabric.send(oss_node, self.node, nbytes + RPC_HEADER)
+
+    # -- resilient RPC path ---------------------------------------------------
+    def _rpc_shielded(self, ost_id: int, object_offset: int, nbytes: int,
+                      is_write: bool):
+        """One attempt that reports failure instead of raising, so a
+        timed-out (abandoned) attempt can never crash the simulation."""
+        try:
+            yield from self._rpc_once(ost_id, object_offset, nbytes, is_write)
+        except StorageUnavailable:
+            return "unavailable"
+        return "ok"
+
+    def _rpc_attempt(self, ost_id: int, object_offset: int, nbytes: int,
+                     is_write: bool):
+        """Issue one attempt, racing it against ``rpc_timeout`` when set.
+
+        Returns ``"ok"``, ``"unavailable"`` or ``"timeout"``.
+        """
+        env = self.env
+        if self.rpc_timeout <= 0.0:
+            result = yield from self._rpc_shielded(
+                ost_id, object_offset, nbytes, is_write
+            )
+            return result
+        proc = env.process(
+            self._rpc_shielded(ost_id, object_offset, nbytes, is_write)
+        )
+        yield env.any_of([proc, env.timeout(self.rpc_timeout)])
+        if proc.triggered:
+            return proc.value
+        # The attempt lost the race: abandon it.  The in-flight RPC still
+        # completes in the background, consuming fabric and server time
+        # exactly like the duplicate RPC a real timed-out client leaves
+        # behind; _rpc_shielded guarantees its late failure is harmless.
+        return "timeout"
+
+    def _data_rpc_resilient(
+        self,
+        ost_id: int,
+        object_offset: int,
+        nbytes: int,
+        is_write: bool,
+        alt_ost_id: Optional[int],
+        best_effort: bool,
+    ):
+        env = self.env
+        targets = (ost_id,) if alt_ost_id is None else (ost_id, alt_ost_id)
+        failures = 0
+        backoffs = 0
+        while True:
+            target = targets[failures % len(targets)]
+            outcome = yield from self._rpc_attempt(
+                target, object_offset, nbytes, is_write
+            )
+            if outcome == "ok":
+                return
+            if outcome == "timeout":
+                self.stats.rpc_timeouts += 1
+                if TELEMETRY.active:
+                    TELEMETRY.metrics.counter("pfs.client.rpc_timeouts").inc()
+                    with TELEMETRY.tracer.span(
+                        "pfs.rpc_timeout", cat="faults", ost=target,
+                        nbytes=nbytes, write=is_write,
+                    ):
+                        pass
+            failures += 1
+            if best_effort:
+                # Mirror copy: its twin already carries the data, so give
+                # up immediately instead of stalling the whole stripe.
+                self.stats.degraded_writes += 1
+                if TELEMETRY.active:
+                    TELEMETRY.metrics.counter("pfs.client.degraded_writes").inc()
+                return
+            if len(targets) == 2 and failures == 1:
+                # Stripe-level failover: re-issue to the replica OST right
+                # away -- no backoff, the mirror is (probably) healthy.
+                self.stats.failovers += 1
+                if TELEMETRY.active:
+                    TELEMETRY.metrics.counter("pfs.client.failovers").inc()
+                    with TELEMETRY.tracer.span(
+                        "pfs.failover", cat="faults", ost=ost_id,
+                        replica=alt_ost_id, write=is_write,
+                    ):
+                        pass
+                continue
+            if backoffs >= self.rpc_retries:
+                raise StorageUnavailable(
+                    f"data RPC to OST {target} failed after "
+                    f"{failures} attempt(s) ({outcome})"
+                )
+            delay = min(
+                self.retry_backoff_cap, self.retry_backoff * (2.0 ** backoffs)
+            )
+            backoffs += 1
+            self.stats.retries += 1
+            if TELEMETRY.active:
+                TELEMETRY.metrics.counter("pfs.client.retries").inc()
+                with TELEMETRY.tracer.span(
+                    "pfs.rpc_retry", cat="faults", ost=target,
+                    attempt=backoffs, backoff=delay, write=is_write,
+                ):
+                    pass
+            yield env.timeout(delay)
 
     # -- read cache ------------------------------------------------------------------
     def _block_range(self, offset: int, nbytes: int):

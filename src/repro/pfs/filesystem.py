@@ -56,6 +56,7 @@ class ParallelFileSystem:
         max_rpc: int = 4 * 1024 * 1024,
         device_cls: Type[BlockDevice] = DiskDevice,
         alloc_policy: str = "round_robin",
+        replicas: int = 1,
     ):
         if stripe_size <= 0 or max_rpc <= 0:
             raise ValueError("stripe_size and max_rpc must be positive")
@@ -63,6 +64,8 @@ class ParallelFileSystem:
             raise ValueError("default_stripe_count must be >= 1")
         if alloc_policy not in ("round_robin", "load_aware"):
             raise ValueError(f"unknown alloc_policy {alloc_policy!r}")
+        if replicas not in (1, 2):
+            raise ValueError(f"replicas must be 1 or 2, got {replicas}")
         self.platform = platform
         self.env = platform.env
         self.fabric = platform.storage_fabric
@@ -100,6 +103,12 @@ class ParallelFileSystem:
         self.n_osts = ost_id
         self._alloc_cursor = 0
         self.alloc_policy = alloc_policy
+        self.replicas = int(replicas)
+        if self.replicas == 2 and self.n_osts < 2:
+            raise ValueError("replicas=2 needs at least 2 OSTs")
+        #: Every client created via :meth:`client`, for aggregate
+        #: resilience counters (retries/timeouts/failovers).
+        self.clients: list[PFSClient] = []
 
     @classmethod
     def from_spec(cls, platform: Platform, storage) -> "ParallelFileSystem":
@@ -120,6 +129,7 @@ class ParallelFileSystem:
             max_rpc=storage.max_rpc,
             device_cls=device_cls,
             alloc_policy=storage.alloc_policy,
+            replicas=getattr(storage, "replicas", 1),
         )
 
     # -- layout allocation -------------------------------------------------------
@@ -159,6 +169,15 @@ class ParallelFileSystem:
         else:
             ids = [(self._alloc_cursor + i) % self.n_osts for i in range(count)]
             self._alloc_cursor = (self._alloc_cursor + count) % self.n_osts
+        if self.replicas == 2:
+            # Mirror each stripe on a constant-shifted OST: disjoint from
+            # the primary set when the pool allows, and never the same OST
+            # as the stripe it mirrors.
+            shift = count % self.n_osts or 1
+            mirrors = [(i + shift) % self.n_osts for i in ids]
+            return StripeLayout(
+                stripe_size=size, ost_ids=ids, replica_ost_ids=mirrors
+            )
         return StripeLayout(stripe_size=size, ost_ids=ids)
 
     # -- routing ------------------------------------------------------------------
@@ -186,9 +205,22 @@ class ParallelFileSystem:
         """Create a client on the named node (must be on the storage fabric)."""
         if not self.fabric.has_endpoint(node):
             raise KeyError(f"node {node!r} is not attached to the storage fabric")
-        return PFSClient(self, node, **kwargs)
+        client = PFSClient(self, node, **kwargs)
+        self.clients.append(client)
+        return client
 
     # -- aggregate statistics -----------------------------------------------------------
+    def resilience_counters(self) -> dict:
+        """Summed client resilience counters (retries/timeouts/failovers)."""
+        out = {"retries": 0, "rpc_timeouts": 0, "failovers": 0,
+               "degraded_writes": 0}
+        for c in self.clients:
+            out["retries"] += c.stats.retries
+            out["rpc_timeouts"] += c.stats.rpc_timeouts
+            out["failovers"] += c.stats.failovers
+            out["degraded_writes"] += c.stats.degraded_writes
+        return out
+
     def total_bytes_written(self) -> int:
         return sum(oss.stats.bytes_written for oss, _ in self.oss_servers)
 

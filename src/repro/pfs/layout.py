@@ -45,12 +45,24 @@ class StripeLayout:
     ost_ids:
         The OSTs the file is striped over, in round-robin order.  Its
         length is the stripe count.
+    replica_ost_ids:
+        Optional mirror set, parallel to ``ost_ids``: stripe ``i`` is also
+        written to ``replica_ost_ids[i]`` and a resilient client may fail
+        over reads/writes there when the primary OST is unavailable
+        (Lustre FLR-style mirroring).  Empty (the default) means
+        unreplicated.
     """
 
     stripe_size: int
     ost_ids: tuple
+    replica_ost_ids: tuple
 
-    def __init__(self, stripe_size: int, ost_ids: Sequence[int]):
+    def __init__(
+        self,
+        stripe_size: int,
+        ost_ids: Sequence[int],
+        replica_ost_ids: Sequence[int] = (),
+    ):
         if stripe_size <= 0:
             raise ValueError(f"stripe_size must be positive, got {stripe_size}")
         ids = tuple(ost_ids)
@@ -58,12 +70,37 @@ class StripeLayout:
             raise ValueError("layout needs at least one OST")
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate OSTs in layout: {ids}")
+        mirrors = tuple(replica_ost_ids)
+        if mirrors:
+            if len(mirrors) != len(ids):
+                raise ValueError(
+                    "replica_ost_ids must be parallel to ost_ids "
+                    f"({len(mirrors)} != {len(ids)})"
+                )
+            if len(set(mirrors)) != len(mirrors):
+                raise ValueError(f"duplicate OSTs in replica set: {mirrors}")
+            same = [i for i, (a, b) in enumerate(zip(ids, mirrors)) if a == b]
+            if same:
+                raise ValueError(
+                    f"replica OST equals primary OST at stripe index {same[0]}"
+                )
         object.__setattr__(self, "stripe_size", int(stripe_size))
         object.__setattr__(self, "ost_ids", ids)
+        object.__setattr__(self, "replica_ost_ids", mirrors)
 
     @property
     def stripe_count(self) -> int:
         return len(self.ost_ids)
+
+    @property
+    def replicated(self) -> bool:
+        return bool(self.replica_ost_ids)
+
+    def replica_of(self, ost_index: int):
+        """Mirror OST for stripe index ``ost_index`` (``None`` if none)."""
+        if not self.replica_ost_ids:
+            return None
+        return self.replica_ost_ids[ost_index]
 
     def ost_of(self, offset: int) -> int:
         """Global OST id holding file byte ``offset``."""

@@ -74,6 +74,11 @@ class MetadataServer:
         self._svc = Resource(env, capacity=threads)
         self.op_counts: Counter = Counter()
         self.busy_time = 0.0
+        # Fault injection: service-time multiplier (1.0 = healthy).  An MDS
+        # brown-out inflates every op's service time -- the "metadata server
+        # restart / overload" signature facility logs attribute tail
+        # latency to.
+        self._degradation = 1.0
         #: Callables ``(kind: OpKind, path: str, time: float)`` invoked on
         #: every namespace-changing operation (FSMonitor subscription).
         self.listeners: List[Callable[[OpKind, str, float], None]] = []
@@ -97,6 +102,20 @@ class MetadataServer:
             return 0.0
         return min(1.0, self.busy_time / (self.env.now * self._svc.capacity))
 
+    @property
+    def degradation(self) -> float:
+        """Current service-time multiplier (1.0 = healthy)."""
+        return self._degradation
+
+    def set_degradation(self, factor: float) -> None:
+        """Inject a brown-out: every op takes ``factor``x its service time.
+
+        ``factor=1.0`` restores health.
+        """
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1.0, got {factor}")
+        self._degradation = float(factor)
+
     # -- service ----------------------------------------------------------------
     def service_time(self, kind: OpKind, n_entries: int = 0) -> float:
         cost = _OP_COST.get(kind)
@@ -105,7 +124,7 @@ class MetadataServer:
         t = cost * self.op_time
         if kind == OpKind.READDIR:
             t += n_entries * _READDIR_PER_ENTRY * self.op_time
-        return t
+        return t * self._degradation
 
     def serve(self, kind: OpKind, path: str, **kwargs):
         """Simulated-process generator serving one metadata operation.

@@ -14,6 +14,7 @@ from typing import Dict
 
 from repro.cluster.devices import BlockDevice
 from repro.des.resources import Resource
+from repro.ops import StorageUnavailable
 from repro.telemetry import TELEMETRY
 
 
@@ -71,6 +72,9 @@ class ObjectStorageServer:
         self._svc = Resource(env, capacity=threads)
         self.stats = OSSStats()
         self.busy_time = 0.0
+        # Fault injection: a downed OSS rejects new RPCs (all of its OSTs
+        # become unreachable) until it recovers.
+        self._available = True
 
     @property
     def ost_ids(self) -> list[int]:
@@ -90,6 +94,19 @@ class ObjectStorageServer:
             return 0.0
         return min(1.0, self.busy_time / (self.env.now * self._svc.capacity))
 
+    @property
+    def available(self) -> bool:
+        """Whether the server currently accepts data RPCs."""
+        return self._available
+
+    def fail(self) -> None:
+        """Take the whole server out of service (injected outage)."""
+        self._available = False
+
+    def recover(self) -> None:
+        """Bring the server back into service."""
+        self._available = True
+
     def serve_data(self, ost_id: int, object_offset: int, nbytes: int, is_write: bool):
         """Simulated-process generator serving one data RPC.
 
@@ -98,6 +115,8 @@ class ObjectStorageServer:
         device = self.osts.get(ost_id)
         if device is None:
             raise KeyError(f"OST {ost_id} is not attached to {self.name}")
+        if not self._available:
+            raise StorageUnavailable(f"OSS {self.name} is down")
         start = self.env.now
         with self._svc.request() as slot:
             yield slot

@@ -45,6 +45,11 @@ def build(spec: ScenarioSpec) -> ExperimentHarness:
     """
     platform = build_platform(spec)
     pfs = ParallelFileSystem.from_spec(platform, spec.storage)
+    injector = None
+    if spec.faults:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(platform, pfs, spec.faults).arm()
     if log.isEnabledFor(logging.DEBUG):  # describe() formats eagerly
         log.debug("built scenario %r: %s", spec.name, spec.describe())
     return ExperimentHarness(
@@ -52,6 +57,7 @@ def build(spec: ScenarioSpec) -> ExperimentHarness:
         pfs=pfs,
         stack_defaults=spec.stack.kwargs(),
         scenario=spec,
+        fault_injector=injector,
     )
 
 
@@ -81,7 +87,7 @@ class ScenarioRun:
         from dataclasses import asdict
 
         pfs = self.harness.pfs
-        return {
+        out = {
             "scenario": self.scenario.name,
             "scenario_digest": self.scenario.digest(),
             "seed": self.scenario.seed,
@@ -92,12 +98,30 @@ class ScenarioRun:
             "results": [asdict(r) for r in self.results],
             "setup_results": [asdict(r) for r in self.setup_results],
         }
+        injector = self.harness.fault_injector
+        if injector is not None:
+            # Keys appear only on fault scenarios so healthy payloads (and
+            # anything cached from them) are byte-identical to before.
+            out["faults"] = injector.summary()
+            out["resilience"] = pfs.resilience_counters()
+        return out
 
     def summary(self) -> str:
         lines = [f"scenario {self.scenario.name}: "
                  f"{len(self.results)} workload(s), "
                  f"{self.duration:.3f}s simulated"]
         lines.extend(f"  {r.summary()}" for r in self.results)
+        injector = self.harness.fault_injector
+        if injector is not None:
+            f = injector.summary()
+            r = self.harness.pfs.resilience_counters()
+            lines.append(
+                f"  faults: {f['injected']} injected / {f['reverted']} "
+                f"reverted, {f['degraded_seconds_total']:.3f}s degraded | "
+                f"client: {r['retries']} retries, {r['rpc_timeouts']} "
+                f"timeouts, {r['failovers']} failovers, "
+                f"{r['degraded_writes']} degraded writes"
+            )
         return "\n".join(lines)
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.cluster.platform import medium_spec, tiny_spec
+from repro.faults.spec import FaultEventSpec, FaultSpec
 from repro.scenario.spec import ScenarioSpec, StackSpec, StorageSpec, WorkloadSpec
 
 MiB = 1024 * 1024
@@ -255,6 +256,64 @@ def a5_client(seed: int = 0) -> ScenarioSpec:
     return _tiny("a5-client", seed)
 
 
+# -- resilience experiments (R1-R3): goodput under failure -------------------
+def r1_ckpt_outage(seed: int = 0) -> ScenarioSpec:
+    """Checkpoint/restart with one OST failing mid-dump (R1).
+
+    Replicated (FLR-style) layouts give the resilient clients a failover
+    target; the run must complete during the outage window, paying
+    failovers and degraded mirror writes instead of blocking.
+    """
+    return _tiny(
+        "r1-ckpt-outage", seed,
+        storage=StorageSpec(default_stripe_count=2, replicas=2),
+        stack=StackSpec(rpc_retries=14, retry_backoff=0.01,
+                        retry_backoff_cap=0.2),
+        workloads=(WorkloadSpec("checkpoint", 4, {
+            "bytes_per_rank": 8 * MiB, "steps": 2, "compute_seconds": 0.2,
+            "fsync": False,
+        }),),
+        faults=FaultSpec((
+            FaultEventSpec(kind="ost_outage", target=0,
+                           start=0.25, duration=0.5),
+        )),
+    )
+
+
+def r2_ior_degraded(seed: int = 0) -> ScenarioSpec:
+    """File-per-process IOR with one OST slowed 8x (R2 sweeps the count).
+
+    Per-rank files keep a healthy rank's bandwidth independent of the
+    degraded OSTs, so aggregate goodput falls roughly linearly with the
+    degraded fraction -- the curve R2 measures.
+    """
+    return _tiny(
+        "r2-ior-degraded", seed,
+        stack=StackSpec(rpc_retries=8, retry_backoff=0.01,
+                        retry_backoff_cap=0.2),
+        workloads=(WorkloadSpec("ior", 4, {
+            "block_size": 8 * MiB, "transfer_size": MiB,
+            "file_per_process": True, "stripe_count": 1,
+        }),),
+        faults=FaultSpec((
+            FaultEventSpec(kind="ost_slowdown", target=0,
+                           start=0.0, duration=60.0, factor=8.0),
+        )),
+    )
+
+
+def r3_mds_brownout(seed: int = 0) -> ScenarioSpec:
+    """mdtest create/stat/unlink storm under a 6x MDS brown-out (R3)."""
+    return _tiny(
+        "r3-mds-brownout", seed,
+        workloads=(WorkloadSpec("mdtest", 4, {"files_per_rank": 64}),),
+        faults=FaultSpec((
+            FaultEventSpec(kind="mds_brownout", target=0,
+                           start=0.0, duration=60.0, factor=6.0),
+        )),
+    )
+
+
 # -- figures -----------------------------------------------------------------
 def e1_platform(seed: int = 0) -> ScenarioSpec:
     """The medium platform Fig. 1 renders (platform-only)."""
@@ -293,6 +352,9 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioSpec]] = {
     "a2-ior": a2_ior,
     "a3-ior": a3_ior,
     "a5-client": a5_client,
+    "r1-ckpt-outage": r1_ckpt_outage,
+    "r2-ior-degraded": r2_ior_degraded,
+    "r3-mds-brownout": r3_mds_brownout,
     "e1-platform": e1_platform,
     "e2-stack": e2_stack,
     "e4-cycle": e4_cycle,

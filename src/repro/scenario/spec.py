@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.platform import PlatformSpec
+from repro.faults.spec import FaultSpec, FaultSpecError
 
 SCENARIO_SCHEMA = "repro.scenario/1"
 
@@ -70,6 +71,9 @@ class StorageSpec:
     #: OST block device class: ``"disk"`` or ``"ssd"``.
     device: str = "disk"
     alloc_policy: str = "round_robin"
+    #: Data copies per stripe: 1 (default), or 2 for FLR-style mirroring
+    #: that gives resilient clients a failover target.
+    replicas: int = 1
 
     def validate(self) -> None:
         if self.stripe_size <= 0 or self.max_rpc <= 0:
@@ -86,9 +90,16 @@ class StorageSpec:
                 f"unknown alloc_policy {self.alloc_policy!r}; "
                 f"choose from {ALLOC_POLICIES}"
             )
+        if self.replicas not in (1, 2):
+            raise ScenarioError(f"replicas must be 1 or 2, got {self.replicas}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        out = dataclasses.asdict(self)
+        # Serialized form (and thus every digest/cache key) of an
+        # unreplicated spec predates the replicas field: omit the default.
+        if self.replicas == 1:
+            del out["replicas"]
+        return out
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "StorageSpec":
@@ -104,12 +115,26 @@ class StackSpec:
     cb_nodes: Optional[int] = None
     read_cache_bytes: int = 0
     write_cache_bytes: int = 0
+    #: Client resilience knobs (see :class:`repro.pfs.client.PFSClient`);
+    #: the defaults leave resilience off and the RPC path byte-identical.
+    rpc_timeout: float = 0.0
+    rpc_retries: int = 0
+    retry_backoff: float = 0.005
+    retry_backoff_cap: float = 0.5
 
     def validate(self) -> None:
         if self.cb_nodes is not None and self.cb_nodes < 1:
             raise ScenarioError("cb_nodes must be >= 1 (or None)")
         if self.read_cache_bytes < 0 or self.write_cache_bytes < 0:
             raise ScenarioError("cache sizes must be non-negative")
+        if self.rpc_timeout < 0 or self.rpc_retries < 0:
+            raise ScenarioError(
+                "rpc_timeout and rpc_retries must be non-negative"
+            )
+        if self.retry_backoff <= 0 or self.retry_backoff_cap < self.retry_backoff:
+            raise ScenarioError(
+                "retry_backoff must be positive and <= retry_backoff_cap"
+            )
 
     def kwargs(self) -> Dict[str, Any]:
         """The keyword arguments :class:`IOStackBuilder` expects."""
@@ -117,10 +142,21 @@ class StackSpec:
             "cb_nodes": self.cb_nodes,
             "read_cache_bytes": self.read_cache_bytes,
             "write_cache_bytes": self.write_cache_bytes,
+            "rpc_timeout": self.rpc_timeout,
+            "rpc_retries": self.rpc_retries,
+            "retry_backoff": self.retry_backoff,
+            "retry_backoff_cap": self.retry_backoff_cap,
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        out = dataclasses.asdict(self)
+        # Omit resilience fields still at their defaults so pre-resilience
+        # scenario digests (and the caches keyed on them) are unchanged.
+        for name in ("rpc_timeout", "rpc_retries",
+                     "retry_backoff", "retry_backoff_cap"):
+            if out[name] == type(self).__dataclass_fields__[name].default:
+                del out[name]
+        return out
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "StackSpec":
@@ -195,11 +231,15 @@ class ScenarioSpec:
     #: instead of back to back on the shared file system.
     concurrent: bool = False
     seed: int = 0
+    #: Fault timeline injected while the workloads run (empty: healthy).
+    faults: FaultSpec = field(default_factory=FaultSpec)
 
     def __post_init__(self):
         # Tolerate lists (e.g. from from_dict or dataclasses.replace).
         if not isinstance(self.workloads, tuple):
             object.__setattr__(self, "workloads", tuple(self.workloads))
+        if not isinstance(self.faults, FaultSpec):
+            object.__setattr__(self, "faults", FaultSpec(self.faults))
 
     # -- validation ----------------------------------------------------------
     def validate(self) -> "ScenarioSpec":
@@ -218,6 +258,11 @@ class ScenarioSpec:
                 raise ScenarioError(f"workloads[{i}]: {exc}") from exc
         if self.concurrent and len(self.workloads) < 2:
             raise ScenarioError("concurrent scenarios need >= 2 workloads")
+        try:
+            self.faults.validate()
+            self.faults.validate_against(self.platform)
+        except FaultSpecError as exc:
+            raise ScenarioError(f"faults: {exc}") from exc
         return self
 
     # -- derivation ----------------------------------------------------------
@@ -231,7 +276,7 @@ class ScenarioSpec:
 
     # -- canonical serialization ---------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "schema": SCENARIO_SCHEMA,
             "name": self.name,
             "seed": self.seed,
@@ -241,6 +286,12 @@ class ScenarioSpec:
             "stack": self.stack.to_dict(),
             "workloads": [w.to_dict() for w in self.workloads],
         }
+        # Empty timelines serialize to nothing at all: a healthy scenario's
+        # canonical form (and digest) is exactly what it was before fault
+        # injection existed.
+        if self.faults:
+            out["faults"] = self.faults.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
@@ -253,7 +304,7 @@ class ScenarioSpec:
                                 f"(expected {SCENARIO_SCHEMA!r})")
         extra = sorted(set(payload) - {
             "schema", "name", "seed", "concurrent",
-            "platform", "storage", "stack", "workloads",
+            "platform", "storage", "stack", "workloads", "faults",
         })
         if extra:
             raise ScenarioError(f"unknown scenario field(s): {', '.join(extra)}")
@@ -261,6 +312,10 @@ class ScenarioSpec:
             raise ScenarioError("scenario document needs a 'name'")
         platform_payload = dict(payload.get("platform", {}))
         _check_fields(PlatformSpec, platform_payload, "platform")
+        try:
+            faults = FaultSpec.from_dict(payload.get("faults", {}))
+        except FaultSpecError as exc:
+            raise ScenarioError(f"faults: {exc}") from exc
         return cls(
             name=payload["name"],
             seed=payload.get("seed", 0),
@@ -271,6 +326,7 @@ class ScenarioSpec:
             workloads=tuple(
                 WorkloadSpec.from_dict(w) for w in payload.get("workloads", ())
             ),
+            faults=faults,
         )
 
     def to_json(self, indent: Optional[int] = 1) -> str:
@@ -309,4 +365,6 @@ class ScenarioSpec:
                 f"{w.kind}({w.n_ranks}r)" for w in self.workloads
             )
             parts.append(f"{mode} workloads: {kinds}")
+        if self.faults:
+            parts.append(f"faults: {self.faults.describe()}")
         return " | ".join(parts)

@@ -33,12 +33,12 @@ import json
 import logging
 import random
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cluster.platform import PlatformSpec
+from repro.ioutil import atomic_write_json, resilient_pool_map
 from repro.scenario.spec import (
     ScenarioError,
     ScenarioSpec,
@@ -196,18 +196,29 @@ def expand_grid(
 
 @dataclass
 class SweepResult:
-    """Outcome of one sweep point."""
+    """Outcome of one sweep point.
+
+    ``outcome`` is ``None`` exactly when the point failed (worker crash or
+    in-point exception); ``error`` then carries the reason and the failure
+    is recorded in the sweep manifest.
+    """
 
     point: SweepPoint
     #: :meth:`repro.scenario.build.ScenarioRun.to_dict` payload.
-    outcome: Dict[str, Any]
+    outcome: Optional[Dict[str, Any]]
     cached: bool
     seconds: float
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome is None
 
     @property
     def payload(self) -> bytes:
+        doc = {"error": self.error} if self.outcome is None else self.outcome
         return json.dumps(
-            self.outcome, sort_keys=True, separators=(",", ":")
+            doc, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
 
 
@@ -260,19 +271,14 @@ def _cache_load(path: Path, source_digest: str) -> Optional[Dict[str, Any]]:
 def _cache_store(
     path: Path, scenario_digest: str, source_digest: str, outcome: Dict[str, Any]
 ) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(
-            {
-                "scenario_digest": scenario_digest,
-                "source_digest": source_digest,
-                "outcome": outcome,
-            },
-            fh,
-            indent=1,
-        )
-    tmp.replace(path)
+    atomic_write_json(
+        {
+            "scenario_digest": scenario_digest,
+            "source_digest": source_digest,
+            "outcome": outcome,
+        },
+        path,
+    )
 
 
 def run_sweep(
@@ -284,6 +290,7 @@ def run_sweep(
     seed: Optional[int] = None,
     manifest: bool = True,
     manifest_path: Optional[Union[Path, str]] = None,
+    fail_fast: bool = False,
 ) -> List[SweepResult]:
     """Run every grid point of a sweep, in parallel when ``jobs > 1``.
 
@@ -292,6 +299,11 @@ def run_sweep(
     source digest)`` -- the same invalidation discipline as the experiment
     runner: any source change re-runs everything, an unchanged point is a
     file read.  Results come back in grid order regardless of ``jobs``.
+
+    A point that raises -- or whose worker process dies -- becomes a
+    failed :class:`SweepResult` (``outcome is None``, ``error`` set,
+    recorded in the manifest, never cached) while the remaining points
+    still run; ``fail_fast=True`` aborts on the first failure instead.
 
     When ``manifest`` is true a sweep manifest (schema
     ``repro.scenario.sweep/1``) is written next to the cache directory
@@ -333,11 +345,37 @@ def run_sweep(
     if misses:
         payloads = [points[i].scenario.canonical_json() for i in misses]
         if jobs == 1 or len(misses) == 1:
-            outcomes = [_execute_point_timed(p) for p in payloads]
+            outcomes = []
+            for p in payloads:
+                start = time.perf_counter()
+                try:
+                    outcomes.append((_execute_point_timed(p), None))
+                except Exception as exc:
+                    if fail_fast:
+                        raise
+                    outcomes.append(
+                        ((None, time.perf_counter() - start),
+                         f"{type(exc).__name__}: {exc}")
+                    )
         else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
-                outcomes = list(pool.map(_execute_point_timed, payloads))
-        for i, (outcome, seconds) in zip(misses, outcomes):
+            outcomes = resilient_pool_map(
+                _execute_point_timed, payloads, min(jobs, len(misses))
+            )
+            outcomes = [
+                (value if value is not None else (None, 0.0), error)
+                for value, error in outcomes
+            ]
+        for i, ((outcome, seconds), error) in zip(misses, outcomes):
+            if error is not None:
+                if fail_fast:
+                    raise RuntimeError(
+                        f"sweep point {points[i].name!r} failed: {error}"
+                    )
+                log.error("sweep point %r failed: %s", points[i].name, error)
+                results[i] = SweepResult(
+                    points[i], None, cached=False, seconds=seconds, error=error
+                )
+                continue  # never cache a failure
             results[i] = SweepResult(points[i], outcome, cached=False, seconds=seconds)
             if use_cache:
                 _cache_store(
@@ -370,6 +408,7 @@ def run_sweep(
                     "cached": r.cached,
                     "seconds": r.seconds,
                     "result_sha256": hashlib.sha256(r.payload).hexdigest(),
+                    **({"error": r.error} if r.failed else {}),
                 }
                 for r in ordered
             ],

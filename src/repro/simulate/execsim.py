@@ -40,6 +40,10 @@ def run_workload(
     write_cache_bytes: int = 0,
     cb_nodes: Optional[int] = None,
     compute_nodes: Optional[List[str]] = None,
+    rpc_timeout: float = 0.0,
+    rpc_retries: int = 0,
+    retry_backoff: float = 0.005,
+    retry_backoff_cap: float = 0.5,
 ) -> WorkloadResult:
     """Run one workload to completion inside the simulator.
 
@@ -58,6 +62,9 @@ def run_workload(
         Collective-buffering aggregator count.
     compute_nodes:
         Node names to place ranks on (defaults to all compute nodes).
+    rpc_timeout / rpc_retries / retry_backoff / retry_backoff_cap:
+        Client resilience knobs (see :class:`~repro.pfs.client.PFSClient`);
+        defaults leave resilience off.
     """
     nodes = compute_nodes or [n.name for n in platform.compute_nodes]
     rank_nodes = round_robin_nodes(nodes, workload.n_ranks)
@@ -68,6 +75,10 @@ def run_workload(
         cb_nodes=cb_nodes,
         read_cache_bytes=read_cache_bytes,
         write_cache_bytes=write_cache_bytes,
+        rpc_timeout=rpc_timeout,
+        rpc_retries=rpc_retries,
+        retry_backoff=retry_backoff,
+        retry_backoff_cap=retry_backoff_cap,
         observers=observers,
     )
     env = platform.env
@@ -113,6 +124,9 @@ class ExperimentHarness:
     stack_defaults: Optional[Dict[str, Any]] = None
     #: The spec this harness was built from, when scenario-assembled.
     scenario: Optional[Any] = field(default=None, repr=False)
+    #: Armed :class:`~repro.faults.injector.FaultInjector` when the
+    #: scenario declares a fault timeline (``None`` on healthy systems).
+    fault_injector: Optional[Any] = field(default=None, repr=False)
 
     @classmethod
     def fresh(cls, platform_factory: Callable[[], Platform], **pfs_kwargs) -> "ExperimentHarness":

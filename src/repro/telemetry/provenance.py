@@ -80,13 +80,9 @@ def build_manifest(
 
 def write_manifest(manifest: Dict[str, Any], path: PathLike) -> Path:
     """Atomically write ``manifest`` as JSON; returns the final path."""
-    p = Path(path)
-    p.parent.mkdir(parents=True, exist_ok=True)
-    tmp = p.with_suffix(".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=1, sort_keys=False)
-        fh.write("\n")
-    tmp.replace(p)
+    from repro.ioutil import atomic_write_json
+
+    p = atomic_write_json(manifest, path, trailing_newline=True)
     log.info(
         "wrote run manifest (%d task(s), %d cache hit(s)) to %s",
         len(manifest.get("tasks", ())),

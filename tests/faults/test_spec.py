@@ -1,0 +1,162 @@
+"""Fault-timeline spec: validation, serialization, digest identity."""
+
+import json
+
+import pytest
+
+from repro.cluster.platform import tiny_spec
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEventSpec,
+    FaultSpec,
+    FaultSpecError,
+    make_faults,
+)
+from repro.scenario import ScenarioError, ScenarioSpec, WorkloadSpec
+
+KiB = 1024
+
+
+def _event(**changes):
+    defaults = dict(kind="ost_slowdown", target=0, start=1.0,
+                    duration=2.0, factor=4.0)
+    defaults.update(changes)
+    return FaultEventSpec(**defaults)
+
+
+def _scenario(**changes):
+    defaults = dict(
+        name="faulttest",
+        platform=tiny_spec(),
+        workloads=(
+            WorkloadSpec("ior", 2, {"block_size": 256 * KiB,
+                                    "transfer_size": 64 * KiB}),
+        ),
+        seed=0,
+    )
+    defaults.update(changes)
+    return ScenarioSpec(**defaults)
+
+
+# -- event validation ---------------------------------------------------------
+
+def test_valid_events_for_every_kind():
+    events = [
+        _event(kind="ost_slowdown", target=1),
+        _event(kind="ost_outage", target=0, factor=1.0),
+        _event(kind="oss_outage", target=1, factor=1.0),
+        _event(kind="mds_brownout", target=0, factor=6.0),
+        _event(kind="link_flap", target="core", factor=2.0),
+        _event(kind="node_straggler", target="c0", factor=3.0),
+    ]
+    assert {e.kind for e in events} == set(FAULT_KINDS)
+    FaultSpec(tuple(events)).validate()
+
+
+@pytest.mark.parametrize("changes,match", [
+    (dict(kind="disk_fire"), "unknown fault kind"),
+    (dict(target="ost0"), "integer index"),
+    (dict(target=True), "integer index"),
+    (dict(target=-1), ">= 0"),
+    (dict(kind="link_flap", target=3), "name"),
+    (dict(kind="link_flap", target=""), "name"),
+    (dict(start=-0.1), "non-negative"),
+    (dict(duration=0.0), "positive"),
+    (dict(factor=0.5), ">= 1.0"),
+    (dict(factor=1.0), "no-op"),
+    (dict(jitter=-1.0), "non-negative"),
+    (dict(repeat=0), ">= 1"),
+    (dict(repeat=3), "positive period"),
+])
+def test_invalid_events_rejected(changes, match):
+    with pytest.raises(FaultSpecError, match=match):
+        FaultSpec((_event(**changes),)).validate()
+
+
+def test_validation_error_names_the_event_index():
+    spec = FaultSpec((_event(), _event(duration=-1.0)))
+    with pytest.raises(FaultSpecError, match=r"events\[1\]"):
+        spec.validate()
+
+
+def test_validate_against_platform_ranges():
+    # tiny: 2 OSS x 2 OSTs = 4 OSTs, 1 MDS.
+    plat = tiny_spec()
+    FaultSpec((_event(target=3),)).validate_against(plat)
+    with pytest.raises(FaultSpecError, match="out of range"):
+        FaultSpec((_event(target=4),)).validate_against(plat)
+    with pytest.raises(FaultSpecError, match="out of range"):
+        FaultSpec((_event(kind="oss_outage", target=2),)).validate_against(plat)
+    with pytest.raises(FaultSpecError, match="out of range"):
+        FaultSpec((_event(kind="mds_brownout", target=1),)).validate_against(plat)
+
+
+# -- serialization ------------------------------------------------------------
+
+def test_round_trip_and_digest_stability():
+    spec = FaultSpec((
+        _event(),
+        _event(kind="link_flap", target="core", factor=2.0,
+               jitter=0.05, repeat=3, period=1.5),
+    ))
+    clone = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+    assert clone.digest() == spec.digest()
+    assert FaultSpec().digest() != spec.digest()
+
+
+def test_unknown_and_missing_fields_rejected():
+    with pytest.raises(FaultSpecError, match="unknown fault event field"):
+        FaultEventSpec.from_dict({"kind": "ost_outage", "target": 0,
+                                  "start": 0.0, "duration": 1.0,
+                                  "blast_radius": 3})
+    with pytest.raises(FaultSpecError, match="needs a 'duration'"):
+        FaultEventSpec.from_dict({"kind": "ost_outage", "target": 0,
+                                  "start": 0.0})
+    with pytest.raises(FaultSpecError, match="unknown fault spec field"):
+        FaultSpec.from_dict({"events": [], "mode": "chaos"})
+
+
+def test_make_faults_validates():
+    spec = make_faults(
+        {"kind": "ost_outage", "target": 0, "start": 0.5, "duration": 1.0},
+    )
+    assert len(spec) == 1 and bool(spec)
+    with pytest.raises(FaultSpecError):
+        make_faults({"kind": "ost_outage", "target": 0, "start": -1.0,
+                     "duration": 1.0})
+
+
+def test_describe_is_compact():
+    spec = FaultSpec((_event(), _event(kind="link_flap", target="core",
+                                       factor=2.0, repeat=5, period=2.0)))
+    assert spec.describe() == "ost_slowdown@0, link_flap@core x5"
+    assert FaultSpec().describe() == "no faults"
+
+
+# -- scenario integration -----------------------------------------------------
+
+def test_fault_free_scenario_serialization_unchanged():
+    """The faults layer must not perturb pre-existing scenario digests:
+    an empty timeline is omitted from the canonical form entirely."""
+    spec = _scenario()
+    assert "faults" not in spec.to_dict()
+    assert not spec.faults
+    clone = ScenarioSpec.from_json(spec.canonical_json())
+    assert clone.digest() == spec.digest()
+
+
+def test_faulted_scenario_round_trips_and_changes_digest():
+    base = _scenario()
+    faulted = _scenario(faults=FaultSpec((_event(),)))
+    assert "faults" in faulted.to_dict()
+    assert faulted.digest() != base.digest()
+    clone = ScenarioSpec.from_json(faulted.canonical_json())
+    assert clone == faulted
+    assert clone.digest() == faulted.digest()
+
+
+def test_scenario_validate_wraps_fault_errors():
+    bad = _scenario(faults=FaultSpec((_event(target=99),)))
+    with pytest.raises(ScenarioError, match="faults:.*out of range"):
+        bad.validate()

@@ -49,6 +49,10 @@ def test_build_returns_configured_harness():
     assert harness.scenario is spec
     assert harness.stack_defaults == {
         "cb_nodes": 1, "read_cache_bytes": 0, "write_cache_bytes": MiB,
+        # Resilience knobs at their disarmed defaults still flow through so
+        # run_workload sees one authoritative stack configuration.
+        "rpc_timeout": 0.0, "rpc_retries": 0,
+        "retry_backoff": 0.005, "retry_backoff_cap": 0.5,
     }
     assert len(harness.platform.compute_nodes) == spec.platform.n_compute
     assert harness.pfs.default_stripe_count == 2

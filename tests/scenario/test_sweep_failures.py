@@ -1,0 +1,132 @@
+"""Sweep failure containment and cache recovery.
+
+A long sweep must survive a point that raises or whose worker dies: the
+point is recorded as failed in the results and the manifest, never cached,
+and every other point completes.  Stale or corrupt cache entries are
+likewise never served -- they fall back to re-execution.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.scenario import get_scenario, run_sweep
+from repro.scenario import sweep as sweep_mod
+from repro.scenario.sweep import load_sweep_manifest
+
+# Captured at import time so the crashing stand-ins (inherited by forked
+# workers) can still run the real points.
+_REAL_POINT = sweep_mod._execute_point_timed
+
+
+def _raise_on_marker(scenario_json):
+    # The point name ("tiny/n_oss=4") is part of the canonical scenario
+    # JSON handed to workers, so it doubles as the sabotage marker.
+    if "n_oss=4" in scenario_json:
+        raise ValueError("synthetic point failure")
+    return _REAL_POINT(scenario_json)
+
+
+def _crash_on_marker(scenario_json):
+    if "n_oss=4" in scenario_json:
+        os._exit(42)  # kill the worker process outright
+    return _REAL_POINT(scenario_json)
+
+
+def _tiny():
+    return get_scenario("tiny", 0)
+
+
+def test_sequential_point_failure_recorded(tmp_path, monkeypatch):
+    monkeypatch.setattr(sweep_mod, "_execute_point_timed", _raise_on_marker)
+    manifest_path = tmp_path / "sweep-manifest.json"
+    results = run_sweep(
+        _tiny(), {"n_oss": [2, 4]}, jobs=1, cache_dir=tmp_path / "cache",
+        manifest_path=manifest_path,
+    )
+    ok, failed = results
+    assert ok.outcome is not None and not ok.failed
+    assert failed.failed and failed.outcome is None
+    assert "ValueError" in failed.error
+    points = {p["name"]: p for p in load_sweep_manifest(manifest_path)["points"]}
+    assert "synthetic" in points["tiny/n_oss=4"]["error"]
+    assert "error" not in points["tiny/n_oss=2"]
+    # Only the successful point was cached.
+    assert len(list((tmp_path / "cache").glob("sweep-*.json"))) == 1
+
+
+def test_sequential_fail_fast_raises(tmp_path, monkeypatch):
+    monkeypatch.setattr(sweep_mod, "_execute_point_timed", _raise_on_marker)
+    with pytest.raises(ValueError, match="synthetic"):
+        run_sweep(_tiny(), {"n_oss": [2, 4]}, jobs=1, use_cache=False,
+                  manifest=False, fail_fast=True)
+
+
+def test_worker_crash_recorded_others_complete(tmp_path, monkeypatch):
+    monkeypatch.setattr(sweep_mod, "_execute_point_timed", _crash_on_marker)
+    results = run_sweep(
+        _tiny(), {"n_oss": [2, 4, 8]}, jobs=2, cache_dir=tmp_path / "cache",
+        manifest_path=tmp_path / "sweep-manifest.json",
+    )
+    by_name = {r.point.name: r for r in results}
+    assert by_name["tiny/n_oss=4"].failed
+    assert "crash" in by_name["tiny/n_oss=4"].error
+    assert by_name["tiny/n_oss=2"].outcome is not None
+    assert by_name["tiny/n_oss=8"].outcome is not None
+    # Failed point never cached; healthy points are.
+    assert len(list((tmp_path / "cache").glob("sweep-*.json"))) == 2
+    # Once the sabotage is lifted, the failed point recomputes cleanly.
+    monkeypatch.setattr(sweep_mod, "_execute_point_timed", _REAL_POINT)
+    again = run_sweep(
+        _tiny(), {"n_oss": [2, 4, 8]}, jobs=1, cache_dir=tmp_path / "cache",
+        manifest=False,
+    )
+    by_name = {r.point.name: r for r in again}
+    assert by_name["tiny/n_oss=2"].cached
+    assert by_name["tiny/n_oss=8"].cached
+    assert not by_name["tiny/n_oss=4"].cached
+    assert by_name["tiny/n_oss=4"].outcome is not None
+
+
+def test_worker_crash_fail_fast_raises(tmp_path, monkeypatch):
+    monkeypatch.setattr(sweep_mod, "_execute_point_timed", _crash_on_marker)
+    with pytest.raises(RuntimeError, match="crash"):
+        run_sweep(_tiny(), {"n_oss": [2, 4]}, jobs=2, use_cache=False,
+                  manifest=False, fail_fast=True)
+
+
+# -- cache recovery -----------------------------------------------------------
+
+def test_corrupt_sweep_cache_entry_recomputed(tmp_path):
+    cache = tmp_path / "cache"
+    first = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
+    path = next(cache.glob("sweep-*.json"))
+    path.write_text("{not json")
+    second = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
+    assert not second[0].cached
+    assert second[0].payload == first[0].payload
+
+
+def test_stale_sweep_cache_entry_recomputed(tmp_path):
+    cache = tmp_path / "cache"
+    first = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
+    path = next(cache.glob("sweep-*.json"))
+    stored = json.loads(path.read_text())
+    stored["source_digest"] = "f" * 64  # entry from another source tree
+    path.write_text(json.dumps(stored))
+    second = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
+    assert not second[0].cached
+    assert second[0].payload == first[0].payload
+
+
+def test_truncated_outcome_in_cache_recomputed(tmp_path):
+    cache = tmp_path / "cache"
+    first = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
+    path = next(cache.glob("sweep-*.json"))
+    stored = json.loads(path.read_text())
+    stored["outcome"] = None  # right digest, unusable payload
+    path.write_text(json.dumps(stored))
+    second = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
+    assert not second[0].cached
+    assert second[0].payload == first[0].payload
