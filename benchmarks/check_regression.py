@@ -186,6 +186,45 @@ def speedups(
     }
 
 
+BASELINE_REF = "bench/baseline"
+REPORT_REF = "bench/latest"
+
+
+def load_baseline(path: Path, store_dir: Optional[Path]) -> Dict:
+    """Resolve the baseline: run store first, committed file as fallback.
+
+    With ``--store``, the gate reads its reference timings from the
+    content-addressed run store (ref ``bench/baseline``).  A store that
+    does not hold one yet is seeded from the committed baseline file --
+    the one-shot migration -- so subsequent invocations are pure store
+    reads and the baseline is addressable/diffable like every other
+    artifact (``repro-io store show bench/baseline``).
+    """
+    if store_dir is not None:
+        from repro.store import RunArtifact, RunStore, StoreError
+
+        store = RunStore(store_dir)
+        try:
+            entry = store.get_ref(BASELINE_REF)
+            if entry is not None:
+                return dict(store.get(entry["digest"]).payload)
+        except StoreError as exc:
+            print(f"store baseline unreadable ({exc}); falling back to file",
+                  file=sys.stderr)
+        if path.exists():
+            with open(path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+            digest = store.put(RunArtifact.from_bench(baseline))
+            store.set_ref(BASELINE_REF, digest,
+                          meta={"source": str(path)})
+            return baseline
+        return {}
+    if path.exists():
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    return {}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=5,
@@ -196,6 +235,11 @@ def main(argv=None) -> int:
                         help="allowed slowdown vs the reference (0.25 = 25%%)")
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    parser.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="read the baseline from (and record the report into) the "
+        "content-addressed run store rooted here, seeding it from "
+        "--baseline on first use (e.g. results/store)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads, 1 round, no pass/fail gate")
     args = parser.parse_args(argv)
@@ -204,10 +248,7 @@ def main(argv=None) -> int:
     if args.smoke:
         rounds, scale = 1, 0.02
 
-    baseline = {}
-    if args.baseline.exists():
-        with open(args.baseline, "r", encoding="utf-8") as fh:
-            baseline = json.load(fh)
+    baseline = load_baseline(args.baseline, args.store)
 
     stats = run_benchmarks(rounds=rounds, scale=scale)
     medians = {name: s["median"] for name, s in stats.items()}
@@ -235,6 +276,13 @@ def main(argv=None) -> int:
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=1)
         fh.write("\n")
+    if args.store is not None:
+        from repro.store import RunArtifact, RunStore
+
+        store = RunStore(args.store)
+        digest = store.put(RunArtifact.from_bench(report))
+        store.set_ref(REPORT_REF, digest, meta={"smoke": args.smoke})
+        print(f"report stored as {digest[:12]} ({REPORT_REF})")
 
     width = max(len(n) for n in medians)
     for name, cur in medians.items():

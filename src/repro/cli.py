@@ -19,9 +19,20 @@ Subcommands::
                                        scenario (--jobs fans out, points
                                        are cached, a sweep manifest
                                        records per-point provenance)
-    repro-io telemetry <file>          summarize a trace / manifest /
-                                       metrics / sweep JSON emitted by
-                                       the above
+    repro-io telemetry <file|token>    summarize a trace / manifest /
+                                       metrics / sweep JSON -- a file
+                                       path, or a store token (run id,
+                                       ref, digest, 'latest')
+    repro-io store ls|show|diff|gc|verify|export|migrate|table
+                                       inspect the content-addressed run
+                                       store (results/store): list runs
+                                       and refs, show artifacts, diff two
+                                       runs by content, collect garbage,
+                                       check integrity, bundle for
+                                       sharing, migrate a legacy
+                                       results/ layout, or regenerate
+                                       the EXPERIMENTS table from stored
+                                       records without re-running
     repro-io run-dsl <file>            run a DSL workload on a simulated
                                        cluster and print its profile
     repro-io cycle                     run one evaluation-cycle iteration
@@ -285,7 +296,14 @@ def _cmd_scenario(args) -> int:
 
 
 def _cmd_telemetry(args) -> int:
-    """Summarize a telemetry artifact (trace / manifest / metrics / sweep)."""
+    """Summarize a telemetry artifact (trace / manifest / metrics / sweep).
+
+    ``args.file`` is a JSON file path, or -- when no such file exists -- a
+    run-store token (run id, ref name, digest or digest prefix, or
+    ``latest``) resolved against ``--store-dir``.
+    """
+    from pathlib import Path
+
     from repro.scenario.sweep import SWEEP_SCHEMA
     from repro.telemetry import (
         MANIFEST_SCHEMA,
@@ -294,12 +312,30 @@ def _cmd_telemetry(args) -> int:
         validate_chrome_trace,
     )
 
-    try:
-        with open(args.file, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
-        return 2
+    if Path(args.file).is_file():
+        try:
+            with open(args.file, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.store import RunStore, StoreError
+
+        store = RunStore(args.store_dir)
+        try:
+            artifact = store.get(store.resolve(args.file))
+        except StoreError as exc:
+            print(
+                f"cannot read {args.file}: not a file, and not resolvable "
+                f"in the run store at {args.store_dir} ({exc})",
+                file=sys.stderr,
+            )
+            return 2
+        if artifact.kind == "experiment_record":
+            print(artifact.to_record().summary())
+            return 0
+        doc = dict(artifact.payload)
 
     if isinstance(doc, dict) and "traceEvents" in doc:
         problems = validate_chrome_trace(doc)
@@ -405,6 +441,183 @@ def _summarize_sweep(doc, top: int) -> int:
             origin = "cache" if p.get("cached") else "fresh"
             print(f"  {p.get('name', '?'):<56} {p.get('seconds', 0.0):8.3f}s  "
                   f"({origin})")
+    return 0
+
+
+def _fmt_when(ts) -> str:
+    import datetime
+
+    try:
+        return datetime.datetime.fromtimestamp(float(ts)).strftime(
+            "%Y-%m-%d %H:%M:%S")
+    except (TypeError, ValueError, OSError, OverflowError):
+        return "?"
+
+
+def _cmd_store(args) -> int:
+    """Inspect/maintain the content-addressed run store."""
+    from repro.store import RunStore, StoreError
+
+    store = RunStore(args.store_dir)
+    try:
+        return _store_action(store, args)
+    except StoreError as exc:
+        print(f"store error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _store_action(store, args) -> int:
+    if args.action == "ls":
+        return _store_ls(store, args)
+    if args.action == "show":
+        return _store_show(store, args)
+    if args.action == "diff":
+        return _store_diff(store, args)
+    if args.action == "gc":
+        report = store.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"gc: {report['kept']} object(s) kept, "
+              f"{verb} {len(report['removed'])} "
+              f"({report['bytes_freed']} bytes)")
+        for digest in report["removed"][:20]:
+            print(f"  {digest[:16]}")
+        return 0
+    if args.action == "verify":
+        problems = store.verify()
+        if not problems:
+            print(f"store at {store.root}: no problems found "
+                  f"({len(store)} object(s))")
+            return 0
+        for p in problems:
+            where = p.get("digest") or p.get("ref") or p.get("run")
+            print(f"{str(where)[:40]:<40} {p['problem']}")
+        print(f"{len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    if args.action == "export":
+        bundle = store.export(args.tokens or None)
+        text = json.dumps(bundle, indent=1, sort_keys=True)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"{len(bundle['objects'])} object(s), "
+                  f"{len(bundle['runs'])} run(s) exported to {args.output}")
+        else:
+            print(text)
+        return 0
+    if args.action == "migrate":
+        from pathlib import Path
+
+        from repro.store import migrate_results
+
+        summary = migrate_results(Path(args.results_dir), store=store)
+        for key in sorted(summary):
+            print(f"{key:<24} {summary[key]}")
+        return 0
+    # table
+    return _store_table(store, args)
+
+
+def _store_ls(store, args) -> int:
+    runs = store.runs()
+    refs = store.refs(args.pattern or "*")
+    print(f"store at {store.root}: {len(store)} object(s), "
+          f"{len(refs)} ref(s), {len(runs)} run(s)")
+    if runs:
+        print("runs (oldest first):")
+        for run in runs:
+            print(f"  {run['run_id']:<28} {_fmt_when(run.get('created'))}  "
+                  f"{len(run.get('artifacts', {}))} artifact(s)")
+    if args.kind:
+        print(f"objects of kind {args.kind!r}:")
+        for digest, artifact in store.query(args.kind):
+            print(f"  {digest[:16]}  {artifact.describe()}")
+    elif refs:
+        print("refs:")
+        for name, entry in refs:
+            print(f"  {name:<44} -> {entry['digest'][:16]}")
+    return 0
+
+
+def _store_show(store, args) -> int:
+    run = store._maybe_run(args.token)
+    if run is not None:
+        print(f"run {run['run_id']} ({run.get('kind', '?')}), "
+              f"created {_fmt_when(run.get('created'))}")
+        print(f"manifest {run['manifest'][:16]}")
+        for label in sorted(run.get("artifacts", {})):
+            digest = run["artifacts"][label]
+            try:
+                desc = store.get(digest).describe()
+            except Exception as exc:  # corrupt/missing: show, don't die
+                desc = f"UNREADABLE: {exc}"
+            print(f"  {label:<24} {digest[:16]}  {desc}")
+        return 0
+    digest = store.resolve(args.token)
+    artifact = store.get(digest)
+    print(f"{digest}  kind={artifact.kind}")
+    print(artifact.describe())
+    if args.json:
+        print(json.dumps(dict(artifact.payload), indent=1, sort_keys=True))
+    return 0
+
+
+def _store_diff(store, args) -> int:
+    report = store.diff(args.a, args.b)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+        return 0 if report["identical"] else 1
+    if report["identical"]:
+        print(f"{report['a']} and {report['b']} are identical "
+              f"({report['mode']} diff: 0 difference(s))")
+        return 0
+    if report["mode"] == "runs":
+        for label in report["only_a"]:
+            print(f"only in {report['a']}: {label}")
+        for label in report["only_b"]:
+            print(f"only in {report['b']}: {label}")
+        for label, changes in report["changed"].items():
+            print(f"{label}: {len(changes)} change(s)")
+            for ch in changes[:args.top]:
+                print(f"  {ch['path']}: {ch['a']!r} -> {ch['b']!r}")
+    else:
+        for ch in report["changed"][:args.top]:
+            print(f"{ch['path']}: {ch['a']!r} -> {ch['b']!r}")
+    return 1
+
+
+def _store_table(store, args) -> int:
+    """Regenerate the EXPERIMENTS records table from stored artifacts."""
+    from repro.core.experiment import ResultsCollector
+
+    if args.run:
+        docs = [store.get_run(args.run)]
+    else:
+        docs = [r for r in store.runs() if r.get("kind") == "experiment"][-1:]
+    pairs = []  # (label, record)
+    if docs:
+        for label in sorted(docs[0].get("artifacts", {})):
+            artifact = store.get(docs[0]["artifacts"][label])
+            if artifact.kind == "experiment_record":
+                pairs.append((label, artifact.to_record()))
+    if not pairs:  # no usable run document: fall back to record refs
+        for name, entry in store.refs("records/*") + \
+                store.refs("legacy/experiments/*"):
+            artifact = store.get(entry["digest"])
+            if artifact.kind == "experiment_record":
+                meta = entry.get("meta", {})
+                label = f"{artifact.payload.get('id', name)}" \
+                        f"#s{meta.get('seed', '?')}"
+                pairs.append((label, artifact.to_record()))
+    if not pairs:
+        print("store holds no experiment records yet "
+              "(run `repro-io experiment all` first)", file=sys.stderr)
+        return 2
+    collector = ResultsCollector()
+    ids = [rec.id for _, rec in pairs]
+    unique = len(set(ids)) == len(ids)
+    for label, rec in pairs:
+        collector.records[rec.id if unique else label] = rec
+    print(collector.table())
     return 0
 
 
@@ -530,8 +743,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute even when a cached result exists, and do not cache",
     )
     p.add_argument(
-        "--cache-dir", default="results/cache",
-        help="result cache location (default results/cache)",
+        "--cache-dir", default="results/store",
+        help="run-store root the record cache lives in "
+        "(default results/store)",
     )
     p.add_argument("--json", help="write results JSON to this path")
     p.add_argument(
@@ -592,8 +806,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes for the point fan-out (default 1)")
     sp.add_argument("--no-cache", action="store_true",
                     help="recompute every point and do not cache")
-    sp.add_argument("--cache-dir", default="results/cache",
-                    help="point cache location (default results/cache)")
+    sp.add_argument("--cache-dir", default="results/store",
+                    help="run-store root the point cache lives in "
+                    "(default results/store)")
     sp.add_argument("--no-manifest", action="store_true",
                     help="skip writing the sweep provenance manifest")
     sp.add_argument("--fail-fast", action="store_true",
@@ -605,12 +820,93 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "telemetry",
         help="summarize a self-telemetry artifact (trace, manifest or "
-        "metrics JSON)",
+        "metrics JSON; a file path or a run-store token)",
     )
-    p.add_argument("file", help="path to the JSON artifact")
+    p.add_argument(
+        "file",
+        help="path to the JSON artifact, or a store token (run id, ref "
+        "name, digest prefix, or 'latest') when no such file exists",
+    )
     p.add_argument("--top", type=int, default=10,
                    help="rows to show in rankings (default 10)")
+    p.add_argument("--store-dir", default="results/store",
+                   help="run store consulted for non-file tokens "
+                   "(default results/store)")
     p.set_defaults(fn=_cmd_telemetry)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect and maintain the content-addressed run store",
+    )
+    p.add_argument("--store-dir", default="results/store",
+                   help="store root (default results/store)")
+    store_sub = p.add_subparsers(dest="action", required=True)
+
+    sp = store_sub.add_parser("ls", help="list runs, refs and objects")
+    sp.add_argument("pattern", nargs="?", default="*",
+                    help="fnmatch pattern over ref names (default *)")
+    sp.add_argument("--kind",
+                    help="list objects of this artifact kind instead of refs")
+    sp.set_defaults(fn=_cmd_store)
+
+    sp = store_sub.add_parser(
+        "show", help="show one run or artifact (run id, ref, digest, latest)"
+    )
+    sp.add_argument("token")
+    sp.add_argument("--json", action="store_true",
+                    help="also dump the artifact payload as JSON")
+    sp.set_defaults(fn=_cmd_store)
+
+    sp = store_sub.add_parser(
+        "diff",
+        help="content-diff two runs (by artifact set) or two artifacts "
+        "(by payload); exits 0 when identical",
+    )
+    sp.add_argument("a")
+    sp.add_argument("b")
+    sp.add_argument("--json", action="store_true",
+                    help="print the structured diff report")
+    sp.add_argument("--top", type=int, default=10,
+                    help="changes to show per artifact (default 10)")
+    sp.set_defaults(fn=_cmd_store)
+
+    sp = store_sub.add_parser(
+        "gc", help="delete objects unreachable from any ref or run"
+    )
+    sp.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without deleting")
+    sp.set_defaults(fn=_cmd_store)
+
+    sp = store_sub.add_parser(
+        "verify", help="integrity sweep: corrupt objects, dangling refs"
+    )
+    sp.set_defaults(fn=_cmd_store)
+
+    sp = store_sub.add_parser(
+        "export", help="bundle runs/refs/objects into one JSON document"
+    )
+    sp.add_argument("tokens", nargs="*",
+                    help="limit to these runs/artifacts (default: whole store)")
+    sp.add_argument("-o", "--output", help="write the bundle here")
+    sp.set_defaults(fn=_cmd_store)
+
+    sp = store_sub.add_parser(
+        "migrate",
+        help="one-shot ingest of a legacy results/ layout "
+        "(cache/, manifest.json, experiments.json) into the store",
+    )
+    sp.add_argument("results_dir", nargs="?", default="results",
+                    help="legacy results directory (default results)")
+    sp.set_defaults(fn=_cmd_store)
+
+    sp = store_sub.add_parser(
+        "table",
+        help="regenerate the EXPERIMENTS records table from stored "
+        "records, no re-run",
+    )
+    sp.add_argument("--run", help="run id to read records from "
+                    "(default: the latest experiment run)")
+    sp.set_defaults(fn=_cmd_store)
 
     p = sub.add_parser("run-dsl", help="run a DSL workload description")
     p.add_argument("file", help="path to the .wdsl file")

@@ -12,13 +12,20 @@
 
 from repro.core.taxonomy import TAXONOMY, TaxonomyNode, find_node, render_tree
 from repro.core.cycle import CycleReport, EvaluationCycle
-from repro.core.experiment import ExperimentRecord, ResultsCollector
+from repro.core.experiment import (
+    ExperimentRecord,
+    ResultsCollector,
+    record_from_dict,
+    record_payload,
+)
 
 __all__ = [
     "CycleReport",
     "EvaluationCycle",
     "ExperimentRecord",
     "ResultsCollector",
+    "record_from_dict",
+    "record_payload",
     "TAXONOMY",
     "TaxonomyNode",
     "find_node",

@@ -74,6 +74,38 @@ def _fmt(v: Any) -> str:
     return str(v)
 
 
+# -- canonical serialization -------------------------------------------------
+#
+# These live next to the record type (not in the runner) because every
+# layer that stores, caches or diffs records must agree on the bytes:
+# the experiment runner, the content-addressed run store
+# (:mod:`repro.store`) and the golden-fixture tests.
+
+def record_payload(record: ExperimentRecord) -> bytes:
+    """Canonical byte serialization of a record (for caching and equality).
+
+    Two records describing the same outcome serialize to the same bytes
+    regardless of which process produced them.  ``provenance`` is
+    deliberately excluded (see :class:`ExperimentRecord`): the canonical
+    payload describes the *outcome*, which must be byte-identical whether
+    the record was computed fresh or served from the store.
+    """
+    from repro.ioutil import canonical_json_bytes
+
+    return canonical_json_bytes(record.to_dict())
+
+
+def record_from_dict(payload: Dict) -> ExperimentRecord:
+    """Inverse of :meth:`ExperimentRecord.to_dict`."""
+    return ExperimentRecord(
+        id=payload["id"],
+        claim=payload["claim"],
+        measured=payload["measured"],
+        supported=payload["supported"],
+        notes=payload["notes"],
+    )
+
+
 class ResultsCollector:
     """Accumulates experiment records and renders/persists them."""
 

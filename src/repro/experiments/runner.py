@@ -1,6 +1,6 @@
-"""Parallel, cached experiment runner.
+"""Parallel experiment runner backed by the content-addressed run store.
 
-The reproduction suite (19 experiments, see
+The reproduction suite (19+ experiments, see
 :data:`repro.experiments.ALL_EXPERIMENTS`) was historically run one
 experiment at a time in-process.  Every experiment is an independent pure
 function of ``(experiment id, seed)``, which makes the suite embarrassingly
@@ -18,11 +18,14 @@ parallel and perfectly cacheable:
   argument; this guard additionally isolates any accidental use of global
   RNG state from execution order, so sequential and parallel runs agree.
 
-* **On-disk result cache** -- results are stored under
-  ``results/cache/`` keyed by ``(experiment id, seed, source digest)``
-  where the digest hashes every ``.py`` file of the installed ``repro``
-  package.  Re-running an unchanged experiment is a file read; any source
-  change invalidates the whole cache.
+* **Store-backed result cache** -- results land in the content-addressed
+  :class:`repro.store.RunStore` (default ``results/store``): each record
+  becomes an ``experiment_record`` artifact keyed by the SHA-256 of its
+  canonical JSON, and a ref ``records/<id>-s<seed>-<source digest16>``
+  points the cache key at it.  The source digest hashes every ``.py``
+  file of the installed ``repro`` package, so any source change
+  invalidates the whole cache while identical outcomes across digests
+  still deduplicate to one object.
 
 * **Failure containment** -- a task that raises, or whose worker process
   dies outright, is recorded as a failed result (``RunResult.error``)
@@ -33,12 +36,14 @@ parallel and perfectly cacheable:
 
 * **Self-telemetry and provenance** -- cache outcomes (hit / miss / stale /
   corrupt) are counted in the global metrics registry and logged; a stale
-  or corrupt entry is *never* served -- it falls back to re-execution.
-  Every invocation also writes a ``manifest.json`` next to the cache
-  directory (see :mod:`repro.telemetry.provenance`) recording the source
-  digest, the task matrix, per-task wall-clock and which records came from
-  cache, and each returned :class:`ExperimentRecord` carries a
-  ``provenance`` reference to that manifest.
+  or corrupt entry is *never* served -- it falls back to re-execution,
+  and re-putting the recomputed artifact heals a corrupt object in place.
+  Every invocation writes a ``manifest.json`` (see
+  :mod:`repro.telemetry.provenance`) whose tasks reference record
+  artifacts by digest and whose host metadata is a by-digest artifact
+  reference; store-backed runs additionally land a run document
+  (``repro-io store ls`` / ``diff``) and each returned
+  :class:`ExperimentRecord` carries a ``provenance`` reference to both.
 """
 
 from __future__ import annotations
@@ -52,39 +57,22 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.experiment import ExperimentRecord
-from repro.ioutil import atomic_write_json, resilient_pool_map
+from repro.core.experiment import (
+    ExperimentRecord,
+    record_from_dict,  # noqa: F401  (re-export: canonical home is repro.core)
+    record_payload,
+)
+from repro.ioutil import resilient_pool_map
+from repro.store import RunArtifact, RunStore, StoreError
+from repro.store.store import DEFAULT_STORE_DIR
 from repro.telemetry import TELEMETRY, build_manifest, write_manifest
-from repro.telemetry.provenance import MANIFEST_NAME
+from repro.telemetry.provenance import MANIFEST_NAME, host_reference
 
 log = logging.getLogger(__name__)
 
-#: Cache location, relative to the caller's working directory by default.
-DEFAULT_CACHE_DIR = Path("results") / "cache"
-
-
-# -- canonical serialization -------------------------------------------------
-
-def record_payload(record: ExperimentRecord) -> bytes:
-    """Canonical byte serialization of a record (for caching and equality).
-
-    Two records describing the same outcome serialize to the same bytes
-    regardless of which process produced them.
-    """
-    return json.dumps(
-        record.to_dict(), sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-
-
-def record_from_dict(payload: Dict) -> ExperimentRecord:
-    """Inverse of :meth:`ExperimentRecord.to_dict`."""
-    return ExperimentRecord(
-        id=payload["id"],
-        claim=payload["claim"],
-        measured=payload["measured"],
-        supported=payload["supported"],
-        notes=payload["notes"],
-    )
+#: Store location, relative to the caller's working directory by default.
+#: (``DEFAULT_CACHE_DIR`` is the historical name, kept as an alias.)
+DEFAULT_CACHE_DIR = DEFAULT_STORE_DIR
 
 
 # -- cache keying ------------------------------------------------------------
@@ -112,8 +100,9 @@ def task_seed(experiment_id: str, seed: int) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
-def _cache_path(cache_dir: Path, experiment_id: str, seed: int, digest: str) -> Path:
-    return cache_dir / f"{experiment_id}-s{seed}-{digest[:16]}.json"
+def record_ref_name(experiment_id: str, seed: int, digest: str) -> str:
+    """Store ref key for one cached (experiment, seed, source digest) task."""
+    return f"records/{experiment_id}-s{seed}-{digest[:16]}"
 
 
 # -- task execution ----------------------------------------------------------
@@ -171,13 +160,21 @@ class RunResult:
             ).encode("utf-8")
         return record_payload(self.record)
 
+    @property
+    def artifact_digest(self) -> Optional[str]:
+        """Content address of this record's store artifact (pure function
+        of the outcome -- identical whether or not the store was written)."""
+        if self.record is None:
+            return None
+        return RunArtifact.from_record(self.record).digest()
+
 
 def run_experiments(
     ids: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
     use_cache: bool = True,
-    cache_dir: Path | str = DEFAULT_CACHE_DIR,
+    cache_dir: Path | str = DEFAULT_STORE_DIR,
     digest: Optional[str] = None,
     manifest: bool = True,
     manifest_path: Optional[Union[Path, str]] = None,
@@ -195,19 +192,20 @@ def run_experiments(
     jobs:
         Worker process count; ``1`` runs everything in this process.
     use_cache:
-        Serve unchanged (id, seed, source digest) tasks from the on-disk
-        cache and write fresh results back to it.
+        Serve unchanged (id, seed, source digest) tasks from the run
+        store and put fresh results back into it.
     cache_dir:
-        Cache directory (created on demand).
+        Store root (created on demand; default ``results/store``).
     digest:
         Precomputed :func:`source_digest` (recomputed when ``None``).
     manifest:
         Write a run-provenance ``manifest.json`` describing this invocation
-        (see :mod:`repro.telemetry.provenance`) and attach a provenance
-        reference to every returned record.
+        (see :mod:`repro.telemetry.provenance`), land a run document in the
+        store (when ``use_cache``) and attach a provenance reference to
+        every returned record.
     manifest_path:
         Where to write it (default: ``<cache_dir>/../manifest.json``, i.e.
-        next to the results the cache directory lives under).
+        next to the store the results live under).
     fail_fast:
         When false (default) a task that raises -- or whose worker process
         dies -- becomes a failed :class:`RunResult` (``record is None``,
@@ -230,7 +228,7 @@ def run_experiments(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     seeds = list(seeds)
-    cache_dir = Path(cache_dir)
+    store = RunStore(cache_dir)
     wall_start = time.perf_counter()
     tracer = TELEMETRY.tracer if TELEMETRY.active else None
 
@@ -250,7 +248,7 @@ def run_experiments(
     misses: List[Tuple[str, int]] = []
     for task in tasks:
         hit, status = (
-            _cache_load(cache_dir, task, digest) if use_cache else (None, "miss")
+            _cache_load(store, task, digest) if use_cache else (None, "miss")
         )
         if status == "hit":
             cache_counts["hits"] += 1
@@ -264,8 +262,8 @@ def run_experiments(
             results[task] = hit
     if use_cache:
         log.debug(
-            "cache %s: %d hit(s), %d miss(es) of %d task(s)",
-            cache_dir, cache_counts["hits"], len(misses), len(tasks),
+            "store %s: %d hit(s), %d miss(es) of %d task(s)",
+            store.root, cache_counts["hits"], len(misses), len(tasks),
         )
 
     # Compute misses -- in-process for jobs=1, fanned out otherwise.
@@ -333,7 +331,7 @@ def run_experiments(
         if use_cache:
             for task in misses:
                 if not results[task].failed:  # never cache a failure
-                    _cache_store(cache_dir, task, digest, results[task].record)
+                    _cache_store(store, task, digest, results[task].record)
 
     ordered = [results[task] for task in tasks]
     metrics.counter("runner.tasks.total").inc(len(tasks))
@@ -345,8 +343,9 @@ def run_experiments(
     if manifest:
         out_path = (
             Path(manifest_path) if manifest_path is not None
-            else cache_dir.parent / MANIFEST_NAME
+            else Path(cache_dir).parent / MANIFEST_NAME
         )
+        host = host_reference(store) if use_cache else None
         doc = build_manifest(
             source_digest=digest,
             ids=ids,
@@ -361,59 +360,86 @@ def run_experiments(
                     "cached": r.cached,
                     "seconds": r.seconds,
                     "record_sha256": hashlib.sha256(r.payload).hexdigest(),
-                    **({"error": r.error} if r.failed else {}),
+                    **(
+                        {"error": r.error} if r.failed
+                        else {"artifact": r.artifact_digest}
+                    ),
                 }
                 for r in ordered
             ],
             cache_counts=cache_counts,
             wall_seconds=time.perf_counter() - wall_start,
+            host=host,
         )
         write_manifest(doc, out_path)
+        run_id = None
+        if use_cache:
+            # Land the manifest and the run document in the store so the
+            # invocation is addressable (``repro-io store ls/diff``).
+            manifest_digest = store.put(RunArtifact.from_run_manifest(doc))
+            artifacts = {
+                f"{r.experiment_id}#s{r.seed}": r.artifact_digest
+                for r in ordered
+                if not r.failed
+            }
+            if host is not None:
+                artifacts["host"] = host["artifact"]
+            run_id = store.add_run(
+                "experiment", manifest_digest, artifacts, created=doc["created"]
+            )
         ref = {"manifest": str(out_path), "source_digest": digest}
+        if run_id is not None:
+            ref["run_id"] = run_id
+            ref["store"] = str(store.root)
         for r in ordered:
             if r.record is not None:
                 r.record.provenance = dict(
-                    ref, seed=r.seed, cached=r.cached, seconds=r.seconds
+                    ref,
+                    seed=r.seed,
+                    cached=r.cached,
+                    seconds=r.seconds,
+                    artifact=r.artifact_digest,
                 )
 
     return ordered
 
 
-# -- cache I/O ---------------------------------------------------------------
+# -- store-backed cache I/O --------------------------------------------------
 
 def _cache_load(
-    cache_dir: Path, task: Tuple[str, int], digest: Optional[str]
+    store: RunStore, task: Tuple[str, int], digest: Optional[str]
 ) -> Tuple[Optional[RunResult], str]:
-    """Try to serve ``task`` from cache.
+    """Try to serve ``task`` from the run store.
 
     Returns ``(result, status)`` where status is one of ``"hit"``,
-    ``"miss"`` (no entry), ``"stale"`` (entry from another source digest)
-    or ``"corrupt"`` (unreadable/invalid entry).  Stale and corrupt entries
-    are logged and *never* served; the caller falls back to re-execution.
+    ``"miss"`` (no ref / no object), ``"stale"`` (ref keyed on another
+    source digest) or ``"corrupt"`` (unreadable ref, or an artifact whose
+    bytes no longer hash to its address).  Stale and corrupt entries are
+    logged and *never* served; the caller falls back to re-execution, and
+    the re-put heals a corrupt object in place.
     """
     if digest is None:
         return None, "miss"
-    path = _cache_path(cache_dir, task[0], task[1], digest)
+    name = record_ref_name(task[0], task[1], digest)
     try:
-        with open(path, "r", encoding="utf-8") as fh:
-            stored = json.load(fh)
-    except FileNotFoundError:
-        return None, "miss"
-    except (OSError, ValueError) as exc:
-        log.warning("corrupt cache entry %s (%s); re-executing", path, exc)
+        entry = store.get_ref(name)
+    except StoreError as exc:
+        log.warning("corrupt cache ref %s (%s); re-executing", name, exc)
         return None, "corrupt"
-    if not isinstance(stored, dict) or stored.get("digest") != digest:
+    if entry is None:
+        return None, "miss"
+    if entry.get("meta", {}).get("source_digest") != digest:
         log.warning(
-            "stale cache entry %s (stored digest %r != %r); re-executing",
-            path,
-            stored.get("digest") if isinstance(stored, dict) else None,
-            digest,
+            "stale cache ref %s (stored digest %r != %r); re-executing",
+            name, entry.get("meta", {}).get("source_digest"), digest,
         )
         return None, "stale"
+    if not store.has(entry["digest"]):
+        return None, "miss"
     try:
-        record = record_from_dict(stored["record"])
-    except (KeyError, TypeError) as exc:
-        log.warning("corrupt cache entry %s (%s); re-executing", path, exc)
+        record = store.get(entry["digest"]).to_record()
+    except (StoreError, ValueError) as exc:
+        log.warning("corrupt cache entry %s (%s); re-executing", name, exc)
         return None, "corrupt"
     return (
         RunResult(task[0], task[1], record, cached=True, seconds=0.0),
@@ -422,22 +448,23 @@ def _cache_load(
 
 
 def _cache_store(
-    cache_dir: Path, task: Tuple[str, int], digest: str, record: ExperimentRecord
+    store: RunStore, task: Tuple[str, int], digest: str, record: ExperimentRecord
 ) -> None:
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    # Prune entries for the same task made with older source digests.
-    for stale in cache_dir.glob(f"{task[0]}-s{task[1]}-*.json"):
-        if stale.name != _cache_path(cache_dir, task[0], task[1], digest).name:
-            try:
-                stale.unlink()
-            except OSError:  # pragma: no cover - concurrent cleanup
-                pass
-    atomic_write_json(
-        {
+    artifact_digest = store.put(RunArtifact.from_record(record))
+    # Prune refs for the same task keyed on older source digests (their
+    # objects stay until ``store gc`` decides they are unreachable).
+    stale_prefix = f"records/{task[0]}-s{task[1]}-"
+    current = record_ref_name(task[0], task[1], digest)
+    for name, _ in store.refs(f"{stale_prefix}*"):
+        if name != current:
+            store.delete_ref(name)
+    store.set_ref(
+        current,
+        artifact_digest,
+        meta={
             "experiment_id": task[0],
             "seed": task[1],
-            "digest": digest,
-            "record": record.to_dict(),
+            "source_digest": digest,
+            "created": time.time(),
         },
-        _cache_path(cache_dir, task[0], task[1], digest),
     )

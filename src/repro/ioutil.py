@@ -23,6 +23,7 @@ machinery and the parallel runners:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
@@ -35,6 +36,30 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 log = logging.getLogger(__name__)
 
 PathLike = Union[str, Path]
+
+
+# -- canonical serialization -------------------------------------------------
+#
+# One byte representation per JSON value: sorted keys, no whitespace, UTF-8.
+# Every layer that hashes or compares payloads (record cache, sweep cache,
+# the content-addressed run store) must agree on these bytes, so the
+# helpers live here at the bottom of the dependency graph.
+
+def canonical_json_bytes(payload: Any) -> bytes:
+    """Canonical byte serialization of a JSON-serializable value."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 of ``data`` -- the repo-wide content-address function."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_digest(payload: Any) -> str:
+    """SHA-256 over the canonical JSON bytes of ``payload``."""
+    return sha256_hex(canonical_json_bytes(payload))
 
 
 def atomic_write_json(
@@ -62,6 +87,31 @@ def atomic_write_json(
             json.dump(payload, fh, indent=indent, sort_keys=sort_keys)
             if trailing_newline:
                 fh.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed or cleaned up
+            pass
+        raise
+    return path
+
+
+def atomic_write_bytes(data: bytes, path: PathLike) -> Path:
+    """Write ``data`` verbatim so readers never see a partial file.
+
+    Same mkstemp + :func:`os.replace` discipline as
+    :func:`atomic_write_json`, but byte-exact: the content-addressed store
+    uses this so the bytes on disk hash back to the object's digest.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
         os.replace(tmp_name, path)
     except BaseException:
         try:

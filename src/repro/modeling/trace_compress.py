@@ -131,10 +131,12 @@ def _collapse_runs(ops: Sequence[IOOp]) -> List[Node]:
         op = ops[i]
         j = i + 1
         stride = None
-        sig = (op.kind, op.path, op.nbytes, op.rank, round(op.duration, 9))
+        # Duration must match exactly: Run.expand() replays op.duration for
+        # every copy, so rounding here would break exact decompression.
+        sig = (op.kind, op.path, op.nbytes, op.rank, op.duration)
         while j < n:
             nxt = ops[j]
-            if (nxt.kind, nxt.path, nxt.nbytes, nxt.rank, round(nxt.duration, 9)) != sig:
+            if (nxt.kind, nxt.path, nxt.nbytes, nxt.rank, nxt.duration) != sig:
                 break
             if nxt.meta != op.meta:
                 break

@@ -110,8 +110,13 @@ class IOOp:
         return replace(self, rank=rank)
 
     def signature(self) -> tuple:
-        """Content identity ignoring rank (used by trace compression)."""
-        return (self.kind.value, self.path, self.offset, self.nbytes, round(self.duration, 9))
+        """Content identity ignoring rank (used by trace compression).
+
+        Duration is compared exactly: compression replays the first op's
+        duration for every folded copy, so any tolerance here would make
+        ``decompress(compress_ops(ops)) == ops`` lossy.
+        """
+        return (self.kind.value, self.path, self.offset, self.nbytes, self.duration)
 
 
 @dataclass

@@ -18,10 +18,11 @@ Parameters address any layer of the spec:
   workload (so ``stripe_count=4`` reaches each job's config).
 
 :func:`run_sweep` executes the expanded points through the same machinery
-as the experiment runner: process-pool fan-out, an on-disk cache keyed by
-``(scenario digest, source digest)``, and a sweep manifest recording per-
-point provenance (overrides, digests, cache status, wall-clock, result
-hash).
+as the experiment runner: process-pool fan-out, the content-addressed
+:class:`repro.store.RunStore` as the point cache (``sweep_point``
+artifacts behind ``sweep/<scenario digest16>-<source digest16>`` refs),
+and a sweep manifest recording per-point provenance (overrides, digests,
+cache status, wall-clock, artifact address).
 """
 
 from __future__ import annotations
@@ -38,7 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cluster.platform import PlatformSpec
-from repro.ioutil import atomic_write_json, resilient_pool_map
+from repro.ioutil import resilient_pool_map
 from repro.scenario.spec import (
     ScenarioError,
     ScenarioSpec,
@@ -46,14 +47,16 @@ from repro.scenario.spec import (
     StorageSpec,
     WorkloadSpec,
 )
+from repro.store import RunArtifact, RunStore, StoreError
+from repro.store.store import DEFAULT_STORE_DIR
 
 log = logging.getLogger(__name__)
 
 SWEEP_SCHEMA = "repro.scenario.sweep/1"
 SWEEP_MANIFEST_NAME = "sweep-manifest.json"
 
-#: Sweep result cache, next to the experiment runner's cache.
-DEFAULT_CACHE_DIR = Path("results") / "cache"
+#: Sweep results live in the same store as the experiment runner's.
+DEFAULT_CACHE_DIR = DEFAULT_STORE_DIR
 
 _WORKLOAD_FIELDS = ("kind", "n_ranks")
 
@@ -221,6 +224,14 @@ class SweepResult:
             doc, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
 
+    @property
+    def artifact_digest(self) -> Optional[str]:
+        """Content address of this point's store artifact (pure function
+        of the outcome)."""
+        if self.outcome is None:
+            return None
+        return RunArtifact.from_sweep_point(self.outcome).digest()
+
 
 def _execute_point(scenario_json: str) -> Dict[str, Any]:
     """Run one scenario (module-level: picklable for the process pool)."""
@@ -248,37 +259,65 @@ def _execute_point_timed(scenario_json: str):
     return outcome, time.perf_counter() - start
 
 
-def _cache_path(cache_dir: Path, scenario_digest: str, source_digest: str) -> Path:
-    return cache_dir / f"sweep-{scenario_digest[:16]}-{source_digest[:16]}.json"
+def point_ref_name(scenario_digest: str, source_digest: str) -> str:
+    """Store ref key for one cached (scenario, source digest) point."""
+    return f"sweep/{scenario_digest[:16]}-{source_digest[:16]}"
 
 
-def _cache_load(path: Path, source_digest: str) -> Optional[Dict[str, Any]]:
+def _cache_load(
+    store: RunStore, scenario_digest: str, source_digest: str
+) -> Optional[Dict[str, Any]]:
+    """Serve one point from the store, or ``None`` to re-execute.
+
+    A ref keyed on another source digest, an unreadable ref, or an
+    artifact whose bytes no longer hash to its address are all logged and
+    never served (the re-put after recomputation heals corrupt objects).
+    """
+    name = point_ref_name(scenario_digest, source_digest)
     try:
-        with open(path, "r", encoding="utf-8") as fh:
-            stored = json.load(fh)
-    except FileNotFoundError:
+        entry = store.get_ref(name)
+    except StoreError as exc:
+        log.warning("corrupt sweep cache ref %s (%s); re-executing", name, exc)
         return None
-    except (OSError, ValueError) as exc:
-        log.warning("corrupt sweep cache entry %s (%s); re-executing", path, exc)
+    if entry is None:
         return None
-    if not isinstance(stored, dict) or stored.get("source_digest") != source_digest:
-        log.warning("stale sweep cache entry %s; re-executing", path)
+    if entry.get("meta", {}).get("source_digest") != source_digest:
+        log.warning("stale sweep cache ref %s; re-executing", name)
         return None
-    outcome = stored.get("outcome")
-    return outcome if isinstance(outcome, dict) else None
+    if not store.has(entry["digest"]):
+        return None
+    try:
+        artifact = store.get(entry["digest"])
+    except StoreError as exc:
+        log.warning("corrupt sweep cache entry %s (%s); re-executing", name, exc)
+        return None
+    if artifact.kind != "sweep_point":
+        log.warning(
+            "sweep ref %s points at a %r artifact; re-executing",
+            name, artifact.kind,
+        )
+        return None
+    outcome = dict(artifact.payload)
+    return outcome if outcome else None
 
 
 def _cache_store(
-    path: Path, scenario_digest: str, source_digest: str, outcome: Dict[str, Any]
-) -> None:
-    atomic_write_json(
-        {
+    store: RunStore,
+    scenario_digest: str,
+    source_digest: str,
+    outcome: Dict[str, Any],
+) -> str:
+    digest = store.put(RunArtifact.from_sweep_point(outcome))
+    store.set_ref(
+        point_ref_name(scenario_digest, source_digest),
+        digest,
+        meta={
             "scenario_digest": scenario_digest,
             "source_digest": source_digest,
-            "outcome": outcome,
+            "created": time.time(),
         },
-        path,
     )
+    return digest
 
 
 def run_sweep(
@@ -295,10 +334,11 @@ def run_sweep(
     """Run every grid point of a sweep, in parallel when ``jobs > 1``.
 
     Points are executed through :func:`repro.scenario.build.run_scenario`
-    on worker processes and cached on disk keyed by ``(scenario digest,
-    source digest)`` -- the same invalidation discipline as the experiment
-    runner: any source change re-runs everything, an unchanged point is a
-    file read.  Results come back in grid order regardless of ``jobs``.
+    on worker processes and cached in the content-addressed run store
+    keyed by ``(scenario digest, source digest)`` -- the same invalidation
+    discipline as the experiment runner: any source change re-runs
+    everything, an unchanged point is a store read.  Results come back in
+    grid order regardless of ``jobs``.
 
     A point that raises -- or whose worker process dies -- becomes a
     failed :class:`SweepResult` (``outcome is None``, ``error`` set,
@@ -306,12 +346,15 @@ def run_sweep(
     still run; ``fail_fast=True`` aborts on the first failure instead.
 
     When ``manifest`` is true a sweep manifest (schema
-    ``repro.scenario.sweep/1``) is written next to the cache directory
-    recording, for every point, the overrides, the scenario digest, cache
-    status, wall-clock seconds and a SHA-256 of the result payload.
+    ``repro.scenario.sweep/1``) is written next to the store recording,
+    for every point, the overrides, the scenario digest, cache status,
+    wall-clock seconds and the point's artifact address; store-backed
+    sweeps (``use_cache``) additionally land the manifest and a run
+    document in the store (``repro-io store ls/diff``).
     """
     from repro.experiments.runner import source_digest as compute_source_digest
-    from repro.telemetry.provenance import host_metadata, write_manifest
+    from repro.telemetry.provenance import host_metadata, host_reference, \
+        write_manifest
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -319,6 +362,7 @@ def run_sweep(
         base = base.with_seed(seed)
     points = expand_grid(base, grid)
     cache_dir = Path(cache_dir)
+    store = RunStore(cache_dir)
     wall_start = time.perf_counter()
     src_digest = compute_source_digest()
 
@@ -326,10 +370,7 @@ def run_sweep(
     misses: List[int] = []
     for i, point in enumerate(points):
         outcome = (
-            _cache_load(
-                _cache_path(cache_dir, point.scenario.digest(), src_digest),
-                src_digest,
-            )
+            _cache_load(store, point.scenario.digest(), src_digest)
             if use_cache
             else None
         )
@@ -379,8 +420,7 @@ def run_sweep(
             results[i] = SweepResult(points[i], outcome, cached=False, seconds=seconds)
             if use_cache:
                 _cache_store(
-                    _cache_path(cache_dir, points[i].scenario.digest(), src_digest),
-                    points[i].scenario.digest(), src_digest, outcome,
+                    store, points[i].scenario.digest(), src_digest, outcome
                 )
 
     ordered = [results[i] for i in range(len(points))]
@@ -390,6 +430,7 @@ def run_sweep(
             Path(manifest_path) if manifest_path is not None
             else cache_dir.parent / SWEEP_MANIFEST_NAME
         )
+        host = host_reference(store) if use_cache else host_metadata()
         doc = {
             "schema": SWEEP_SCHEMA,
             "created": time.time(),
@@ -408,14 +449,27 @@ def run_sweep(
                     "cached": r.cached,
                     "seconds": r.seconds,
                     "result_sha256": hashlib.sha256(r.payload).hexdigest(),
-                    **({"error": r.error} if r.failed else {}),
+                    **(
+                        {"error": r.error} if r.failed
+                        else {"artifact": r.artifact_digest}
+                    ),
                 }
                 for r in ordered
             ],
             "wall_seconds": time.perf_counter() - wall_start,
-            "host": host_metadata(),
+            "host": host,
         }
         write_manifest(doc, out_path)
+        if use_cache:
+            manifest_digest = store.put(RunArtifact.from_sweep_manifest(doc))
+            artifacts = {
+                r.point.name: r.artifact_digest for r in ordered if not r.failed
+            }
+            if "artifact" in host:
+                artifacts["host"] = host["artifact"]
+            store.add_run(
+                "sweep", manifest_digest, artifacts, created=doc["created"]
+            )
 
     return ordered
 

@@ -1,0 +1,195 @@
+"""One-shot migration of the legacy ``results/`` layout into the store.
+
+Before the store, four layers wrote five ad-hoc formats under
+``results/``:
+
+* ``cache/<ID>-s<seed>-<digest16>.json`` -- experiment-runner cache
+  entries (``{"experiment_id", "seed", "digest", "record"}``);
+* ``cache/sweep-<scen16>-<src16>.json`` -- sweep point cache entries
+  (``{"scenario_digest", "source_digest", "outcome"}``);
+* ``manifest.json`` -- the last experiment run's provenance manifest;
+* ``sweep-manifest.json`` -- the last sweep's provenance manifest;
+* ``experiments.json`` -- the CLI's ``--json`` record dump.
+
+:func:`migrate_results` ingests all of them: payloads become
+content-addressed artifacts, cache entries become refs under the same
+keys the refactored runners use (so a migrated store serves warm-cache
+hits immediately), and manifests become run documents.  The migration is
+idempotent -- re-running it puts the same digests -- and read-only with
+respect to the legacy files (delete them yourself once satisfied:
+``repro-io store migrate`` prints what landed where).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.store.artifact import ArtifactError, RunArtifact
+from repro.store.store import RunStore
+
+log = logging.getLogger(__name__)
+
+PathLike = Union[str, Path]
+
+
+def _load_json(path: Path) -> Optional[Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        log.warning("migration skipping unreadable %s (%s)", path, exc)
+        return None
+
+
+def _ingest_record_entry(store: RunStore, doc: Dict[str, Any]) -> Optional[str]:
+    """Legacy runner cache entry -> record artifact + runner-style ref."""
+    try:
+        artifact = RunArtifact(kind="experiment_record", payload=doc["record"])
+        digest = store.put(artifact)
+        eid, seed, src = doc["experiment_id"], doc["seed"], doc["digest"]
+    except (KeyError, TypeError, ArtifactError) as exc:
+        log.warning("migration skipping malformed cache entry: %s", exc)
+        return None
+    store.set_ref(
+        f"records/{eid}-s{seed}-{src[:16]}",
+        digest,
+        meta={"experiment_id": eid, "seed": seed, "source_digest": src,
+              "migrated": True},
+    )
+    return digest
+
+
+def _ingest_sweep_entry(store: RunStore, doc: Dict[str, Any]) -> Optional[str]:
+    """Legacy sweep cache entry -> sweep_point artifact + sweep-style ref."""
+    try:
+        artifact = RunArtifact(kind="sweep_point", payload=doc["outcome"])
+        digest = store.put(artifact)
+        scen, src = doc["scenario_digest"], doc["source_digest"]
+    except (KeyError, TypeError, ArtifactError) as exc:
+        log.warning("migration skipping malformed sweep entry: %s", exc)
+        return None
+    store.set_ref(
+        f"sweep/{scen[:16]}-{src[:16]}",
+        digest,
+        meta={"scenario_digest": scen, "source_digest": src, "migrated": True},
+    )
+    return digest
+
+
+def migrate_results(
+    results_dir: PathLike, store: Optional[RunStore] = None
+) -> Dict[str, Any]:
+    """Ingest a legacy ``results/`` tree; returns a summary of what landed.
+
+    ``store`` defaults to ``<results_dir>/store`` -- the location the
+    refactored runners use, so the very next ``repro-io experiment all``
+    sees the migrated entries as cache hits (same source digest assumed).
+    """
+    from repro.scenario.sweep import SWEEP_SCHEMA
+    from repro.telemetry.provenance import MANIFEST_SCHEMA
+
+    results_dir = Path(results_dir)
+    store = store or RunStore(results_dir / "store")
+    summary = {
+        "records": 0, "sweep_points": 0, "manifests": 0, "runs": 0,
+        "skipped": 0, "store": str(store.root),
+    }
+
+    cache_dir = results_dir / "cache"
+    if cache_dir.is_dir():
+        for path in sorted(cache_dir.glob("*.json")):
+            doc = _load_json(path)
+            if not isinstance(doc, dict):
+                summary["skipped"] += 1
+                continue
+            if {"experiment_id", "seed", "digest", "record"} <= set(doc):
+                if _ingest_record_entry(store, doc):
+                    summary["records"] += 1
+                else:
+                    summary["skipped"] += 1
+            elif {"scenario_digest", "source_digest", "outcome"} <= set(doc):
+                if _ingest_sweep_entry(store, doc):
+                    summary["sweep_points"] += 1
+                else:
+                    summary["skipped"] += 1
+            else:
+                log.warning("migration skipping unrecognized %s", path)
+                summary["skipped"] += 1
+
+    # Manifests become run documents whose artifact sets point at the
+    # records/points ingested above (found via the refs just written).
+    manifest = _load_json(results_dir / "manifest.json")
+    if isinstance(manifest, dict) and manifest.get("schema") == MANIFEST_SCHEMA:
+        m_digest = store.put(RunArtifact.from_run_manifest(manifest))
+        artifacts: Dict[str, str] = {}
+        host = manifest.get("host")
+        if isinstance(host, dict) and "artifact" not in host:
+            artifacts["host"] = store.put(RunArtifact.from_host(host))
+        src = manifest.get("source_digest") or ""
+        for task in manifest.get("tasks", ()):
+            entry = store.get_ref(
+                f"records/{task.get('id')}-s{task.get('seed')}-{src[:16]}"
+            ) if src else None
+            if entry is not None:
+                artifacts[f"{task.get('id')}#s{task.get('seed')}"] = entry["digest"]
+        store.add_run(
+            "experiment", m_digest, artifacts, created=manifest.get("created")
+        )
+        summary["manifests"] += 1
+        summary["runs"] += 1
+
+    sweep_manifest = _load_json(results_dir / "sweep-manifest.json")
+    if isinstance(sweep_manifest, dict) and \
+            sweep_manifest.get("schema") == SWEEP_SCHEMA:
+        m_digest = store.put(RunArtifact.from_sweep_manifest(sweep_manifest))
+        artifacts = {}
+        host = sweep_manifest.get("host")
+        if isinstance(host, dict) and "artifact" not in host:
+            artifacts["host"] = store.put(RunArtifact.from_host(host))
+        src = sweep_manifest.get("source_digest") or ""
+        for point in sweep_manifest.get("points", ()):
+            scen = point.get("scenario_digest") or ""
+            entry = store.get_ref(
+                f"sweep/{scen[:16]}-{src[:16]}"
+            ) if scen and src else None
+            if entry is not None:
+                artifacts[point.get("name", scen[:16])] = entry["digest"]
+        store.add_run(
+            "sweep", m_digest, artifacts, created=sweep_manifest.get("created")
+        )
+        summary["manifests"] += 1
+        summary["runs"] += 1
+
+    # The CLI's --json dump: bare records with no cache key; store the
+    # objects and give them stable legacy refs so gc keeps them.
+    dump = _load_json(results_dir / "experiments.json")
+    if isinstance(dump, list):
+        for item in dump:
+            if not isinstance(item, dict) or "id" not in item:
+                summary["skipped"] += 1
+                continue
+            try:
+                digest = store.put(
+                    RunArtifact(kind="experiment_record", payload=item)
+                )
+            except ArtifactError as exc:
+                log.warning("migration skipping record dump entry: %s", exc)
+                summary["skipped"] += 1
+                continue
+            store.set_ref(
+                f"legacy/experiments/{item['id']}",
+                digest,
+                meta={"experiment_id": item["id"], "migrated": True},
+            )
+            summary["records"] += 1
+
+    log.info(
+        "migrated %s: %d record(s), %d sweep point(s), %d manifest(s), "
+        "%d skipped -> %s",
+        results_dir, summary["records"], summary["sweep_points"],
+        summary["manifests"], summary["skipped"], store.root,
+    )
+    return summary

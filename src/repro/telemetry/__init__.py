@@ -37,6 +37,7 @@ from repro.telemetry.provenance import (
     build_manifest,
     cache_hit_ratio,
     host_metadata,
+    host_reference,
     load_manifest,
     write_manifest,
 )
@@ -136,6 +137,7 @@ __all__ = [
     "build_manifest",
     "cache_hit_ratio",
     "host_metadata",
+    "host_reference",
     "load_manifest",
     "write_manifest",
 ]

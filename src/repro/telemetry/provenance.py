@@ -13,6 +13,7 @@ describes.
 
 from __future__ import annotations
 
+import functools
 import json
 import logging
 import platform
@@ -29,8 +30,8 @@ MANIFEST_NAME = "manifest.json"
 PathLike = Union[str, Path]
 
 
-def host_metadata() -> Dict[str, str]:
-    """Host/interpreter facts that affect result interpretation."""
+@functools.lru_cache(maxsize=1)
+def _gather_host_metadata() -> Dict[str, str]:
     import repro
 
     return {
@@ -41,6 +42,33 @@ def host_metadata() -> Dict[str, str]:
         "repro_version": repro.__version__,
         "argv": " ".join(sys.argv),
     }
+
+
+def host_metadata() -> Dict[str, str]:
+    """Host/interpreter facts that affect result interpretation.
+
+    Gathered once per process (the facts are process-stable); callers get
+    a fresh copy so the cache cannot be mutated from outside.
+    """
+    return dict(_gather_host_metadata())
+
+
+def host_reference(store) -> Dict[str, str]:
+    """Store host metadata as an artifact; return a by-digest reference.
+
+    The experiment runner and the sweep runner used to each embed the
+    full host dict in their manifests; now both call this, the metadata
+    is collected once (see :func:`host_metadata`) and stored once
+    (content addressing deduplicates it across every run on the same
+    host), and manifests carry ``{"artifact": <digest>, "host": <node>,
+    "python": <version>}`` -- enough to display, with the rest one
+    ``store.get`` away.
+    """
+    from repro.store import RunArtifact
+
+    meta = host_metadata()
+    digest = store.put(RunArtifact.from_host(meta))
+    return {"artifact": digest, "host": meta["host"], "python": meta["python"]}
 
 
 def build_manifest(
@@ -55,12 +83,17 @@ def build_manifest(
     cache_counts: Dict[str, int],
     wall_seconds: float,
     created: Optional[float] = None,
+    host: Optional[Dict[str, str]] = None,
 ) -> Dict[str, Any]:
     """Assemble one run's manifest document.
 
     ``tasks`` entries must carry ``id``, ``seed``, ``cached``, ``seconds``
-    and ``record_sha256``; ``cache_counts`` carries ``hits`` / ``fresh`` /
-    ``stale`` / ``corrupt``.
+    and ``record_sha256`` (store-backed runs add ``artifact``, the record's
+    content address); ``cache_counts`` carries ``hits`` / ``fresh`` /
+    ``stale`` / ``corrupt``.  ``host`` defaults to the full inline
+    :func:`host_metadata`; store-backed callers pass the compact
+    :func:`host_reference` instead so the manifest references the host
+    artifact by digest rather than duplicating it.
     """
     return {
         "schema": MANIFEST_SCHEMA,
@@ -74,7 +107,7 @@ def build_manifest(
         "cache": dict(cache_counts),
         "tasks": tasks,
         "wall_seconds": wall_seconds,
-        "host": host_metadata(),
+        "host": host_metadata() if host is None else dict(host),
     }
 
 

@@ -64,6 +64,31 @@ def test_speedups_vs_seed(harness):
     assert harness.speedups({"a": 0.5}, None) == {}
 
 
+def test_store_seeds_baseline_and_records_report(harness, tmp_path):
+    """--store: the baseline migrates into the run store on first use and
+    every report lands as a content-addressed ``bench`` artifact."""
+    from repro.store import RunStore
+
+    store_dir = tmp_path / "store"
+    out = tmp_path / "report.json"
+    rc = harness.main(["--smoke", "--output", str(out),
+                       "--store", str(store_dir)])
+    assert rc == 0
+    store = RunStore(store_dir)
+    baseline = store.get_ref(harness.BASELINE_REF)
+    assert set(store.get(baseline["digest"]).payload["reference_min"]) == \
+        set(harness.BENCHMARKS)
+    latest = store.get_ref(harness.REPORT_REF)
+    assert store.get(latest["digest"]).payload["smoke"] is True
+    # Second run: the baseline is read from the store (same ref, same
+    # digest), while bench/latest advances to the new report.
+    rc = harness.main(["--smoke", "--output", str(out),
+                       "--store", str(store_dir)])
+    assert rc == 0
+    assert store.get_ref(harness.BASELINE_REF)["digest"] == baseline["digest"]
+    assert store.get_ref(harness.REPORT_REF)["digest"] != latest["digest"]
+
+
 def test_committed_baseline_matches_benchmark_set(harness):
     baseline = json.loads(
         (SCRIPT.parent / "BENCH_BASELINE.json").read_text()

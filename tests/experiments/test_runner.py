@@ -88,22 +88,31 @@ def test_digest_change_invalidates_cache(tmp_path):
         ids=["E3"], seeds=(0,), use_cache=True, cache_dir=tmp_path, digest="b" * 64
     )
     assert not res3[0].cached
-    # The stale digest-"a" entry was pruned when digest-"b" was stored.
-    names = [p.name for p in tmp_path.glob("E3-s0-*.json")]
+    # The stale digest-"a" ref was pruned when digest-"b" was stored; the
+    # record *object* is shared (same content, same address) and stays.
+    names = [p.name for p in (tmp_path / "refs" / "records").glob("E3-s0-*.json")]
     assert names == [f"E3-s0-{'b' * 16}.json"]
 
 
 def test_corrupt_cache_entry_is_recomputed(tmp_path, digest):
+    from repro.store import RunStore
+    from repro.experiments.runner import record_ref_name
+
     res = run_experiments(
         ids=["E3"], seeds=(0,), use_cache=True, cache_dir=tmp_path, digest=digest
     )
-    path = next(tmp_path.glob("E3-s0-*.json"))
+    store = RunStore(tmp_path)
+    entry = store.get_ref(record_ref_name("E3", 0, digest))
+    path = store.object_path(entry["digest"])
     path.write_text("{not json")
     res2 = run_experiments(
         ids=["E3"], seeds=(0,), use_cache=True, cache_dir=tmp_path, digest=digest
     )
     assert not res2[0].cached
     assert res2[0].payload == res[0].payload
+    # Recomputation healed the corrupt object in place: same address,
+    # verifiable bytes again.
+    assert store.get(entry["digest"]).to_record().id == "E3"
 
 
 def test_results_keep_task_order_regardless_of_jobs():

@@ -41,8 +41,9 @@ def test_sequential_failure_recorded_not_raised(tmp_path, monkeypatch):
     tasks = {t["id"]: t for t in load_manifest(manifest_path)["tasks"]}
     assert "synthetic" in tasks["E3"]["error"]
     assert "error" not in tasks["C1"]
-    assert list(tmp_path.glob("E3-*.json")) == []
-    assert len(list(tmp_path.glob("C1-*.json"))) == 1
+    records = tmp_path / "refs" / "records"
+    assert list(records.glob("E3-*.json")) == []
+    assert len(list(records.glob("C1-*.json"))) == 1
 
 
 def test_sequential_fail_fast_raises(tmp_path, monkeypatch):

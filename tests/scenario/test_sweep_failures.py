@@ -6,7 +6,6 @@ and every other point completes.  Stale or corrupt cache entries are
 likewise never served -- they fall back to re-execution.
 """
 
-import json
 import os
 
 import pytest
@@ -14,6 +13,7 @@ import pytest
 from repro.scenario import get_scenario, run_sweep
 from repro.scenario import sweep as sweep_mod
 from repro.scenario.sweep import load_sweep_manifest
+from repro.store import RunStore
 
 # Captured at import time so the crashing stand-ins (inherited by forked
 # workers) can still run the real points.
@@ -53,7 +53,7 @@ def test_sequential_point_failure_recorded(tmp_path, monkeypatch):
     assert "synthetic" in points["tiny/n_oss=4"]["error"]
     assert "error" not in points["tiny/n_oss=2"]
     # Only the successful point was cached.
-    assert len(list((tmp_path / "cache").glob("sweep-*.json"))) == 1
+    assert len(RunStore(tmp_path / "cache").refs("sweep/*")) == 1
 
 
 def test_sequential_fail_fast_raises(tmp_path, monkeypatch):
@@ -75,7 +75,7 @@ def test_worker_crash_recorded_others_complete(tmp_path, monkeypatch):
     assert by_name["tiny/n_oss=2"].outcome is not None
     assert by_name["tiny/n_oss=8"].outcome is not None
     # Failed point never cached; healthy points are.
-    assert len(list((tmp_path / "cache").glob("sweep-*.json"))) == 2
+    assert len(RunStore(tmp_path / "cache").refs("sweep/*")) == 2
     # Once the sabotage is lifted, the failed point recomputes cleanly.
     monkeypatch.setattr(sweep_mod, "_execute_point_timed", _REAL_POINT)
     again = run_sweep(
@@ -98,11 +98,17 @@ def test_worker_crash_fail_fast_raises(tmp_path, monkeypatch):
 
 # -- cache recovery -----------------------------------------------------------
 
+def _single_sweep_ref(cache):
+    """The one ``sweep/...`` ref of a single-point sweep cache."""
+    (name, entry), = RunStore(cache).refs("sweep/*")
+    return name, entry
+
+
 def test_corrupt_sweep_cache_entry_recomputed(tmp_path):
     cache = tmp_path / "cache"
     first = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
-    path = next(cache.glob("sweep-*.json"))
-    path.write_text("{not json")
+    _, entry = _single_sweep_ref(cache)
+    RunStore(cache).object_path(entry["digest"]).write_text("{not json")
     second = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
     assert not second[0].cached
     assert second[0].payload == first[0].payload
@@ -111,10 +117,10 @@ def test_corrupt_sweep_cache_entry_recomputed(tmp_path):
 def test_stale_sweep_cache_entry_recomputed(tmp_path):
     cache = tmp_path / "cache"
     first = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
-    path = next(cache.glob("sweep-*.json"))
-    stored = json.loads(path.read_text())
-    stored["source_digest"] = "f" * 64  # entry from another source tree
-    path.write_text(json.dumps(stored))
+    name, entry = _single_sweep_ref(cache)
+    # Rewrite the ref as if it came from another source tree.
+    entry["meta"]["source_digest"] = "f" * 64
+    RunStore(cache).set_ref(name, entry["digest"], meta=entry["meta"])
     second = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
     assert not second[0].cached
     assert second[0].payload == first[0].payload
@@ -123,10 +129,12 @@ def test_stale_sweep_cache_entry_recomputed(tmp_path):
 def test_truncated_outcome_in_cache_recomputed(tmp_path):
     cache = tmp_path / "cache"
     first = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
-    path = next(cache.glob("sweep-*.json"))
-    stored = json.loads(path.read_text())
-    stored["outcome"] = None  # right digest, unusable payload
-    path.write_text(json.dumps(stored))
+    _, entry = _single_sweep_ref(cache)
+    path = RunStore(cache).object_path(entry["digest"])
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # truncated write, valid prefix
     second = run_sweep(_tiny(), {"n_oss": [2]}, cache_dir=cache, manifest=False)
     assert not second[0].cached
     assert second[0].payload == first[0].payload
+    # The recomputation healed the object: full bytes, verifiable again.
+    assert RunStore(cache).get(entry["digest"]).kind == "sweep_point"

@@ -1,0 +1,117 @@
+"""One-shot migration of the legacy ``results/`` layout into the store.
+
+The contract: every legacy artifact lands as a content-addressed object,
+cache entries become refs under the exact keys the refactored runners
+look up (so a migrated store serves warm-cache hits with zero
+recomputation), manifests become run documents, and re-running the
+migration is idempotent.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import record_ref_name, run_experiments
+from repro.store import RunStore, migrate_results
+from repro.telemetry.provenance import MANIFEST_SCHEMA
+
+
+@pytest.fixture
+def legacy(tmp_path):
+    """A miniature pre-store results/ tree: cache entries + manifest + dump."""
+    results = tmp_path / "results"
+    cache = results / "cache"
+    cache.mkdir(parents=True)
+    src = "a" * 64
+
+    record = ALL_EXPERIMENTS["E3"](seed=0).to_dict()
+    with open(cache / f"E3-s0-{src[:16]}.json", "w", encoding="utf-8") as fh:
+        json.dump({"experiment_id": "E3", "seed": 0, "digest": src,
+                   "record": record}, fh)
+
+    scen = "b" * 64
+    with open(cache / f"sweep-{scen[:16]}-{src[:16]}.json", "w",
+              encoding="utf-8") as fh:
+        json.dump({"scenario_digest": scen, "source_digest": src,
+                   "outcome": {"scenario": "tiny", "duration": 1.5}}, fh)
+
+    with open(cache / "unrelated.json", "w", encoding="utf-8") as fh:
+        json.dump({"what": "is this"}, fh)
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "created": 123.0,
+        "source_digest": src,
+        "experiment_ids": ["E3"],
+        "seeds": [0],
+        "jobs": 1,
+        "use_cache": True,
+        "cache_dir": str(cache),
+        "cache": {"hits": 0, "fresh": 1, "stale": 0, "corrupt": 0},
+        "tasks": [{"id": "E3", "seed": 0, "cached": False, "seconds": 0.1,
+                   "record_sha256": "irrelevant"}],
+        "wall_seconds": 0.1,
+        "host": {"host": "legacy-host", "python": "3.11.0"},
+    }
+    with open(results / "manifest.json", "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh)
+
+    with open(results / "experiments.json", "w", encoding="utf-8") as fh:
+        json.dump([record], fh)
+
+    return results, src, record
+
+
+def test_everything_lands(legacy):
+    results, src, record = legacy
+    summary = migrate_results(results)
+    # E3 from the cache, E3 again from experiments.json (same object).
+    assert summary["records"] == 2
+    assert summary["sweep_points"] == 1
+    assert summary["manifests"] == 1 and summary["runs"] == 1
+    assert summary["skipped"] == 1  # unrelated.json
+
+    store = RunStore(results / "store")
+    entry = store.get_ref(record_ref_name("E3", 0, src))
+    assert entry["meta"]["migrated"] is True
+    assert dict(store.get(entry["digest"]).payload) == record
+    # The cache entry and the --json dump deduplicated to one object.
+    assert store.get_ref("legacy/experiments/E3")["digest"] == entry["digest"]
+
+    (run,) = store.runs()
+    assert run["kind"] == "experiment" and run["created"] == 123.0
+    assert run["artifacts"]["E3#s0"] == entry["digest"]
+    host = store.get(run["artifacts"]["host"])
+    assert host.payload["host"] == "legacy-host"
+
+    (sweep_name, sweep_entry), = store.refs("sweep/*")
+    assert store.get(sweep_entry["digest"]).payload["scenario"] == "tiny"
+
+
+def test_migration_is_idempotent(legacy):
+    results, _, _ = legacy
+    first = migrate_results(results)
+    store = RunStore(results / "store")
+    objects = set(store.digests())
+    second = migrate_results(results)
+    assert second["records"] == first["records"]
+    assert set(store.digests()) == objects
+    assert store.verify() == []
+
+
+def test_migrated_store_serves_warm_cache_hits(legacy, monkeypatch):
+    """The acceptance bar: after migration, no recomputation happens."""
+    results, src, _ = legacy
+    migrate_results(results)
+    monkeypatch.setattr(
+        runner_mod, "_execute",
+        lambda task: pytest.fail(f"migrated cache missed, recomputed {task}"),
+    )
+    res = run_experiments(
+        ids=["E3"], seeds=(0,), use_cache=True,
+        cache_dir=results / "store", digest=src, manifest=False,
+    )
+    assert res[0].cached
+    assert res[0].record.id == "E3"

@@ -1,0 +1,279 @@
+"""Core behavior of the content-addressed run store.
+
+The invariants the rest of the toolkit leans on: identical payloads land
+on identical addresses (dedup), corrupted or truncated objects are never
+served and heal on re-put, refs are atomic mutable pointers, gc only
+removes unreachable objects, and two concurrent writers of the same
+content are safe.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.experiment import ExperimentRecord
+from repro.store import (
+    ArtifactError,
+    RunArtifact,
+    RunStore,
+    StoreError,
+    StoreIntegrityError,
+    payload_diff,
+)
+
+
+def _record(id="E1", supported=True, measured=None):
+    return ExperimentRecord(
+        id=id, claim="claim", measured=measured or {"x": 1.0},
+        supported=supported, notes=["n"],
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+# -- artifacts ----------------------------------------------------------------
+
+class TestArtifact:
+    def test_digest_is_stable_and_payload_driven(self):
+        a = RunArtifact.from_record(_record())
+        b = RunArtifact.from_record(_record())
+        c = RunArtifact.from_record(_record(measured={"x": 2.0}))
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+        assert len(a.digest()) == 64
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ArtifactError, match="unknown artifact kind"):
+            RunArtifact(kind="nope", payload={})
+        with pytest.raises(ArtifactError, match="mapping"):
+            RunArtifact(kind="host", payload=[1, 2])
+
+    def test_record_round_trip(self):
+        rec = _record()
+        art = RunArtifact.from_record(rec)
+        clone = art.to_record()
+        assert clone == rec
+        with pytest.raises(ArtifactError, match="cannot build"):
+            RunArtifact.from_host({"host": "x"}).to_record()
+
+    def test_document_round_trip(self):
+        art = RunArtifact.from_host({"host": "x", "python": "3"})
+        again = RunArtifact.from_document(
+            json.loads(art.canonical_bytes().decode("utf-8"))
+        )
+        assert again == art
+        with pytest.raises(ArtifactError, match="not a store artifact"):
+            RunArtifact.from_document({"schema": "something/else"})
+
+
+# -- objects ------------------------------------------------------------------
+
+class TestObjects:
+    def test_put_get_round_trip(self, store):
+        art = RunArtifact.from_record(_record())
+        digest = store.put(art)
+        assert store.has(digest)
+        assert store.get(digest) == art
+        assert list(store.digests()) == [digest]
+
+    def test_put_is_idempotent_and_dedups(self, store):
+        d1 = store.put(RunArtifact.from_record(_record()))
+        d2 = store.put(RunArtifact.from_record(_record()))
+        assert d1 == d2
+        assert len(store) == 1
+
+    def test_corrupt_object_never_served(self, store):
+        digest = store.put(RunArtifact.from_record(_record()))
+        store.object_path(digest).write_text("{not json")
+        with pytest.raises(StoreIntegrityError, match="corrupt"):
+            store.get(digest)
+
+    def test_truncated_object_never_served_and_heals(self, store):
+        art = RunArtifact.from_record(_record())
+        digest = store.put(art)
+        path = store.object_path(digest)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StoreIntegrityError):
+            store.get(digest)
+        # Re-putting the same content atomically replaces the bad bytes.
+        assert store.put(art) == digest
+        assert store.get(digest) == art
+
+    def test_missing_object_raises_storeerror(self, store):
+        with pytest.raises(StoreError, match="no object"):
+            store.get("0" * 64)
+
+    def test_query_filters_by_kind_and_skips_corrupt(self, store):
+        d1 = store.put(RunArtifact.from_record(_record()))
+        store.put(RunArtifact.from_host({"host": "h"}))
+        bad = store.put(RunArtifact.from_host({"host": "other"}))
+        store.object_path(bad).write_text("junk")
+        found = dict(store.query("experiment_record"))
+        assert list(found) == [d1]
+        assert {a.kind for _, a in store.query()} == \
+            {"experiment_record", "host"}
+
+
+def _put_same_artifact(root):
+    from repro.store import RunArtifact, RunStore
+
+    store = RunStore(root)
+    return store.put(
+        RunArtifact(kind="host", payload={"host": "racer", "python": "3"})
+    )
+
+
+class TestConcurrentWriters:
+    def test_same_digest_from_parallel_processes(self, tmp_path):
+        """Two (here: four) concurrent writers of one content are safe."""
+        root = tmp_path / "store"
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            digests = list(pool.map(_put_same_artifact, [root] * 8))
+        assert len(set(digests)) == 1
+        store = RunStore(root)
+        assert len(store) == 1
+        assert store.get(digests[0]).payload["host"] == "racer"
+
+
+# -- refs ---------------------------------------------------------------------
+
+class TestRefs:
+    def test_set_get_delete(self, store):
+        digest = store.put(RunArtifact.from_host({"host": "h"}))
+        store.set_ref("records/E1-s0-abc", digest, meta={"seed": 0})
+        entry = store.get_ref("records/E1-s0-abc")
+        assert entry["digest"] == digest and entry["meta"]["seed"] == 0
+        assert store.get_ref("records/absent") is None
+        assert store.delete_ref("records/E1-s0-abc")
+        assert not store.delete_ref("records/E1-s0-abc")
+
+    def test_corrupt_ref_raises_not_none(self, store):
+        store.set_ref("r/x", "0" * 64)
+        store.ref_path("r/x").write_text("{broken")
+        with pytest.raises(StoreError, match="unreadable ref"):
+            store.get_ref("r/x")
+
+    def test_refs_pattern_listing(self, store):
+        d = store.put(RunArtifact.from_host({"host": "h"}))
+        store.set_ref("records/a", d)
+        store.set_ref("sweep/b", d)
+        assert [n for n, _ in store.refs("records/*")] == ["records/a"]
+        assert len(store.refs()) == 2
+
+
+# -- runs, resolve, diff ------------------------------------------------------
+
+def _land_run(store, seed_tag="one", measured=None):
+    rec = RunArtifact.from_record(_record(measured=measured))
+    d_rec = store.put(rec)
+    manifest = RunArtifact.from_run_manifest(
+        {"schema": "m/1", "tag": seed_tag}
+    )
+    d_man = store.put(manifest)
+    run_id = store.add_run(
+        "experiment", d_man, {"E1#s0": d_rec}, created=1.0
+    )
+    return run_id, d_rec
+
+
+class TestRunsAndDiff:
+    def test_run_round_trip_and_latest(self, store):
+        run_id, d_rec = _land_run(store)
+        doc = store.get_run(run_id)
+        assert doc["artifacts"] == {"E1#s0": d_rec}
+        assert store.resolve("latest") == doc["manifest"]
+        assert store.resolve(run_id) == doc["manifest"]
+
+    def test_resolve_ref_digest_and_prefix(self, store):
+        digest = store.put(RunArtifact.from_host({"host": "h"}))
+        store.set_ref("records/x", digest)
+        assert store.resolve("records/x") == digest
+        assert store.resolve(digest) == digest
+        assert store.resolve(digest[:12]) == digest
+        with pytest.raises(StoreError, match="cannot resolve"):
+            store.resolve("no-such-token")
+
+    def test_identical_runs_diff_to_zero(self, store):
+        # Same results, different manifests (timestamps differ in life);
+        # the diff compares artifact content, so it reports identical.
+        run_a, _ = _land_run(store, seed_tag="first")
+        run_b, _ = _land_run(store, seed_tag="second")
+        assert run_a != run_b
+        report = store.diff(run_a, run_b)
+        assert report["mode"] == "runs"
+        assert report["identical"]
+
+    def test_differing_runs_report_changed_paths(self, store):
+        run_a, _ = _land_run(store, measured={"x": 1.0})
+        run_b, _ = _land_run(store, measured={"x": 2.0}, seed_tag="b")
+        report = store.diff(run_a, run_b)
+        assert not report["identical"]
+        changes = report["changed"]["E1#s0"]
+        assert changes == [{"path": "measured.x", "a": 1.0, "b": 2.0}]
+
+    def test_artifact_diff(self, store):
+        a = store.put(RunArtifact.from_host({"host": "x"}))
+        b = store.put(RunArtifact.from_host({"host": "y"}))
+        report = store.diff(a, b)
+        assert report["mode"] == "artifacts"
+        assert report["changed"] == [{"path": "host", "a": "x", "b": "y"}]
+        assert store.diff(a, a)["identical"]
+
+
+class TestPayloadDiff:
+    def test_nested_and_list_paths(self):
+        a = {"m": {"x": 1}, "notes": ["a", "b"]}
+        b = {"m": {"x": 2}, "notes": ["a"]}
+        diff = payload_diff(a, b)
+        assert {"path": "m.x", "a": 1, "b": 2} in diff
+        assert {"path": "notes[1]", "a": "b", "b": None} in diff
+        assert payload_diff(a, a) == []
+
+
+# -- gc / verify / export -----------------------------------------------------
+
+class TestGcVerifyExport:
+    def test_gc_removes_only_unreachable(self, store):
+        run_id, d_rec = _land_run(store)
+        orphan = store.put(RunArtifact.from_host({"host": "orphan"}))
+        dry = store.gc(dry_run=True)
+        assert dry["dry_run"] and dry["removed"] == [orphan]
+        assert store.has(orphan)  # dry run deleted nothing
+        real = store.gc()
+        assert real["removed"] == [orphan] and real["bytes_freed"] > 0
+        assert not store.has(orphan)
+        # Everything a ref or run points at survived.
+        assert store.has(d_rec)
+        assert store.has(store.get_run(run_id)["manifest"])
+
+    def test_verify_reports_corruption_and_dangles(self, store):
+        run_id, d_rec = _land_run(store)
+        store.set_ref("records/dangling", "1" * 64)
+        store.object_path(d_rec).write_text("junk")
+        problems = store.verify()
+        assert any(p.get("digest") == d_rec for p in problems)  # corrupt
+        assert any(p.get("ref") == "records/dangling" for p in problems)
+        # A run whose artifact object is *gone* (not just corrupt) is
+        # reported against the run document.
+        store.object_path(d_rec).unlink()
+        problems = store.verify()
+        assert any(p.get("run") == run_id for p in problems)
+
+    def test_export_bundle_is_self_contained(self, store):
+        run_id, d_rec = _land_run(store)
+        store.set_ref("records/k", d_rec)
+        bundle = store.export()
+        assert bundle["schema"] == "repro.store.export/1"
+        assert d_rec in bundle["objects"]
+        assert bundle["refs"]["records/k"]["digest"] == d_rec
+        assert [r["run_id"] for r in bundle["runs"]] == [run_id]
+        # Token-limited export carries the run's closure only.
+        orphan = store.put(RunArtifact.from_host({"host": "o"}))
+        limited = store.export([run_id])
+        assert d_rec in limited["objects"]
+        assert orphan not in limited["objects"]

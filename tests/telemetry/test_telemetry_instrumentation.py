@@ -213,30 +213,36 @@ class TestRunnerTelemetry:
         assert not (tmp_path / "manifest.json").exists()
 
     def test_stale_and_corrupt_counted_and_logged(self, tmp_path, caplog):
+        from repro.experiments.runner import record_ref_name
+        from repro.store import RunStore
+
         cache_dir = tmp_path / "cache"
         m = tmp_path / "m.json"
         run_experiments(ids=["E3"], seeds=(0,), cache_dir=cache_dir,
                         digest="a" * 64, manifest=False)
-        path = next(cache_dir.glob("E3-s0-*.json"))
+        store = RunStore(cache_dir)
+        ref = record_ref_name("E3", 0, "a" * 64)
+        entry = store.get_ref(ref)
 
-        # Corrupt: unparseable JSON is counted, logged and recomputed.
-        path.write_text("{not json")
+        # Corrupt: an object whose bytes no longer hash to its address is
+        # counted, logged and recomputed (which heals it in place).
+        store.object_path(entry["digest"]).write_text("{not json")
         with caplog.at_level(logging.WARNING, logger="repro.experiments.runner"):
             run_experiments(ids=["E3"], seeds=(0,), cache_dir=cache_dir,
                             digest="a" * 64, manifest_path=m)
         assert any("corrupt cache entry" in r.message for r in caplog.records)
         assert load_manifest(m)["cache"]["corrupt"] == 1
 
-        # Stale: wrong stored digest (same filename) is counted and logged.
-        import json as json_mod
-        stored = json_mod.loads(path.read_text())
-        stored["digest"] = "f" * 64
-        path.write_text(json_mod.dumps(stored))
+        # Stale: a ref keyed on another source digest (same ref name) is
+        # counted and logged.
+        entry = store.get_ref(ref)
+        entry["meta"]["source_digest"] = "f" * 64
+        store.set_ref(ref, entry["digest"], meta=entry["meta"])
         caplog.clear()
         with caplog.at_level(logging.WARNING, logger="repro.experiments.runner"):
             run_experiments(ids=["E3"], seeds=(0,), cache_dir=cache_dir,
                             digest="a" * 64, manifest_path=m)
-        assert any("stale cache entry" in r.message for r in caplog.records)
+        assert any("stale cache ref" in r.message for r in caplog.records)
         assert load_manifest(m)["cache"]["stale"] == 1
 
     def test_runner_spans_when_enabled(self, tmp_path):
