@@ -1,14 +1,14 @@
 #!/usr/bin/env python
-"""Kernel microbenchmark regression gate.
+"""Benchmark regression gate: kernel microbenchmarks and the scale tier.
 
-Times the simulation-substrate microbenchmarks (the same workloads as
-``benchmarks/test_bench_kernel.py``, without the pytest-benchmark
-dependency), writes per-benchmark median seconds to ``BENCH_PR1.json``, and
-exits nonzero when any benchmark regressed more than ``--tolerance``
-(default 25%) against the committed reference in
-``benchmarks/BENCH_BASELINE.json``.
+``--tier kernel`` (the default) times the simulation-substrate
+microbenchmarks (the same workloads as ``benchmarks/test_bench_kernel.py``,
+without the pytest-benchmark dependency), writes per-benchmark median
+seconds to ``BENCH_PR1.json``, and exits nonzero when any benchmark
+regressed more than ``--tolerance`` (default 25%) against the committed
+reference in ``benchmarks/BENCH_BASELINE.json``.
 
-The baseline file has three timing sets:
+The kernel baseline file has three timing sets:
 
 * ``seed``          -- the pre-optimization engine (PR 1's starting point),
                        kept so speedup-vs-seed stays visible in every report;
@@ -17,14 +17,27 @@ The baseline file has three timing sets:
                        regression gate compares against (min-vs-min is robust
                        to scheduler noise on shared hosts).
 
+``--tier scale`` times the large-scenario arms of
+:mod:`repro.simulate.scalemodel` -- the 100k-rank bulk-synchronous write
+workload under the sequential fast path (one coroutine per rank, millions
+of events) and the vectorized cohort model on every executor (sequential,
+conservative, partitioned serial/thread/process) -- verifies all arms
+produce bit-identical result digests, sweeps rank counts for the
+parallel-vs-sequential crossover, writes ``BENCH_PR6.json``, and gates
+against ``benchmarks/BENCH_SCALE_BASELINE.json``.  At full scale the gate
+additionally requires the partitioned-thread arm to beat the sequential
+fast path by at least ``SCALE_MIN_SPEEDUP``x.  ``--tier all`` runs both.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_regression.py          # full gate
-    PYTHONPATH=src python benchmarks/check_regression.py --smoke  # machinery only
+    PYTHONPATH=src python benchmarks/check_regression.py               # kernel gate
+    PYTHONPATH=src python benchmarks/check_regression.py --tier scale  # scale gate
+    PYTHONPATH=src python benchmarks/check_regression.py --tier scale --scale 0.05 --smoke
 
-``--smoke`` shrinks the workloads and skips the pass/fail gate so the test
-suite can exercise the harness in milliseconds (see
-``tests/benchmarks/test_check_regression.py``).
+``--smoke`` shrinks the workloads to one timing round and skips the
+pass/fail gate so the test suite can exercise the harness in milliseconds
+(see ``tests/benchmarks/test_check_regression.py``); an explicit
+``--scale`` still wins over the smoke default.
 """
 
 from __future__ import annotations
@@ -41,6 +54,8 @@ from typing import Callable, Dict, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_BASELINE.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_PR1.json"
+SCALE_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_SCALE_BASELINE.json"
+SCALE_OUTPUT_PATH = REPO_ROOT / "BENCH_PR6.json"
 
 try:  # allow running without PYTHONPATH=src, but never shadow an
     import repro  # noqa: F401  # already-importable repro (e.g. a worktree)
@@ -119,6 +134,167 @@ BENCHMARKS: Dict[str, Callable[[float], None]] = {
     "pfs_write_path": bench_pfs_write_path,
     "trace_compressor_speed": bench_trace_compressor_speed,
 }
+
+
+# -- scale tier (large-scenario parallel-vs-sequential) ----------------------
+
+#: Full-scale scenario shape: 100k ranks over 64 islands, 10 rounds.  The
+#: sequential fast path simulates this with ~4.2 million events.
+SCALE_RANKS = 100_000
+SCALE_ISLANDS = 64
+SCALE_ROUNDS = 10
+#: Rank counts swept for the parallel-vs-sequential crossover (each is
+#: multiplied by ``--scale``; the last point doubles as the headline run).
+SCALE_SWEEP = (1_000, 4_000, 16_000, 50_000, SCALE_RANKS)
+#: Gate: at full scale the partitioned-thread arm must beat the
+#: sequential fast path by at least this factor.
+SCALE_MIN_SPEEDUP = 2.0
+#: Arms longer than this (seconds) are timed once instead of ``rounds``
+#: times -- at 100k ranks the sequential fast path alone runs tens of
+#: seconds, and repeating it five times would buy noise rejection nobody
+#: needs at that magnitude.
+SCALE_SINGLE_RUN_THRESHOLD = 2.0
+#: Partition/worker count for the partitioned arms.  Pinned (not
+#: ``cpu_count()``) so the measured topology -- 8 partitions of 8 islands,
+#: halos crossing at the boundaries -- is the same on every host; on a
+#: single-core container the default would collapse to one partition and
+#: measure nothing.
+SCALE_WORKERS = 8
+
+
+def scale_config(scale: float = 1.0, ranks: int = SCALE_RANKS):
+    """The swept scenario at ``ranks * scale`` ranks (islands clamped)."""
+    from repro.simulate.scalemodel import ScaleConfig
+
+    n = max(2, int(ranks * scale))
+    return ScaleConfig(
+        ranks=n,
+        islands=min(SCALE_ISLANDS, n),
+        rounds=SCALE_ROUNDS,
+        seed=0,
+    )
+
+
+def _scale_arms() -> Dict[str, Callable]:
+    """name -> callable(config) for every engine arm, slowest first."""
+    from repro.simulate.scalemodel import (
+        run_cohort,
+        run_cohort_sequential,
+        run_scale,
+    )
+
+    def partitioned(backend):
+        def run(c):
+            return run_cohort(c, engine="partitioned", backend=backend,
+                              workers=min(SCALE_WORKERS, c.islands))
+        return run
+
+    return {
+        "sequential_fast_path": lambda c: run_scale(c, engine="sequential"),
+        "cohort_sequential": run_cohort_sequential,
+        "conservative": lambda c: run_cohort(c, engine="conservative"),
+        "partitioned_serial": partitioned("serial"),
+        "partitioned_thread": partitioned("thread"),
+        "partitioned_process": partitioned("process"),
+    }
+
+
+def _time_arm(fn, rounds: int, threshold: float = SCALE_SINGLE_RUN_THRESHOLD):
+    """Time ``fn()`` with the collector paused, as in :func:`run_benchmarks`.
+
+    Returns ``({"median": s, "min": s}, last_result)``.  Arms whose first
+    run exceeds ``threshold`` seconds are not repeated (see
+    ``SCALE_SINGLE_RUN_THRESHOLD``).
+    """
+    gc_was_enabled = gc.isenabled()
+    times, result = [], None
+    try:
+        while True:
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter()
+            result = fn()
+            times.append(time.perf_counter() - start)
+            gc.enable()
+            if len(times) >= rounds or times[0] >= threshold:
+                break
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {"median": statistics.median(times), "min": min(times)}, result
+
+
+def run_scale_arms(rounds: int, scale: float) -> Dict[str, Dict]:
+    """Time every engine arm on the headline config.
+
+    Returns ``{name: {"median", "min", "events", "digest", "stats"}}``.
+    """
+    config = scale_config(scale)
+    arms = _scale_arms()
+    # Warmup on a miniature config: imports, numpy caches, thread pools,
+    # and the process backend's first worker spawn.
+    warm = scale_config(1.0, ranks=min(256, config.ranks))
+    for fn in arms.values():
+        fn(warm)
+    out: Dict[str, Dict] = {}
+    for name, fn in arms.items():
+        timing, res = _time_arm(lambda: fn(config), rounds)
+        out[name] = {
+            **timing,
+            "events": res.events,
+            "digest": res.digest,
+            "stats": dict(res.stats),
+        }
+    return out
+
+
+def run_crossover_sweep(scale: float, full_arms: Dict[str, Dict]) -> Dict:
+    """Sweep rank counts; find where each parallel backend starts winning.
+
+    Each sweep point times the sequential fast path against the
+    partitioned thread and process backends (single run below
+    ``SCALE_SINGLE_RUN_THRESHOLD`` repeats, min-of-3 for the fast ones).
+    The headline point's timings are reused from ``full_arms`` rather
+    than re-measured.
+    """
+    arms = _scale_arms()
+    sweep = []
+    seen = set()
+    for base_ranks in SCALE_SWEEP:
+        config = scale_config(scale, ranks=base_ranks)
+        if config.ranks in seen:
+            continue
+        seen.add(config.ranks)
+        if base_ranks == SCALE_RANKS:
+            point = {
+                "ranks": config.ranks,
+                "sequential_fast_path":
+                    full_arms["sequential_fast_path"]["min"],
+                "partitioned_thread": full_arms["partitioned_thread"]["min"],
+                "partitioned_process": full_arms["partitioned_process"]["min"],
+            }
+        else:
+            point = {"ranks": config.ranks}
+            for name in ("sequential_fast_path", "partitioned_thread",
+                         "partitioned_process"):
+                timing, _ = _time_arm(
+                    lambda: arms[name](config), rounds=3, threshold=0.5
+                )
+                point[name] = timing["min"]
+        sweep.append(point)
+    sweep.sort(key=lambda p: p["ranks"])
+
+    def first_win(name: str):
+        for point in sweep:
+            if point[name] < point["sequential_fast_path"]:
+                return point["ranks"]
+        return None
+
+    return {
+        "sweep": sweep,
+        "crossover_ranks_thread": first_win("partitioned_thread"),
+        "crossover_ranks_process": first_win("partitioned_process"),
+    }
 
 
 # -- harness -----------------------------------------------------------------
@@ -225,29 +401,7 @@ def load_baseline(path: Path, store_dir: Optional[Path]) -> Dict:
     return {}
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--rounds", type=int, default=5,
-                        help="timing rounds per benchmark (median is kept)")
-    parser.add_argument("--scale", type=float, default=1.0,
-                        help="workload size multiplier")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed slowdown vs the reference (0.25 = 25%%)")
-    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
-    parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
-    parser.add_argument(
-        "--store", type=Path, default=None, metavar="DIR",
-        help="read the baseline from (and record the report into) the "
-        "content-addressed run store rooted here, seeding it from "
-        "--baseline on first use (e.g. results/store)")
-    parser.add_argument("--smoke", action="store_true",
-                        help="tiny workloads, 1 round, no pass/fail gate")
-    args = parser.parse_args(argv)
-
-    rounds, scale = args.rounds, args.scale
-    if args.smoke:
-        rounds, scale = 1, 0.02
-
+def _kernel_main(args, rounds: int, scale: float) -> int:
     baseline = load_baseline(args.baseline, args.store)
 
     stats = run_benchmarks(rounds=rounds, scale=scale)
@@ -298,6 +452,156 @@ def main(argv=None) -> int:
               f"{args.tolerance:.0%}", file=sys.stderr)
         return 1
     return 0
+
+
+def _scale_main(args, rounds: int, scale: float) -> int:
+    try:
+        from repro.des.cohort import HAVE_NUMPY
+    except ImportError:  # pragma: no cover
+        HAVE_NUMPY = False
+    if not HAVE_NUMPY:  # pragma: no cover
+        print("scale tier skipped: numpy unavailable", file=sys.stderr)
+        return 0
+
+    baseline = {}
+    if args.scale_baseline.exists():
+        with open(args.scale_baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    config = scale_config(scale)
+    arms = run_scale_arms(rounds, scale)
+    crossover = run_crossover_sweep(scale, arms)
+
+    digests = {a["digest"] for a in arms.values()}
+    medians = {name: a["median"] for name, a in arms.items()}
+    mins = {name: a["min"] for name, a in arms.items()}
+    seq = mins["sequential_fast_path"]
+    speedup_vs_sequential = {
+        name: seq / t for name, t in mins.items() if t > 0
+    }
+
+    gated = not args.smoke and scale == 1.0
+    regressions = compare(mins, baseline.get("reference_min"),
+                          args.scale_tolerance) if gated else {}
+    gate_failures = []
+    if len(digests) != 1:
+        # Equivalence is non-negotiable at any scale: a parallel engine
+        # that returns different answers is wrong, not slow.
+        gate_failures.append(
+            f"engine arms disagree: {len(digests)} distinct digests"
+        )
+    if gated:
+        thread_speedup = speedup_vs_sequential.get("partitioned_thread", 0.0)
+        if thread_speedup < SCALE_MIN_SPEEDUP:
+            gate_failures.append(
+                f"partitioned_thread speedup {thread_speedup:.2f}x is below "
+                f"the required {SCALE_MIN_SPEEDUP:.1f}x"
+            )
+
+    report = {
+        "tier": "scale",
+        "rounds": rounds,
+        "scale": scale,
+        "smoke": args.smoke,
+        "config": {
+            "ranks": config.ranks,
+            "islands": config.islands,
+            "rounds": config.rounds,
+            "seed": config.seed,
+        },
+        "arms": arms,
+        "digest": next(iter(digests)) if len(digests) == 1 else None,
+        "median_seconds": medians,
+        "min_seconds": mins,
+        "speedup_vs_sequential": speedup_vs_sequential,
+        "crossover": crossover,
+        "baseline_reference_min_seconds": baseline.get("reference_min"),
+        "tolerance": args.scale_tolerance,
+        "regressions": regressions,
+        "gate_failures": gate_failures,
+        "ok": not regressions and not gate_failures,
+    }
+    args.scale_output.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.scale_output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+
+    width = max(len(n) for n in mins)
+    print(f"scale tier: {config.ranks} ranks x {config.islands} islands "
+          f"x {config.rounds} rounds "
+          f"({arms['sequential_fast_path']['events']} sequential events)")
+    for name, cur in mins.items():
+        line = f"{name:<{width}}  {cur * 1e3:10.3f} ms"
+        if name != "sequential_fast_path":
+            line += f"  ({speedup_vs_sequential[name]:7.2f}x vs sequential)"
+        if name in regressions:
+            line += f"  REGRESSED {regressions[name]['slowdown']:.2f}x"
+        print(line)
+    for backend in ("thread", "process"):
+        ranks = crossover[f"crossover_ranks_{backend}"]
+        print(f"crossover ({backend} backend): "
+              + (f"parallel wins from {ranks} ranks" if ranks
+                 else "sequential fast path wins everywhere swept"))
+    print(f"report written to {args.scale_output}")
+    for failure in gate_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if regressions:
+        print(f"FAIL: {len(regressions)} scale arm(s) regressed more than "
+              f"{args.scale_tolerance:.0%}", file=sys.stderr)
+    return 1 if (regressions or gate_failures) else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", choices=("kernel", "scale", "all"),
+                        default="kernel",
+                        help="which benchmark tier(s) to run")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per benchmark (median is kept)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload size multiplier (default 1.0; "
+                        "--smoke defaults it to 0.02 instead)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="kernel tier: allowed slowdown vs the reference "
+                        "(0.25 = 25%%)")
+    parser.add_argument("--scale-tolerance", type=float, default=1.0,
+                        help="scale tier: allowed slowdown vs the reference. "
+                        "Looser than the kernel gate by design: wall times "
+                        "on this tier swing ~1.5x with host load, so the "
+                        "absolute-time gate only catches order-of-magnitude "
+                        "regressions (a cohort arm falling back to scalar is "
+                        "~600x); the digest-equality and minimum-speedup "
+                        "gates are noise-immune and stay strict")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    parser.add_argument("--scale-baseline", type=Path,
+                        default=SCALE_BASELINE_PATH,
+                        help="committed reference timings for the scale tier")
+    parser.add_argument("--scale-output", type=Path, default=SCALE_OUTPUT_PATH,
+                        help="scale-tier report path")
+    parser.add_argument(
+        "--store", type=Path, default=None, metavar="DIR",
+        help="read the kernel baseline from (and record the report into) "
+        "the content-addressed run store rooted here, seeding it from "
+        "--baseline on first use (e.g. results/store)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads, 1 round, no pass/fail gate")
+    args = parser.parse_args(argv)
+
+    rounds, scale = args.rounds, args.scale
+    if args.smoke:
+        rounds = 1
+        if scale is None:
+            scale = 0.02
+    elif scale is None:
+        scale = 1.0
+
+    rc = 0
+    if args.tier in ("kernel", "all"):
+        rc |= _kernel_main(args, rounds, scale)
+    if args.tier in ("scale", "all"):
+        rc |= _scale_main(args, rounds, scale)
+    return rc
 
 
 if __name__ == "__main__":

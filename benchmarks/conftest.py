@@ -10,6 +10,20 @@ doubles as the EXPERIMENTS evidence.
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--scale", type=float, default=0.05,
+        help="size multiplier for the scale-tier benchmarks "
+        "(1.0 = the full 100k-rank scenario)",
+    )
+
+
+@pytest.fixture(scope="module")
+def scale(request):
+    """Rank-count multiplier for ``test_bench_scale.py``."""
+    return request.config.getoption("--scale")
+
+
 @pytest.fixture
 def run_experiment(benchmark):
     """Run one experiment under pytest-benchmark and assert its verdict."""

@@ -221,17 +221,45 @@ def _cmd_scenario(args) -> int:
             return 0
 
         if args.action == "run":
+            from repro import telemetry
             from repro.scenario import run_scenario
 
+            want_telemetry = bool(args.metrics or args.metrics_json)
+            if want_telemetry:
+                telemetry.enable()
             spec = _scenario_spec(args.scenario, args.seed)
-            run = run_scenario(spec)
+            run = run_scenario(
+                spec,
+                engine=args.engine,
+                engine_backend=args.engine_backend,
+                engine_workers=args.engine_workers,
+            )
             print(spec.describe())
             print(f"scenario digest: {spec.digest()[:16]}")
             print(run.summary())
+            for sr in run.scale_results:
+                backend = f"/{sr.backend}" if sr.backend else ""
+                stats = ", ".join(
+                    f"{k}={v:.2f}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in sorted(sr.stats.items())
+                )
+                print(
+                    f"  scale engine {sr.engine}{backend}: "
+                    f"{sr.events} events, digest {sr.digest[:16]}"
+                    + (f" ({stats})" if stats else "")
+                )
             if args.json:
                 with open(args.json, "w", encoding="utf-8") as fh:
                     json.dump(run.to_dict(), fh, indent=1)
                 print(f"results written to {args.json}")
+            if args.metrics:
+                print()
+                print("-- self-telemetry metrics " + "-" * 34)
+                print(telemetry.TELEMETRY.metrics.render_text())
+            if args.metrics_json:
+                with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                    fh.write(telemetry.TELEMETRY.metrics.render_json())
+                print(f"metrics JSON written to {args.metrics_json}")
             return 0
 
         # sweep
@@ -788,6 +816,29 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("scenario", help="preset name or path to a scenario JSON")
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--json", help="write the scenario outcome JSON here")
+    sp.add_argument(
+        "--engine", choices=["sequential", "conservative", "partitioned"],
+        help="override the scenario's DES engine (default: as declared)",
+    )
+    sp.add_argument(
+        "--engine-backend", choices=["serial", "thread", "process"],
+        default="thread",
+        help="partitioned-engine backend (default: thread)",
+    )
+    sp.add_argument(
+        "--engine-workers", type=int,
+        help="partitioned-engine partition/worker count (default: CPUs)",
+    )
+    sp.add_argument(
+        "--metrics", action="store_true",
+        help="enable self-telemetry and print the metrics table (cohort "
+        "sizes, partition window occupancy, ...)",
+    )
+    sp.add_argument(
+        "--metrics-json", metavar="FILE",
+        help="enable self-telemetry and write the metrics registry as JSON "
+        "(summarize with `repro-io telemetry FILE`)",
+    )
     sp.set_defaults(fn=_cmd_scenario)
 
     sp = scen_sub.add_parser(

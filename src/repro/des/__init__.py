@@ -26,6 +26,7 @@ event queue are broken by (time, priority, insertion sequence), so two runs
 of the same program produce identical event orderings.
 """
 
+from repro.des.cohort import MIN_VECTOR_BATCH, canonical_event_sort
 from repro.des.engine import Environment, SimulationError
 from repro.des.events import (
     AllOf,
@@ -49,6 +50,12 @@ from repro.des.ross import (
     SequentialExecutor,
 )
 from repro.des.optimistic import OptimisticExecutor, OptimisticStats
+from repro.des.partition import (
+    PartitionPlan,
+    PartitionStats,
+    PartitionedExecutor,
+    fabric_islands,
+)
 
 __all__ = [
     "AllOf",
@@ -61,9 +68,13 @@ __all__ = [
     "Interrupt",
     "LOW",
     "LogicalProcess",
+    "MIN_VECTOR_BATCH",
     "NORMAL",
     "OptimisticExecutor",
     "OptimisticStats",
+    "PartitionPlan",
+    "PartitionStats",
+    "PartitionedExecutor",
     "PriorityResource",
     "Process",
     "RandomStreams",
@@ -75,4 +86,6 @@ __all__ = [
     "Store",
     "Timeout",
     "URGENT",
+    "canonical_event_sort",
+    "fabric_islands",
 ]

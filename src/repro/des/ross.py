@@ -31,6 +31,24 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.des.engine import SimulationError
+
+
+def _degenerate_window_error(lbts: float, lookahead: float) -> SimulationError:
+    """A window that admits no events would loop forever; fail loudly.
+
+    This happens when the lookahead vanishes against the magnitude of the
+    clock (``lbts + lookahead == lbts`` in float64) -- an effectively
+    zero-lookahead configuration.  Raising is the difference between a
+    clear diagnostic and a silent spin.
+    """
+    return SimulationError(
+        f"degenerate conservative window at t={lbts!r}: lookahead "
+        f"{lookahead!r} vanishes against the clock (lbts + lookahead == "
+        f"lbts in float64), so the window can never admit an event. "
+        f"Increase the lookahead or rescale the model's time units."
+    )
+
 
 @dataclass(frozen=True)
 class RossEvent:
@@ -259,6 +277,8 @@ class ConservativeExecutor:
             if lbts > until:
                 break
             horizon = lbts + self.kernel.lookahead
+            if not horizon > lbts:
+                raise _degenerate_window_error(lbts, self.kernel.lookahead)
             window_events = 0
             window_max_per_lp = 0
             generated: List[RossEvent] = []

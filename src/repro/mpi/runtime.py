@@ -38,6 +38,7 @@ class _CollectiveGate:
         self.size = size
         self._arrived = 0
         self._release = env.event()
+        self._phase = None
 
     def arrive(self):
         """Generator: wait until all ranks have arrived."""
@@ -51,6 +52,32 @@ class _CollectiveGate:
             yield  # pragma: no cover
         else:
             yield self._release
+
+    def arrive_phase(self, cost: float):
+        """All-arrive, then one shared fixed-cost phase.
+
+        Every rank of a collective pays the same analytic cost after the
+        gate opens, so the per-rank phase timers are a homogeneous event
+        cohort of size P -- the last arriver arms a *single* timer that
+        every rank waits on instead.  Completion times and the relative
+        rank resume order are identical to per-rank timers (the shared
+        event's callback order matches the order the per-rank timers
+        would have entered the heap); only the event count shrinks.
+        """
+        self._arrived += 1
+        if self._arrived == self.size:
+            release, self._release = self._release, self.env.event()
+            self._arrived = 0
+            self._phase = self.env.timeout(cost) if cost > 0 else None
+            release.succeed()
+            if self._phase is not None:
+                yield self._phase
+        else:
+            yield self._release
+            # _phase was published before the release fired; reading it
+            # here (during the release pop) is race-free.
+            if self._phase is not None:
+                yield self._phase
 
 
 class Communicator:
@@ -131,10 +158,7 @@ class Communicator:
 
     def _collective(self, kind: str, rank: int, nbytes: float, tag: str):
         gate = self._gate(tag)
-        yield from gate.arrive()
-        cost = self.collective_cost(kind, nbytes)
-        if cost > 0:
-            yield self.env.timeout(cost)
+        yield from gate.arrive_phase(self.collective_cost(kind, nbytes))
         if rank == 0:
             self.collective_count += 1
             if TELEMETRY.active:

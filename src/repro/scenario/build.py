@@ -22,7 +22,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.cluster.platform import Platform, platform_from_spec
 from repro.ops import IORecord
 from repro.pfs.filesystem import ParallelFileSystem
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import STACK_ENGINES, ScenarioError, ScenarioSpec
 from repro.simulate.execsim import ExperimentHarness
 from repro.workloads.base import Workload, WorkloadResult
 
@@ -76,6 +76,11 @@ class ScenarioRun:
     results: List[WorkloadResult] = field(default_factory=list)
     #: Setup-workload results (data generation etc.), in run order.
     setup_results: List[WorkloadResult] = field(default_factory=list)
+    #: Full :class:`~repro.simulate.scalemodel.ScaleResult` objects for
+    #: ``scale_write`` workloads (engine-specific diagnostics: windows,
+    #: occupancy, digests).  Deliberately excluded from :meth:`to_dict`,
+    #: which must stay engine-invariant.
+    scale_results: List[Any] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -125,9 +130,44 @@ class ScenarioRun:
         return "\n".join(lines)
 
 
+def _run_scale_workload(
+    run: ScenarioRun,
+    main,
+    engine: str,
+    backend: str,
+    workers: Optional[int],
+) -> WorkloadResult:
+    """Route one ``scale_write`` workload through the scale model.
+
+    The returned :class:`WorkloadResult` is *engine-invariant* (the scale
+    model's engines are bit-identical by contract); engine-specific
+    diagnostics land on ``run.scale_results``.  The harness clock advances
+    by the simulated duration so mixed scenarios keep a coherent timeline.
+    """
+    from repro.simulate.scalemodel import run_scale
+
+    spec = run.scenario
+    config = main.scale_config(spec.platform, spec.seed)
+    result = run_scale(config, engine=engine, backend=backend, workers=workers)
+    run.scale_results.append(result)
+    env = run.harness.platform.env
+    env.run(until=env.now + result.duration)
+    return WorkloadResult(
+        name=main.name,
+        n_ranks=config.ranks,
+        duration=result.duration,
+        bytes_written=result.bytes_written,
+        extra={"islands": float(config.islands),
+               "rounds": float(config.rounds)},
+    )
+
+
 def run_scenario(
     spec: ScenarioSpec,
     observers: Optional[List[Callable[[IORecord], None]]] = None,
+    engine: Optional[str] = None,
+    engine_backend: str = "thread",
+    engine_workers: Optional[int] = None,
 ) -> ScenarioRun:
     """Build a scenario and run its declared workloads.
 
@@ -139,10 +179,45 @@ def run_scenario(
     ``observers`` (e.g. a tracer or profiler) attach to every *main*
     workload's stacks; setup workloads run unobserved, matching how the
     experiments treat data generation.
+
+    ``engine`` overrides the scenario's declared ``stack.engine`` (the
+    ``repro-io scenario run --engine`` knob).  The parallel engines only
+    execute cohort-capable workloads (``scale_write``); declaring any
+    other kind under them is an error rather than a silent fallback.
+    ``engine_backend`` / ``engine_workers`` tune the partitioned engine
+    (``serial`` / ``thread`` / ``process`` and the partition count).
     """
+    effective_engine = engine if engine is not None else spec.stack.engine
+    if effective_engine not in STACK_ENGINES:
+        raise ScenarioError(
+            f"unknown engine {effective_engine!r}; "
+            f"choose from {STACK_ENGINES}"
+        )
+    if effective_engine != "sequential":
+        other = [w.kind for w in spec.workloads if w.kind != "scale_write"]
+        if other:
+            raise ScenarioError(
+                f"engine {effective_engine!r} only runs cohort-capable "
+                f"workloads (scale_write); scenario declares: "
+                f"{', '.join(other)}"
+            )
+    if spec.concurrent and any(w.kind == "scale_write" for w in spec.workloads):
+        raise ScenarioError(
+            "scale_write models its own concurrency (islands); it cannot "
+            "join a concurrent scenario"
+        )
     harness = build(spec)
     built = instantiate_workloads(spec)
     run = ScenarioRun(scenario=spec, harness=harness)
+
+    def run_main(main) -> WorkloadResult:
+        from repro.scenario.workloads import ScaleWriteWorkload
+
+        if isinstance(main, ScaleWriteWorkload):
+            return _run_scale_workload(
+                run, main, effective_engine, engine_backend, engine_workers
+            )
+        return harness.run(main, observers=observers)
 
     if spec.concurrent:
         for setup, _ in built:
@@ -157,5 +232,5 @@ def run_scenario(
         for setup, main in built:
             for w in setup:
                 run.setup_results.append(harness.run(w))
-            run.results.append(harness.run(main, observers=observers))
+            run.results.append(run_main(main))
     return run

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.cluster.platform import medium_spec, tiny_spec
+from repro.cluster.platform import large_spec, medium_spec, tiny_spec
 from repro.faults.spec import FaultEventSpec, FaultSpec
 from repro.scenario.spec import ScenarioSpec, StackSpec, StorageSpec, WorkloadSpec
 
@@ -50,6 +50,31 @@ def medium(seed: int = 0) -> ScenarioSpec:
         workloads=(WorkloadSpec("ior", 8, {"block_size": 8 * MiB,
                                            "transfer_size": MiB,
                                            "stripe_count": 4}),),
+    )
+
+
+# -- scale tier: the parallel-engine scenarios -------------------------------
+def scale_tiny(seed: int = 0) -> ScenarioSpec:
+    """Small scale-model scenario (256 ranks, 4 islands): exercises every
+    engine in seconds; the engine-equivalence tests sweep it."""
+    return _tiny(
+        "scale-tiny", seed,
+        workloads=(WorkloadSpec("scale_write", 256,
+                                {"islands": 4, "rounds": 4}),),
+    )
+
+
+def scale_100k(seed: int = 0) -> ScenarioSpec:
+    """The 100k-rank scale scenario the PR 6 benchmark tier measures.
+
+    64 fabric islands (8 OSS x 8 OSTs on the large platform), 10 bulk-
+    synchronous checkpoint rounds: >= 2M events on the sequential per-rank
+    engine, ~1300 cohort events on the parallel engines.
+    """
+    return ScenarioSpec(
+        name="scale-100k", platform=large_spec(), seed=seed,
+        workloads=(WorkloadSpec("scale_write", 100_000,
+                                {"islands": 64, "rounds": 10}),),
     )
 
 
@@ -334,6 +359,8 @@ def e4_cycle(seed: int = 0) -> ScenarioSpec:
 SCENARIOS: Dict[str, Callable[[int], ScenarioSpec]] = {
     "tiny": tiny,
     "medium": medium,
+    "scale-tiny": scale_tiny,
+    "scale-100k": scale_100k,
     "c2-traditional": c2_traditional,
     "c2-mixed": c2_mixed,
     "c3-sequential": c3_sequential,

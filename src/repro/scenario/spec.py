@@ -49,6 +49,10 @@ ALLOC_POLICIES = ("round_robin", "load_aware")
 
 MiB = 1024 * 1024
 
+#: DES engines a scenario may request (see
+#: :mod:`repro.simulate.scalemodel` and :mod:`repro.des.partition`).
+STACK_ENGINES = ("sequential", "conservative", "partitioned")
+
 
 class ScenarioError(ValueError):
     """A scenario spec is invalid or cannot be deserialized."""
@@ -121,6 +125,10 @@ class StackSpec:
     rpc_retries: int = 0
     retry_backoff: float = 0.005
     retry_backoff_cap: float = 0.5
+    #: DES engine the scenario runs on: ``"sequential"`` (default, every
+    #: workload kind), or ``"conservative"`` / ``"partitioned"`` (parallel
+    #: engines; require cohort-capable workloads such as ``scale_write``).
+    engine: str = "sequential"
 
     def validate(self) -> None:
         if self.cb_nodes is not None and self.cb_nodes < 1:
@@ -134,6 +142,11 @@ class StackSpec:
         if self.retry_backoff <= 0 or self.retry_backoff_cap < self.retry_backoff:
             raise ScenarioError(
                 "retry_backoff must be positive and <= retry_backoff_cap"
+            )
+        if self.engine not in STACK_ENGINES:
+            raise ScenarioError(
+                f"unknown engine {self.engine!r}; "
+                f"choose from {STACK_ENGINES}"
             )
 
     def kwargs(self) -> Dict[str, Any]:
@@ -150,10 +163,10 @@ class StackSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         out = dataclasses.asdict(self)
-        # Omit resilience fields still at their defaults so pre-resilience
+        # Omit resilience/engine fields still at their defaults so earlier
         # scenario digests (and the caches keyed on them) are unchanged.
         for name in ("rpc_timeout", "rpc_retries",
-                     "retry_backoff", "retry_backoff_cap"):
+                     "retry_backoff", "retry_backoff_cap", "engine"):
             if out[name] == type(self).__dataclass_fields__[name].default:
                 del out[name]
         return out

@@ -133,6 +133,56 @@ def _build_workflow_boot(spec) -> BuiltWorkload:
     return [], _workflow_bootstrap(spec)
 
 
+class ScaleWriteWorkload(Workload):
+    """The bulk-synchronous checkpoint workload of the scale model.
+
+    Unlike the zoo workloads it does not execute per-rank op streams
+    through the simulated file system: :func:`repro.scenario.build.run_scenario`
+    routes it to :mod:`repro.simulate.scalemodel`, where the whole rank
+    population runs either as per-rank coroutines (sequential engine) or
+    as vectorized island cohorts (conservative / partitioned engines) --
+    with bit-identical results either way.  ``params`` mirror
+    :class:`~repro.simulate.scalemodel.ScaleConfig` (minus ``ranks`` and
+    ``seed``, which come from the workload spec and scenario seed);
+    ``islands`` defaults to the platform's OSS count (one fabric island
+    per OSS group, see :func:`repro.des.partition.fabric_islands`).
+    """
+
+    name = "scale_write"
+
+    def __init__(self, spec):
+        self.n_ranks = spec.n_ranks
+        self.params = dict(spec.params)
+
+    def scale_config(self, platform_spec, seed: int):
+        from repro.simulate.scalemodel import ScaleConfig
+
+        params = dict(self.params)
+        islands = params.pop("islands", None)
+        if islands is None:
+            islands = max(1, min(platform_spec.n_oss, self.n_ranks))
+        try:
+            config = ScaleConfig(
+                ranks=self.n_ranks, islands=islands, seed=seed, **params
+            )
+            config.validate()
+        except (TypeError, ValueError) as exc:
+            from repro.scenario.spec import ScenarioError
+
+            raise ScenarioError(f"scale_write: {exc}") from exc
+        return config
+
+    def program(self, ctx):
+        raise NotImplementedError(
+            "scale_write runs through repro.simulate.scalemodel, not through "
+            "per-rank I/O stacks; use repro.scenario.build.run_scenario"
+        )
+
+
+def _build_scale(spec) -> BuiltWorkload:
+    return [], ScaleWriteWorkload(spec)
+
+
 #: Every declarable workload kind.
 WORKLOAD_KINDS: Dict[str, WorkloadBuilder] = {
     "ior": _config_workload(IORConfig, IORWorkload),
@@ -147,6 +197,7 @@ WORKLOAD_KINDS: Dict[str, WorkloadBuilder] = {
     "analytics_gen": _build_analytics_gen,
     "workflow": _build_workflow,
     "workflow_boot": _build_workflow_boot,
+    "scale_write": _build_scale,
 }
 
 

@@ -95,3 +95,114 @@ def test_committed_baseline_matches_benchmark_set(harness):
     )
     for key in ("seed", "reference", "reference_min"):
         assert set(baseline[key]) == set(harness.BENCHMARKS), key
+
+
+# ---------------------------------------------------------------------------
+# Scale tier
+# ---------------------------------------------------------------------------
+
+def _has_numpy():
+    try:
+        from repro.des.cohort import HAVE_NUMPY
+        return HAVE_NUMPY
+    except ImportError:  # pragma: no cover
+        return False
+
+
+needs_numpy = pytest.mark.skipif(not _has_numpy(), reason="scale tier needs numpy")
+
+SCALE_ARM_NAMES = {
+    "sequential_fast_path", "cohort_sequential", "conservative",
+    "partitioned_serial", "partitioned_thread", "partitioned_process",
+}
+
+
+@needs_numpy
+def test_scale_tier_smoke_writes_report(harness, tmp_path):
+    out = tmp_path / "scale.json"
+    rc = harness.main(["--tier", "scale", "--smoke", "--scale", "0.002",
+                       "--scale-output", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["tier"] == "scale"
+    assert report["smoke"] is True
+    assert report["scale"] == 0.002  # explicit --scale wins over smoke's 0.02
+    assert report["ok"] is True
+    assert set(report["arms"]) == SCALE_ARM_NAMES
+    # Equivalence holds even in smoke mode: one digest across all arms.
+    assert len({a["digest"] for a in report["arms"].values()}) == 1
+    assert report["digest"] == report["arms"]["conservative"]["digest"]
+    # The cohort arms collapse the per-rank event cascade.
+    seq_events = report["arms"]["sequential_fast_path"]["events"]
+    assert report["arms"]["cohort_sequential"]["events"] < seq_events
+    # Crossover sweep covers ascending rank counts with every arm timed.
+    sweep = report["crossover"]["sweep"]
+    ranks = [p["ranks"] for p in sweep]
+    assert ranks == sorted(ranks) and len(ranks) >= 2
+    for point in sweep:
+        assert point["sequential_fast_path"] > 0
+        assert point["partitioned_thread"] > 0
+        assert point["partitioned_process"] > 0
+
+
+@needs_numpy
+def test_scale_tier_smoke_skips_gate(harness, tmp_path):
+    baseline = tmp_path / "scale_baseline.json"
+    baseline.write_text(json.dumps({
+        "reference_min": {name: 1e-12 for name in SCALE_ARM_NAMES},
+    }))
+    out = tmp_path / "scale.json"
+    rc = harness.main(["--tier", "scale", "--smoke", "--scale", "0.002",
+                       "--scale-baseline", str(baseline),
+                       "--scale-output", str(out)])
+    assert rc == 0  # smoke mode never gates on timings
+    report = json.loads(out.read_text())
+    assert report["regressions"] == {}
+    assert report["gate_failures"] == []
+
+
+@needs_numpy
+def test_tier_all_runs_both(harness, tmp_path):
+    kernel_out = tmp_path / "kernel.json"
+    scale_out = tmp_path / "scale.json"
+    rc = harness.main(["--tier", "all", "--smoke", "--scale", "0.002",
+                       "--output", str(kernel_out),
+                       "--scale-output", str(scale_out)])
+    assert rc == 0
+    assert set(json.loads(kernel_out.read_text())["median_seconds"]) == \
+        set(harness.BENCHMARKS)
+    assert json.loads(scale_out.read_text())["tier"] == "scale"
+
+
+def test_default_tier_leaves_scale_report_untouched(harness, tmp_path):
+    out = tmp_path / "kernel.json"
+    scale_out = tmp_path / "scale.json"
+    rc = harness.main(["--smoke", "--output", str(out),
+                       "--scale-output", str(scale_out)])
+    assert rc == 0
+    assert out.exists() and not scale_out.exists()
+
+
+@needs_numpy
+def test_committed_scale_baseline_matches_arm_set(harness):
+    baseline = json.loads(
+        (SCRIPT.parent / "BENCH_SCALE_BASELINE.json").read_text()
+    )
+    for key in ("reference", "reference_min"):
+        assert set(baseline[key]) == SCALE_ARM_NAMES, key
+
+
+@needs_numpy
+def test_committed_scale_report_supports_the_claim():
+    """BENCH_PR6.json is a committed artifact: re-validate its claims."""
+    report = json.loads(
+        (SCRIPT.parents[1] / "BENCH_PR6.json").read_text()
+    )
+    assert report["tier"] == "scale"
+    assert report["smoke"] is False and report["scale"] == 1.0
+    assert report["ok"] is True and report["gate_failures"] == []
+    assert report["config"]["ranks"] >= 100_000
+    assert report["arms"]["sequential_fast_path"]["events"] >= 2_000_000
+    assert report["speedup_vs_sequential"]["partitioned_thread"] >= 2.0
+    assert len({a["digest"] for a in report["arms"].values()}) == 1
+    assert report["crossover"]["crossover_ranks_thread"] is not None

@@ -98,3 +98,34 @@ def test_cycle(capsys):
     code, out, _ = run_cli(capsys, "cycle", "--iterations", "1")
     assert code == 0
     assert "cycle iteration 0" in out
+
+
+def test_scenario_run_engine_and_metrics(capsys, tmp_path):
+    pytest.importorskip("numpy")
+    from repro import telemetry
+
+    metrics_json = tmp_path / "metrics.json"
+    code, out, _ = run_cli(
+        capsys, "scenario", "run", "scale-tiny",
+        "--engine", "partitioned", "--engine-workers", "2",
+        "--metrics", "--metrics-json", str(metrics_json),
+    )
+    telemetry.disable()
+    assert code == 0
+    assert "scale engine partitioned/thread" in out
+    # The cohort-size histogram and the per-partition window metrics are
+    # in the printed table and in the JSON the telemetry command reads.
+    assert "des.cohort.size" in out
+    assert "des.partition.window_occupancy" in out
+    assert metrics_json.exists()
+    code, out, _ = run_cli(capsys, "telemetry", str(metrics_json))
+    assert code == 0
+    assert "des.partition.window_occupancy" in out
+
+
+def test_scenario_run_sequential_no_telemetry(capsys):
+    pytest.importorskip("numpy")
+    code, out, _ = run_cli(capsys, "scenario", "run", "scale-tiny")
+    assert code == 0
+    assert "scale engine sequential" in out
+    assert "des.cohort" not in out

@@ -1,0 +1,107 @@
+"""Vectorized device/OSS service planners vs the scalar per-access path."""
+
+import random
+
+import pytest
+
+from repro.cluster.devices import BlockDevice
+from repro.des.engine import Environment
+from repro.ops import StorageUnavailable
+from repro.pfs.oss import ObjectStorageServer
+
+
+def _device(env, **kwargs):
+    defaults = dict(bandwidth=200e6, seek_time=0.004, op_overhead=50e-6)
+    defaults.update(kwargs)
+    return BlockDevice(env, "d", **defaults)
+
+
+def _cohort(seed, n=40):
+    rng = random.Random(seed)
+    offsets, sizes = [], []
+    pos = 0
+    for _ in range(n):
+        if rng.random() < 0.5:  # sequential continuation
+            off = pos
+        else:  # random jump
+            off = rng.randrange(0, 1 << 30)
+        size = rng.randrange(0, 1 << 22)
+        offsets.append(off)
+        sizes.append(size)
+        pos = off + size
+    return offsets, sizes
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_plan_matches_scalar_service_time_loop(seed):
+    offsets, sizes = _cohort(seed)
+    env = Environment()
+    dev = _device(env)
+    planned = list(dev.plan_service_times(offsets, sizes))
+
+    # Scalar reference: service_time() per access with the head position
+    # advancing exactly as a sequential one-channel run would move it.
+    scalar = []
+    for off, n in zip(offsets, sizes):
+        scalar.append(dev.service_time(off, n))
+        dev._head_position = off + n
+    assert planned == scalar  # bit-identical, not approximately equal
+
+
+def test_plan_respects_current_head_position():
+    env = Environment()
+    dev = _device(env)
+    dev._head_position = 4096
+    seq = list(dev.plan_service_times([4096], [1024]))
+    jump = list(dev.plan_service_times([0], [1024]))
+    assert seq[0] < jump[0]  # continuation skips the seek
+
+
+def test_plan_accounts_for_degradation():
+    env = Environment()
+    dev = _device(env)
+    healthy = list(dev.plan_service_times([0], [1 << 20]))
+    dev.set_degradation(3.0)
+    degraded = list(dev.plan_service_times([0], [1 << 20]))
+    assert degraded[0] == healthy[0] * 3.0
+
+
+def test_plan_validates_inputs():
+    env = Environment()
+    dev = _device(env)
+    with pytest.raises(ValueError):
+        dev.plan_service_times([0, 1], [10])
+    with pytest.raises(ValueError):
+        dev.plan_service_times([-1], [10])
+    with pytest.raises(ValueError):
+        dev.plan_service_times([0], [-10])
+    assert len(dev.plan_service_times([], [])) == 0
+
+
+def test_plan_is_pure():
+    env = Environment()
+    dev = _device(env)
+    dev.plan_service_times([0, 1 << 20], [4096, 4096])
+    assert dev._head_position is None
+    assert dev.stats.seeks == 0
+    assert env.now == 0.0
+
+
+def test_oss_plan_rpc_times_adds_op_time():
+    env = Environment()
+    dev = _device(env)
+    oss = ObjectStorageServer(env, "oss0", {0: dev}, op_time=20e-6)
+    offsets, sizes = _cohort(7, n=10)
+    device_plan = dev.plan_service_times(offsets, sizes)
+    rpc_plan = oss.plan_rpc_times(0, offsets, sizes)
+    assert list(rpc_plan) == [20e-6 + t for t in device_plan]
+
+
+def test_oss_plan_rejects_unknown_ost_and_down_server():
+    env = Environment()
+    oss = ObjectStorageServer(env, "oss0", {0: _device(env)})
+    with pytest.raises(KeyError):
+        oss.plan_rpc_times(9, [0], [10])
+    oss.fail()
+    with pytest.raises(StorageUnavailable):
+        oss.plan_rpc_times(0, [0], [10])

@@ -11,10 +11,12 @@ from repro.scenario import (
     list_scenarios,
 )
 
-#: Every name the registry must provide: the two generic platforms plus one
-#: scenario per claims/ablation/survey experiment configuration.
+#: Every name the registry must provide: the generic platforms, one
+#: scenario per claims/ablation/survey experiment configuration, and the
+#: scale-model scenarios for the parallel DES engines.
 EXPECTED = {
     "tiny", "medium",
+    "scale-tiny", "scale-100k",
     "c2-traditional", "c2-mixed",
     "c3-sequential", "c3-dlio",
     "c4-checkpoint", "c4-workflow",
