@@ -11,9 +11,17 @@ when it falls outside ``--tolerance`` of the committed reference timing
 several harness invocations to ride out host noise; ``BENCH_PR1.json``'s
 single-run ``min_seconds`` is only a fallback).
 
+The distributed-telemetry PR added a second class of hooks: DES-timeline
+probes (``repro.telemetry.timeseries``) installed by ``scenario.build``
+plus simulation-time cohort series on the engine's batch paths.  All of
+them hide behind the same one-attribute ``TELEMETRY.active`` check, so a
+second gate (``scenario_probe_path``) times a full ``run_scenario`` of
+the ``tiny`` preset with telemetry disabled and fails on regression the
+same way.
+
 For context (never gated -- the slowdown is the *point* of the feature,
-only its disabled cost is a bug) the report also times the loop with
-telemetry enabled and prints the enabled/disabled ratio.
+only its disabled cost is a bug) the report also times both workloads
+with telemetry enabled and prints the enabled/disabled ratio.
 
 Usage::
 
@@ -42,6 +50,20 @@ except ImportError:  # pragma: no cover
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 BENCH_NAME = "event_loop_throughput"
+PROBE_BENCH_NAME = "scenario_probe_path"
+
+
+def _scenario_probe_path(scale: float) -> None:
+    """One full scenario build+run -- the path that installs probes.
+
+    With telemetry disabled this must cost exactly one attribute check in
+    ``build()`` plus the already-gated cohort branches; the probe process
+    is never created.
+    """
+    from repro.scenario import get_scenario, run_scenario
+
+    run = run_scenario(get_scenario("tiny"))
+    assert run.results
 
 
 def _event_loop(scale: float) -> None:
@@ -60,22 +82,22 @@ def _event_loop(scale: float) -> None:
     assert env.events_processed >= n
 
 
-def time_loop(rounds: int, scale: float) -> Dict[str, float]:
+def time_loop(rounds: int, scale: float, fn=_event_loop) -> Dict[str, float]:
     for _ in range(3):  # warmup
-        _event_loop(scale)
+        fn(scale)
     times = []
     for _ in range(rounds):
         gc.collect()
         gc.disable()
         start = time.perf_counter()
-        _event_loop(scale)
+        fn(scale)
         times.append(time.perf_counter() - start)
         gc.enable()
     return {"median": statistics.median(times), "min": min(times)}
 
 
-def reference_seconds() -> Optional[float]:
-    """Reference min for the event loop.
+def reference_seconds(name: str = BENCH_NAME) -> Optional[float]:
+    """Reference min for a gated workload.
 
     Prefers the baseline's noise-aware ``reference_min`` (aggregated over
     several harness invocations) over ``BENCH_PR1.json``'s single-run min,
@@ -84,15 +106,15 @@ def reference_seconds() -> Optional[float]:
     if BASELINE_PATH.exists():
         with open(BASELINE_PATH, "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
-        ref = (baseline.get("reference_min") or {}).get(BENCH_NAME)
+        ref = (baseline.get("reference_min") or {}).get(name)
         if ref is not None:
             return ref
     if PR1_REPORT.exists():
         with open(PR1_REPORT, "r", encoding="utf-8") as fh:
             report = json.load(fh)
         mins = report.get("min_seconds") or {}
-        if BENCH_NAME in mins:
-            return mins[BENCH_NAME]
+        if name in mins:
+            return mins[name]
     return None
 
 
@@ -112,34 +134,40 @@ def main(argv=None) -> int:
 
     from repro import telemetry
 
-    if telemetry.enabled():  # the gate measures the *disabled* fast path
-        telemetry.disable()
-    off = time_loop(rounds, scale)
-
-    telemetry.enable()
-    try:
-        on = time_loop(rounds, scale)
-    finally:
-        telemetry.disable()
-        telemetry.reset()
-
-    ratio = on["min"] / off["min"] if off["min"] > 0 else float("inf")
-    print(f"telemetry off : {off['min'] * 1e3:8.3f} ms (min of {rounds})")
-    print(f"telemetry on  : {on['min'] * 1e3:8.3f} ms ({ratio:.2f}x, informational)")
-
     gated = not args.smoke and scale == 1.0
-    ref = reference_seconds() if gated else None
-    if ref is not None:
-        slowdown = off["min"] / ref
-        print(f"PR 1 reference: {ref * 1e3:8.3f} ms -> disabled-path "
-              f"slowdown {slowdown:.2f}x (tolerance {args.tolerance:.0%})")
-        if off["min"] > ref * (1.0 + args.tolerance):
-            print("FAIL: disabled-telemetry event loop regressed beyond "
-                  "tolerance", file=sys.stderr)
-            return 1
-    elif gated:
-        print("no PR 1 reference timing found; gate skipped", file=sys.stderr)
-    return 0
+    failures = 0
+    for name, fn in ((BENCH_NAME, _event_loop),
+                     (PROBE_BENCH_NAME, _scenario_probe_path)):
+        if telemetry.enabled():  # the gate measures the *disabled* fast path
+            telemetry.disable()
+        off = time_loop(rounds, scale, fn)
+
+        telemetry.enable()
+        try:
+            on = time_loop(rounds, scale, fn)
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+
+        ratio = on["min"] / off["min"] if off["min"] > 0 else float("inf")
+        print(f"[{name}]")
+        print(f"  telemetry off : {off['min'] * 1e3:8.3f} ms (min of {rounds})")
+        print(f"  telemetry on  : {on['min'] * 1e3:8.3f} ms "
+              f"({ratio:.2f}x, informational)")
+
+        ref = reference_seconds(name) if gated else None
+        if ref is not None:
+            slowdown = off["min"] / ref
+            print(f"  reference     : {ref * 1e3:8.3f} ms -> disabled-path "
+                  f"slowdown {slowdown:.2f}x (tolerance {args.tolerance:.0%})")
+            if off["min"] > ref * (1.0 + args.tolerance):
+                print(f"FAIL: disabled-telemetry {name} regressed beyond "
+                      "tolerance", file=sys.stderr)
+                failures += 1
+        elif gated:
+            print(f"no reference timing for {name}; gate skipped",
+                  file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -20,9 +20,13 @@ Subcommands::
                                        are cached, a sweep manifest
                                        records per-point provenance)
     repro-io telemetry <file|token>    summarize a trace / manifest /
-                                       metrics / sweep JSON -- a file
-                                       path, or a store token (run id,
-                                       ref, digest, 'latest')
+                                       metrics / timeseries / sweep JSON
+                                       -- a file path, or a store token
+                                       (run id, ref, digest, 'latest')
+    repro-io watch [dir|file]          live monitor for a running sweep:
+                                       per-point progress, cache-hit
+                                       ratio, worker liveness, ETA
+                                       (tails sweep-progress.json)
     repro-io store ls|show|diff|gc|verify|export|migrate|table
                                        inspect the content-addressed run
                                        store (results/store): list runs
@@ -104,7 +108,9 @@ def _cmd_experiment(args) -> int:
     from repro.experiments import ALL_EXPERIMENTS
     from repro.experiments.runner import run_experiments
 
-    want_telemetry = bool(args.trace or args.metrics or args.metrics_json)
+    want_telemetry = bool(
+        args.trace or args.metrics or args.metrics_json or args.series
+    )
     if want_telemetry:
         telemetry.enable()
 
@@ -169,14 +175,23 @@ def _cmd_experiment(args) -> int:
         collector.save(args.json)
         print(f"results written to {args.json}")
     if args.trace:
-        path = telemetry.TELEMETRY.tracer.write_chrome(args.trace)
+        from repro.telemetry.collect import write_merged_chrome
+
+        path = write_merged_chrome(args.trace)
+        n_remote = sum(
+            len(s.get("spans", ())) for s in telemetry.TELEMETRY.remote
+        )
         print(f"telemetry trace written to {path} "
-              f"({len(telemetry.TELEMETRY.tracer)} span(s); load in "
-              f"Perfetto or chrome://tracing)")
+              f"({len(telemetry.TELEMETRY.tracer)} local + {n_remote} worker "
+              f"span(s); load in Perfetto or chrome://tracing)")
     if args.metrics:
         print()
         print("-- self-telemetry metrics " + "-" * 34)
         print(telemetry.TELEMETRY.metrics.render_text())
+    if args.series:
+        print()
+        print("-- simulation-time series " + "-" * 34)
+        print(telemetry.TELEMETRY.series.render_text())
     if args.metrics_json:
         with open(args.metrics_json, "w", encoding="utf-8") as fh:
             fh.write(telemetry.TELEMETRY.metrics.render_json())
@@ -224,7 +239,9 @@ def _cmd_scenario(args) -> int:
             from repro import telemetry
             from repro.scenario import run_scenario
 
-            want_telemetry = bool(args.metrics or args.metrics_json)
+            want_telemetry = bool(
+                args.metrics or args.metrics_json or args.trace or args.series
+            )
             if want_telemetry:
                 telemetry.enable()
             spec = _scenario_spec(args.scenario, args.seed)
@@ -252,14 +269,33 @@ def _cmd_scenario(args) -> int:
                 with open(args.json, "w", encoding="utf-8") as fh:
                     json.dump(run.to_dict(), fh, indent=1)
                 print(f"results written to {args.json}")
+            trace_doc = None
+            if args.trace:
+                from repro.telemetry.collect import (
+                    merged_chrome_trace,
+                    write_merged_chrome,
+                )
+
+                trace_doc = merged_chrome_trace()
+                path = write_merged_chrome(args.trace)
+                pids = trace_doc["otherData"].get("processes", [])
+                print(f"telemetry trace written to {path} "
+                      f"({len(pids)} process track(s); load in Perfetto or "
+                      f"chrome://tracing)")
             if args.metrics:
                 print()
                 print("-- self-telemetry metrics " + "-" * 34)
                 print(telemetry.TELEMETRY.metrics.render_text())
+            if args.series:
+                print()
+                print("-- simulation-time series " + "-" * 34)
+                print(telemetry.TELEMETRY.series.render_text())
             if args.metrics_json:
                 with open(args.metrics_json, "w", encoding="utf-8") as fh:
                     fh.write(telemetry.TELEMETRY.metrics.render_json())
                 print(f"metrics JSON written to {args.metrics_json}")
+            if want_telemetry and not args.no_store:
+                _store_scenario_telemetry(args, spec, trace_doc)
             return 0
 
         # sweep
@@ -323,6 +359,47 @@ def _cmd_scenario(args) -> int:
         return 2
 
 
+def _store_scenario_telemetry(args, spec, trace_doc) -> None:
+    """Land a telemetry-enabled scenario run's trace/metrics/series in the
+    run store, behind ``telemetry/<scenario digest16>-*`` refs.
+
+    The loose ``--trace``/``--metrics-json`` files remain (easy to open in
+    Perfetto), but the store copies are the durable, content-addressed
+    record -- ``repro-io telemetry telemetry/<digest16>-series`` works on
+    any machine holding the store.
+    """
+    import time as _time
+
+    from repro import telemetry
+    from repro.store import RunArtifact, RunStore, StoreError
+
+    if trace_doc is None:
+        from repro.telemetry.collect import merged_chrome_trace
+
+        trace_doc = merged_chrome_trace()
+    d16 = spec.digest()[:16]
+    meta = {"scenario": spec.name, "scenario_digest": spec.digest(),
+            "created": _time.time()}
+    try:
+        store = RunStore(args.store_dir)
+        stored = {}
+        for label, artifact in (
+            ("trace", RunArtifact.from_trace(trace_doc)),
+            ("metrics",
+             RunArtifact.from_metrics(telemetry.TELEMETRY.metrics.to_dict())),
+            ("series",
+             RunArtifact.from_timeseries(telemetry.TELEMETRY.series.to_dict())),
+        ):
+            digest = store.put(artifact)
+            store.set_ref(f"telemetry/{d16}-{label}", digest, meta=meta)
+            stored[label] = digest
+        print("telemetry stored: " + ", ".join(
+            f"{label} {digest[:16]}" for label, digest in stored.items()
+        ) + f"  (refs telemetry/{d16}-*)")
+    except (StoreError, OSError) as exc:
+        log.warning("could not store telemetry artifacts: %s", exc)
+
+
 def _cmd_telemetry(args) -> int:
     """Summarize a telemetry artifact (trace / manifest / metrics / sweep).
 
@@ -332,10 +409,11 @@ def _cmd_telemetry(args) -> int:
     """
     from pathlib import Path
 
-    from repro.scenario.sweep import SWEEP_SCHEMA
+    from repro.scenario.sweep import SWEEP_PROGRESS_SCHEMA, SWEEP_SCHEMA
     from repro.telemetry import (
         MANIFEST_SCHEMA,
         METRICS_SCHEMA,
+        TIMESERIES_SCHEMA,
         cache_hit_ratio,
         validate_chrome_trace,
     )
@@ -375,10 +453,15 @@ def _cmd_telemetry(args) -> int:
         return _summarize_manifest(doc, cache_hit_ratio, top=args.top)
     if isinstance(doc, dict) and doc.get("schema") == METRICS_SCHEMA:
         return _summarize_metrics(doc)
+    if isinstance(doc, dict) and doc.get("schema") == TIMESERIES_SCHEMA:
+        return _summarize_series(doc, top=args.top)
     if isinstance(doc, dict) and doc.get("schema") == SWEEP_SCHEMA:
         return _summarize_sweep(doc, top=args.top)
-    print(f"{args.file}: not a repro trace, manifest, metrics or sweep document",
-          file=sys.stderr)
+    if isinstance(doc, dict) and doc.get("schema") == SWEEP_PROGRESS_SCHEMA:
+        print(_render_sweep_progress(doc))
+        return 0
+    print(f"{args.file}: not a repro trace, manifest, metrics, timeseries "
+          f"or sweep document", file=sys.stderr)
     return 2
 
 
@@ -447,6 +530,108 @@ def _summarize_metrics(doc) -> int:
                   f"mean={m.get('mean', 0.0):.4g}")
         else:
             print(f"  {m['kind']:<9} {name:<36} {m.get('value')}")
+    section = _partition_section(metrics)
+    if section:
+        print(section)
+    return 0
+
+
+def _partition_section(metrics: dict) -> str:
+    """Render the PartitionStats digest of a metrics document (windows,
+    occupancy, cross-partition exchange traffic) -- empty string when the
+    run never used the partitioned executor."""
+    windows = metrics.get("des.partition.windows", {}).get("value", 0)
+    if not windows:
+        return ""
+    events = metrics.get("des.partition.events", {}).get("value", 0)
+    exchanged = metrics.get("des.partition.exchanged", {}).get("value", 0)
+    lines = ["partitioned execution:"]
+    frac = f" ({exchanged / events:.1%} of events)" if events else ""
+    lines.append(
+        f"  windows {windows}  events {events}  "
+        f"cross-partition {exchanged}{frac}"
+    )
+    occ = metrics.get("des.partition.window_occupancy")
+    if occ and occ.get("count"):
+        lines.append(
+            f"  window occupancy: mean {occ.get('mean', 0.0):.2f} "
+            f"partition(s), max {occ.get('max', 0):g}"
+        )
+    per_p = []
+    for name, m in sorted(metrics.items()):
+        if name.startswith("des.partition.p") and name.endswith(".events"):
+            per_p.append(f"{name[len('des.partition.'):-len('.events')]}="
+                         f"{m.get('value', 0)}")
+    if per_p:
+        lines.append("  per-partition events: " + " ".join(per_p))
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def _sparkline(values, width: int = 32) -> str:
+    """Down-sample ``values`` to ``width`` buckets of ASCII intensity."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    out = []
+    n = len(values)
+    for b in range(min(width, n)):
+        chunk = values[b * n // width: max(b * n // width + 1,
+                                           (b + 1) * n // width)]
+        mean = sum(chunk) / len(chunk)
+        idx = int((mean - lo) / span * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def _summarize_series(doc, top: int) -> int:
+    """Per-probe stats table plus busiest-component callouts for a
+    ``repro.telemetry.timeseries/1`` document."""
+    series = doc.get("series", [])
+    total = sum(len(s.get("times", ())) for s in series)
+    print(f"time series: {len(series)} series, {total} point(s)")
+    if not series:
+        return 0
+    rows = []
+    for s in series:
+        values = s.get("values", [])
+        if not values:
+            continue
+        ordered = sorted(values)
+        rank = max(0, min(len(values) - 1, -(-99 * len(values) // 100) - 1))
+        rows.append({
+            "name": s.get("name", "?"),
+            "unit": s.get("unit", ""),
+            "n": len(values),
+            "min": ordered[0],
+            "mean": sum(values) / len(values),
+            "p99": ordered[rank],
+            "max": ordered[-1],
+            "spark": _sparkline(values),
+        })
+    name_w = max(len(r["name"]) for r in rows)
+    shown = rows
+    if len(rows) > top:
+        shown = sorted(rows, key=lambda r: r["mean"], reverse=True)[:top]
+        print(f"(showing top {top} of {len(rows)} by mean; raise --top "
+              f"for more)")
+    print(f"{'series':<{name_w}} {'n':>6} {'min':>9} {'mean':>9} "
+          f"{'p99':>9} {'max':>9}")
+    for r in shown:
+        print(f"{r['name']:<{name_w}} {r['n']:>6} {r['min']:>9.4g} "
+              f"{r['mean']:>9.4g} {r['p99']:>9.4g} {r['max']:>9.4g}  "
+              f"|{r['spark']}| {r['unit']}")
+    for label, prefix in (("busiest OST", "pfs.ost."),
+                          ("busiest OSS", "pfs.oss."),
+                          ("busiest link", "net.")):
+        candidates = [r for r in rows if r["name"].startswith(prefix)]
+        if candidates:
+            best = max(candidates, key=lambda r: r["mean"])
+            print(f"{label}: {best['name']} "
+                  f"(mean {best['mean']:.4g}, p99 {best['p99']:.4g})")
     return 0
 
 
@@ -470,6 +655,106 @@ def _summarize_sweep(doc, top: int) -> int:
             print(f"  {p.get('name', '?'):<56} {p.get('seconds', 0.0):8.3f}s  "
                   f"({origin})")
     return 0
+
+
+def _render_sweep_progress(doc, now: Optional[float] = None) -> str:
+    """Render one frame of the live sweep monitor from a
+    ``repro.scenario.sweep.progress/1`` document."""
+    import time as _time
+
+    now = _time.time() if now is None else now
+    counts = doc.get("counts", {})
+    total = doc.get("total", 0) or 0
+    cached = counts.get("cached", 0)
+    done = counts.get("done", 0)
+    failed = counts.get("failed", 0)
+    pending = counts.get("pending", 0)
+    complete = cached + done + failed
+    jobs = doc.get("jobs", 1) or 1
+
+    width = 40
+    filled = int(width * complete / total) if total else width
+    bar = "#" * filled + "-" * (width - filled)
+    pct = (100.0 * complete / total) if total else 100.0
+
+    lines = [
+        f"sweep {doc.get('sweep', '?')}: {complete}/{total} point(s) "
+        f"[{bar}] {pct:.0f}%",
+        f"  cached {cached}  computed {done}  failed {failed}  "
+        f"pending {pending}  (jobs={jobs})",
+    ]
+    served = cached + done
+    if served:
+        lines.append(f"  cache-hit ratio {cached / served:.0%}")
+    # ETA from the mean wall-time of computed points, spread over the pool.
+    seconds = [
+        p.get("seconds", 0.0)
+        for p in doc.get("points", {}).values()
+        if p.get("status") == "done"
+    ]
+    if pending and seconds:
+        eta = (sum(seconds) / len(seconds)) * pending / jobs
+        lines.append(f"  ETA ~{eta:.0f}s ({len(seconds)} timed point(s), "
+                     f"mean {sum(seconds) / len(seconds):.2f}s)")
+    age = now - doc.get("updated", now)
+    if doc.get("finished"):
+        wall = doc.get("updated", now) - doc.get("started", now)
+        lines.append(f"  finished in {wall:.1f}s")
+    else:
+        liveness = "workers alive" if age < 30 else "STALLED?"
+        lines.append(f"  last update {age:.1f}s ago ({liveness})")
+    slow = sorted(
+        ((name, p) for name, p in doc.get("points", {}).items()
+         if p.get("status") in ("done", "failed")),
+        key=lambda kv: kv[1].get("seconds", 0.0), reverse=True,
+    )
+    for name, p in slow[:3]:
+        mark = " FAILED" if p.get("status") == "failed" else ""
+        lines.append(f"    {name:<52} {p.get('seconds', 0.0):7.2f}s{mark}")
+    return "\n".join(lines)
+
+
+def _cmd_watch(args) -> int:
+    """Live monitor: tail a running sweep's progress ledger."""
+    import time as _time
+    from pathlib import Path
+
+    from repro.scenario.sweep import SWEEP_PROGRESS_NAME, SWEEP_PROGRESS_SCHEMA
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / SWEEP_PROGRESS_NAME
+    waited = 0.0
+    while True:
+        doc = None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            doc = None
+        except ValueError:  # mid-write is impossible (atomic), but be safe
+            doc = None
+        if doc is not None and doc.get("schema") != SWEEP_PROGRESS_SCHEMA:
+            print(f"{path}: not a sweep progress document "
+                  f"(schema={doc.get('schema')!r})", file=sys.stderr)
+            return 2
+        if doc is None:
+            if args.once:
+                print(f"no sweep progress at {path} (start a sweep with "
+                      f"`repro-io scenario sweep ...`)", file=sys.stderr)
+                return 2
+            if waited == 0.0:
+                print(f"waiting for {path} ...")
+        else:
+            print(_render_sweep_progress(doc))
+            if args.once or doc.get("finished"):
+                return 0
+            print()
+        if args.timeout and waited >= args.timeout:
+            print(f"watch timed out after {waited:.0f}s", file=sys.stderr)
+            return 1
+        _time.sleep(args.interval)
+        waited += args.interval
 
 
 def _fmt_when(ts) -> str:
@@ -786,6 +1071,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable self-telemetry and print the metrics table",
     )
     p.add_argument(
+        "--series", action="store_true",
+        help="enable self-telemetry and print the simulation-time series "
+        "table (probe samples)",
+    )
+    p.add_argument(
         "--metrics-json", metavar="OUT.json",
         help="enable self-telemetry and write the metrics registry as JSON",
     )
@@ -835,9 +1125,28 @@ def build_parser() -> argparse.ArgumentParser:
         "sizes, partition window occupancy, ...)",
     )
     sp.add_argument(
+        "--trace", metavar="OUT.json",
+        help="enable self-telemetry and write the merged cross-process "
+        "Chrome trace (one pid track per worker; load in Perfetto)",
+    )
+    sp.add_argument(
+        "--series", action="store_true",
+        help="enable self-telemetry and print the simulation-time series "
+        "table (link/OSS/OST/MDS probes)",
+    )
+    sp.add_argument(
         "--metrics-json", metavar="FILE",
         help="enable self-telemetry and write the metrics registry as JSON "
         "(summarize with `repro-io telemetry FILE`)",
+    )
+    sp.add_argument(
+        "--store-dir", default="results/store",
+        help="run store that archives telemetry artifacts of this run "
+        "(default results/store)",
+    )
+    sp.add_argument(
+        "--no-store", action="store_true",
+        help="keep telemetry outputs as loose files only; skip the store",
     )
     sp.set_defaults(fn=_cmd_scenario)
 
@@ -884,6 +1193,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run store consulted for non-file tokens "
                    "(default results/store)")
     p.set_defaults(fn=_cmd_telemetry)
+
+    p = sub.add_parser(
+        "watch",
+        help="live monitor: tail a running sweep's progress "
+        "(per-point status, cache-hit ratio, ETA)",
+    )
+    p.add_argument(
+        "path", nargs="?", default="results",
+        help="sweep-progress.json path, or the directory holding it "
+        "(default results)",
+    )
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="poll interval in seconds (default 1)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="give up after this many seconds (default: never)")
+    p.set_defaults(fn=_cmd_watch)
 
     p = sub.add_parser(
         "store",

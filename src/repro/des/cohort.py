@@ -88,13 +88,15 @@ def fire_times(now: float, delays) -> List[float]:
     return [now + d for d in delays]
 
 
-def observe_cohort(kind: str, size: int) -> None:
+def observe_cohort(kind: str, size: int, now: Optional[float] = None) -> None:
     """Record a cohort admission in self-telemetry (when enabled).
 
     Feeds the cohort-size histogram surfaced by ``repro-io telemetry``:
     ``des.cohort.size`` tracks the population distribution,
     ``des.cohort.batches`` / ``des.cohort.events`` count how much of the
-    event volume flows through the vectorized path.
+    event volume flows through the vectorized path.  When the call site
+    passes the simulated clock via ``now``, the admission also lands on
+    the ``des.cohort.<kind>`` time series (size over simulated time).
     """
     from repro.telemetry import TELEMETRY
 
@@ -105,6 +107,8 @@ def observe_cohort(kind: str, size: int) -> None:
     m.counter("des.cohort.events").inc(size)
     m.counter(f"des.cohort.{kind}.events").inc(size)
     m.histogram("des.cohort.size").observe(size)
+    if now is not None:
+        TELEMETRY.series.record(f"des.cohort.{kind}", now, size, "events")
 
 
 def fair_share_batch_times(

@@ -149,7 +149,7 @@ class Environment:
             entries.append((times[i], _KEY_NORMAL | seq(), t))
         self._push_entries(entries, n)
         if TELEMETRY.active:
-            observe_cohort("timeout", n)
+            observe_cohort("timeout", n, self._now)
         return events
 
     def schedule_batch(
@@ -179,7 +179,7 @@ class Environment:
         ]
         self._push_entries(entries, len(entries))
         if TELEMETRY.active:
-            observe_cohort("schedule", len(entries))
+            observe_cohort("schedule", len(entries), self._now)
 
     def _push_entries(self, entries: list, n: int) -> None:
         """Bulk heap insertion.

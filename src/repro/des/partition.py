@@ -36,6 +36,7 @@ Backends
 from __future__ import annotations
 
 import heapq
+import logging
 import multiprocessing
 import traceback
 from concurrent.futures import ThreadPoolExecutor
@@ -52,6 +53,12 @@ from repro.des.ross import (
     _degenerate_window_error,
 )
 from repro.telemetry import TELEMETRY
+from repro.telemetry.collect import (
+    init_worker,
+    merge_snapshot,
+    snapshot as telemetry_snapshot,
+    worker_init_args,
+)
 
 _INF = float("inf")
 
@@ -425,10 +432,16 @@ class PartitionedExecutor:
         return self._run_local(until)
 
     def _record_window(
-        self, per_partition: List[Tuple[List[RossEvent], int, int]]
+        self,
+        per_partition: List[Tuple[List[RossEvent], int, int]],
+        now: Optional[float] = None,
     ) -> List[RossEvent]:
         """Fold one window's per-partition results into the stats; return
-        the canonically-sorted cross-partition traffic."""
+        the canonically-sorted cross-partition traffic.
+
+        ``now`` is the window's LBTS (simulated seconds); when telemetry
+        is on it timestamps the occupancy/exchange time series.
+        """
         stats = self.stats
         window_events = sum(n for _, n, _ in per_partition)
         stats.events += window_events
@@ -441,6 +454,11 @@ class PartitionedExecutor:
         for out, _, _ in per_partition:
             remote.extend(out)
         stats.exchanged += len(remote)
+        if TELEMETRY.active and now is not None:
+            series = TELEMETRY.series
+            series.record("des.partition.occupancy", now, occupied, "partitions")
+            series.record("des.partition.window_events", now, window_events, "events")
+            series.record("des.partition.exchanged", now, len(remote), "events")
         return canonical_event_sort(remote)
 
     def _publish_telemetry(self) -> None:
@@ -484,7 +502,7 @@ class PartitionedExecutor:
                     )
                 else:
                     results = [s.run_window(horizon, until) for s in shards]
-                for ev in self._record_window(results):
+                for ev in self._record_window(results, now=lbts):
                     shards[self.plan.assignment[ev.dest]].enqueue(ev)
         finally:
             if pool is not None:
@@ -499,12 +517,14 @@ class PartitionedExecutor:
         conns = []
         procs = []
         try:
+            telemetry_active, log_level = worker_init_args()
             for p in range(self.plan.n_partitions):
                 parent, child = ctx.Pipe()
                 proc = ctx.Process(
                     target=_partition_worker,
                     args=(child, self.kernel_factory, self.factory_args,
-                          self.plan.n_partitions, self.plan.assignment, p),
+                          self.plan.n_partitions, self.plan.assignment, p,
+                          telemetry_active, log_level),
                     daemon=False,
                 )
                 proc.start()
@@ -523,7 +543,7 @@ class PartitionedExecutor:
                 for conn in conns:
                     conn.send(("window", horizon, until))
                 results = [self._recv(conn) for conn in conns]
-                remote = self._record_window(results)
+                remote = self._record_window(results, now=lbts)
                 groups: List[List[RossEvent]] = [
                     [] for _ in range(self.plan.n_partitions)
                 ]
@@ -542,6 +562,7 @@ class PartitionedExecutor:
                 self._traces.update(f["traces"])
                 for method, payload in f["collected"].items():
                     self._collected.setdefault(method, {}).update(payload)
+                merge_snapshot(f.get("telemetry"))
         finally:
             for conn in conns:
                 conn.close()
@@ -603,9 +624,18 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def _partition_worker(conn, factory, factory_args, n_partitions, assignment, partition):
-    """Worker entry point: build the model, keep one partition, serve windows."""
+def _partition_worker(
+    conn, factory, factory_args, n_partitions, assignment, partition,
+    telemetry_active=False, log_level=logging.WARNING,
+):
+    """Worker entry point: build the model, keep one partition, serve windows.
+
+    ``telemetry_active``/``log_level`` mirror the parent's observability
+    state (a ``spawn``-context worker starts from library defaults); the
+    worker's spans/metrics/series ride back on the ``finish`` reply.
+    """
     try:
+        init_worker(telemetry_active, log_level)
         kernel = factory(*factory_args)
         known = frozenset(kernel.lps)
         members = {lp_id for lp_id, p in assignment.items() if p == partition}
@@ -624,7 +654,16 @@ def _partition_worker(conn, factory, factory_args, n_partitions, assignment, par
             msg = conn.recv()
             if msg[0] == "window":
                 _, horizon, until = msg
-                out, n_events, max_per_lp = shard.run_window(horizon, until)
+                if TELEMETRY.active:
+                    with TELEMETRY.tracer.span(
+                        "partition.window", cat="des.partition",
+                        partition=partition,
+                    ):
+                        out, n_events, max_per_lp = shard.run_window(
+                            horizon, until
+                        )
+                else:
+                    out, n_events, max_per_lp = shard.run_window(horizon, until)
                 conn.send((out, n_events, max_per_lp))
             elif msg[0] == "route":
                 for ev in msg[1]:
@@ -642,6 +681,7 @@ def _partition_worker(conn, factory, factory_args, n_partitions, assignment, par
                     "traces": {lp_id: lp.trace
                                for lp_id, lp in shard.lps.items()},
                     "collected": collected,
+                    "telemetry": telemetry_snapshot(),
                 })
                 return
             else:  # pragma: no cover - protocol misuse

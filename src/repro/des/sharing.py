@@ -207,7 +207,7 @@ class FairShareLink:
             active.extend(fresh)
             heapify(active)
         if TELEMETRY.active:
-            observe_cohort("fairshare", len(plain))
+            observe_cohort("fairshare", len(plain), self.env.now)
         self._reschedule()
         return events
 

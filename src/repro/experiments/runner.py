@@ -63,6 +63,12 @@ from repro.core.experiment import (
     record_payload,
 )
 from repro.ioutil import resilient_pool_map
+from repro.telemetry.collect import (
+    init_worker,
+    merge_snapshot,
+    worker_init_args,
+    worker_snapshot,
+)
 from repro.store import RunArtifact, RunStore, StoreError
 from repro.store.store import DEFAULT_STORE_DIR
 from repro.telemetry import TELEMETRY, build_manifest, write_manifest
@@ -123,12 +129,17 @@ def _execute(task: Tuple[str, int]) -> Dict:
     return ALL_EXPERIMENTS[experiment_id](seed=seed).to_dict()
 
 
-def _execute_timed(task: Tuple[str, int]) -> Tuple[Dict, float]:
+def _execute_timed(task: Tuple[str, int]) -> Tuple[Dict, float, Optional[Dict]]:
     """Worker-side wrapper: run one task and time it in the worker, so the
-    manifest's per-task durations are real even under the process pool."""
+    manifest's per-task durations are real even under the process pool.
+
+    The third element is this worker's telemetry snapshot (``None`` when
+    telemetry is off or the wrapper runs in-process), cleared per task so
+    a pooled worker running many tasks reports each one exactly once."""
     start = time.perf_counter()
     payload = _execute(task)
-    return payload, time.perf_counter() - start
+    seconds = time.perf_counter() - start
+    return payload, seconds, worker_snapshot()
 
 
 @dataclass
@@ -298,13 +309,20 @@ def run_experiments(
                     )
         else:
             workers = min(jobs, len(misses))
+            pool_kwargs = dict(
+                initializer=init_worker, initargs=worker_init_args()
+            )
             if tracer is not None:
                 with tracer.span(
                     "pool.map", cat="runner", workers=workers, tasks=len(misses)
                 ):
-                    outcomes = resilient_pool_map(_execute_timed, misses, workers)
+                    outcomes = resilient_pool_map(
+                        _execute_timed, misses, workers, **pool_kwargs
+                    )
             else:
-                outcomes = resilient_pool_map(_execute_timed, misses, workers)
+                outcomes = resilient_pool_map(
+                    _execute_timed, misses, workers, **pool_kwargs
+                )
             for task, (value, error) in zip(misses, outcomes):
                 if error is not None:
                     if fail_fast:
@@ -317,7 +335,8 @@ def run_experiments(
                         error=error,
                     )
                 else:
-                    payload, seconds = value
+                    payload, seconds, worker_snap = value
+                    merge_snapshot(worker_snap)
                     results[task] = RunResult(
                         task[0], task[1],
                         record_from_dict(payload),

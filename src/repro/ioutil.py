@@ -28,7 +28,7 @@ import json
 import logging
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
@@ -137,6 +137,9 @@ def resilient_pool_map(
     workers: int,
     *,
     crash_retries: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+    on_result: Optional[Callable[[int, PoolOutcome], None]] = None,
 ) -> List[PoolOutcome]:
     """Map ``fn`` over ``items`` on a process pool, surviving worker death.
 
@@ -147,14 +150,35 @@ def resilient_pool_map(
     those tasks are retried up to ``crash_retries`` times in a fresh pool
     -- distinguishing one transient kill from a task that reliably crashes
     its worker -- before being recorded as failures.
+
+    ``initializer``/``initargs`` run in every worker process, including
+    the isolated retry pools (the telemetry layer uses this to propagate
+    the parent's log level and telemetry on/off state).  ``on_result`` is
+    a progress hook called in the parent as ``on_result(i, outcome)``
+    once per item, in pool-completion order -- retried tasks report only
+    their final outcome.  Hook exceptions are logged, never raised.
     """
     results: List[Optional[PoolOutcome]] = [None] * len(items)
     crashed: List[int] = []
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        futures = [(i, pool.submit(fn, items[i])) for i in range(len(items))]
-        for i, future in futures:
+
+    def report(i: int, outcome: PoolOutcome) -> None:
+        results[i] = outcome
+        if on_result is not None:
             try:
-                results[i] = (future.result(), None)
+                on_result(i, outcome)
+            except Exception:  # pragma: no cover - progress must not kill work
+                log.exception("on_result hook failed for task %d", i)
+
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(items)),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        by_future = {pool.submit(fn, items[i]): i for i in range(len(items))}
+        for future in as_completed(by_future):
+            i = by_future[future]
+            try:
+                report(i, (future.result(), None))
             except BrokenProcessPool as exc:
                 crashed.append(i)
                 results[i] = (
@@ -163,7 +187,7 @@ def resilient_pool_map(
                 )
             except Exception as exc:
                 log.debug("pool task %d failed", i, exc_info=exc)
-                results[i] = (None, _describe_exception(exc))
+                report(i, (None, _describe_exception(exc)))
 
     # Retry the tasks that were in flight when the pool broke, each in its
     # own single-worker pool: one task that deterministically kills its
@@ -178,9 +202,11 @@ def resilient_pool_map(
         )
         still_crashing: List[int] = []
         for i in crashed:
-            with ProcessPoolExecutor(max_workers=1) as pool:
+            with ProcessPoolExecutor(
+                max_workers=1, initializer=initializer, initargs=initargs
+            ) as pool:
                 try:
-                    results[i] = (pool.submit(fn, items[i]).result(), None)
+                    report(i, (pool.submit(fn, items[i]).result(), None))
                 except BrokenProcessPool as exc:
                     still_crashing.append(i)
                     results[i] = (
@@ -189,11 +215,13 @@ def resilient_pool_map(
                     )
                 except Exception as exc:
                     log.debug("pool task %d failed", i, exc_info=exc)
-                    results[i] = (None, _describe_exception(exc))
+                    report(i, (None, _describe_exception(exc)))
         crashed = still_crashing
     if crashed:
         log.warning(
             "%d task(s) still crashing their worker after %d isolated "
             "retry(ies); recording as failed", len(crashed), crash_retries,
         )
+        for i in crashed:
+            report(i, results[i])  # final outcome for the progress hook
     return [r if r is not None else (None, "task never ran") for r in results]

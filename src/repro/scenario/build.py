@@ -24,6 +24,7 @@ from repro.ops import IORecord
 from repro.pfs.filesystem import ParallelFileSystem
 from repro.scenario.spec import STACK_ENGINES, ScenarioError, ScenarioSpec
 from repro.simulate.execsim import ExperimentHarness
+from repro.telemetry import TELEMETRY, install_standard_probes
 from repro.workloads.base import Workload, WorkloadResult
 
 log = logging.getLogger(__name__)
@@ -52,13 +53,20 @@ def build(spec: ScenarioSpec) -> ExperimentHarness:
         injector = FaultInjector(platform, pfs, spec.faults).arm()
     if log.isEnabledFor(logging.DEBUG):  # describe() formats eagerly
         log.debug("built scenario %r: %s", spec.name, spec.describe())
-    return ExperimentHarness(
+    harness = ExperimentHarness(
         platform=platform,
         pfs=pfs,
         stack_defaults=spec.stack.kwargs(),
         scenario=spec,
         fault_injector=injector,
     )
+    if TELEMETRY.active:
+        # Periodic DES-timeline samplers (link/OSS/OST/MDS state) -- the
+        # simulated-stack analogue of server-side monitoring.  Installed
+        # only under telemetry so disabled runs schedule zero extra events
+        # and seed-0 outputs stay byte-identical.
+        install_standard_probes(harness)
+    return harness
 
 
 def instantiate_workloads(spec: ScenarioSpec):

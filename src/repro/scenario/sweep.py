@@ -39,7 +39,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cluster.platform import PlatformSpec
-from repro.ioutil import resilient_pool_map
+from repro.ioutil import atomic_write_json, resilient_pool_map
+from repro.telemetry.collect import (
+    init_worker,
+    merge_snapshot,
+    worker_init_args,
+    worker_snapshot,
+)
 from repro.scenario.spec import (
     ScenarioError,
     ScenarioSpec,
@@ -54,6 +60,8 @@ log = logging.getLogger(__name__)
 
 SWEEP_SCHEMA = "repro.scenario.sweep/1"
 SWEEP_MANIFEST_NAME = "sweep-manifest.json"
+SWEEP_PROGRESS_NAME = "sweep-progress.json"
+SWEEP_PROGRESS_SCHEMA = "repro.scenario.sweep.progress/1"
 
 #: Sweep results live in the same store as the experiment runner's.
 DEFAULT_CACHE_DIR = DEFAULT_STORE_DIR
@@ -254,14 +262,72 @@ def _execute_point(scenario_json: str) -> Dict[str, Any]:
 
 
 def _execute_point_timed(scenario_json: str):
+    """Task wrapper: time the point and, in a pool worker, snapshot the
+    worker's telemetry (cleared per point, so a pooled worker serving
+    many points reports each exactly once; ``None`` in-process, where
+    telemetry already lands in the parent registries)."""
     start = time.perf_counter()
     outcome = _execute_point(scenario_json)
-    return outcome, time.perf_counter() - start
+    seconds = time.perf_counter() - start
+    return outcome, seconds, worker_snapshot()
 
 
 def point_ref_name(scenario_digest: str, source_digest: str) -> str:
     """Store ref key for one cached (scenario, source digest) point."""
     return f"sweep/{scenario_digest[:16]}-{source_digest[:16]}"
+
+
+class _SweepProgress:
+    """Live progress ledger for one running sweep.
+
+    Atomically rewrites ``sweep-progress.json`` next to the sweep
+    manifest at start, after every point completion, and at finish, so
+    ``repro-io watch`` can tail a consistent document while the pool is
+    still working (readers never see a partial file --
+    :func:`repro.ioutil.atomic_write_json`).
+    """
+
+    def __init__(self, path: Path, base_name: str, points, jobs: int):
+        self.path = path
+        self.started = time.time()
+        self.jobs = jobs
+        self.base_name = base_name
+        self.points: Dict[str, Dict[str, Any]] = {
+            p.name: {"status": "pending"} for p in points
+        }
+
+    def mark_cached(self, name: str) -> None:
+        self.points[name] = {"status": "cached", "seconds": 0.0}
+
+    def mark_done(self, name: str, seconds: float, error: Optional[str]) -> None:
+        entry: Dict[str, Any] = {
+            "status": "failed" if error is not None else "done",
+            "seconds": seconds,
+        }
+        if error is not None:
+            entry["error"] = error
+        self.points[name] = entry
+        self.write()
+
+    def write(self, finished: bool = False) -> None:
+        counts = {"pending": 0, "cached": 0, "done": 0, "failed": 0}
+        for entry in self.points.values():
+            counts[entry["status"]] += 1
+        doc = {
+            "schema": SWEEP_PROGRESS_SCHEMA,
+            "sweep": self.base_name,
+            "started": self.started,
+            "updated": time.time(),
+            "finished": finished,
+            "jobs": self.jobs,
+            "total": len(self.points),
+            "counts": counts,
+            "points": self.points,
+        }
+        try:
+            atomic_write_json(doc, self.path)
+        except OSError as exc:  # pragma: no cover - progress is best-effort
+            log.warning("could not write sweep progress %s: %s", self.path, exc)
 
 
 def _cache_load(
@@ -366,8 +432,20 @@ def run_sweep(
     wall_start = time.perf_counter()
     src_digest = compute_source_digest()
 
+    manifest_out = (
+        Path(manifest_path) if manifest_path is not None
+        else cache_dir.parent / SWEEP_MANIFEST_NAME
+    )
+
     results: Dict[int, SweepResult] = {}
     misses: List[int] = []
+    progress = (
+        _SweepProgress(
+            manifest_out.with_name(SWEEP_PROGRESS_NAME), base.name, points, jobs
+        )
+        if manifest
+        else None
+    )
     for i, point in enumerate(points):
         outcome = (
             _cache_load(store, point.scenario.digest(), src_digest)
@@ -376,8 +454,12 @@ def run_sweep(
         )
         if outcome is not None:
             results[i] = SweepResult(point, outcome, cached=True, seconds=0.0)
+            if progress is not None:
+                progress.mark_cached(point.name)
         else:
             misses.append(i)
+    if progress is not None:
+        progress.write()
     log.info(
         "sweep %s: %d point(s), %d cached, %d to run (jobs=%d)",
         base.name, len(points), len(points) - len(misses), len(misses), jobs,
@@ -387,26 +469,48 @@ def run_sweep(
         payloads = [points[i].scenario.canonical_json() for i in misses]
         if jobs == 1 or len(misses) == 1:
             outcomes = []
-            for p in payloads:
+            for k, p in enumerate(payloads):
                 start = time.perf_counter()
                 try:
-                    outcomes.append((_execute_point_timed(p), None))
+                    value = _execute_point_timed(p)
+                    # In-process the wrapper returns (outcome, seconds):
+                    # telemetry already lives in the parent registries.
+                    if len(value) == 2:  # pragma: no cover - monkeypatched
+                        value = (*value, None)
+                    outcomes.append((value, None))
                 except Exception as exc:
                     if fail_fast:
                         raise
                     outcomes.append(
-                        ((None, time.perf_counter() - start),
+                        ((None, time.perf_counter() - start, None),
                          f"{type(exc).__name__}: {exc}")
                     )
+                if progress is not None:
+                    value, error = outcomes[-1]
+                    progress.mark_done(points[misses[k]].name, value[1], error)
         else:
+
+            def on_point_done(k: int, pool_outcome) -> None:
+                if progress is None:
+                    return
+                value, error = pool_outcome
+                seconds = value[1] if value is not None else 0.0
+                progress.mark_done(points[misses[k]].name, seconds, error)
+
             outcomes = resilient_pool_map(
-                _execute_point_timed, payloads, min(jobs, len(misses))
+                _execute_point_timed,
+                payloads,
+                min(jobs, len(misses)),
+                initializer=init_worker,
+                initargs=worker_init_args(),
+                on_result=on_point_done,
             )
             outcomes = [
-                (value if value is not None else (None, 0.0), error)
+                (value if value is not None else (None, 0.0, None), error)
                 for value, error in outcomes
             ]
-        for i, ((outcome, seconds), error) in zip(misses, outcomes):
+        for i, ((outcome, seconds, worker_snap), error) in zip(misses, outcomes):
+            merge_snapshot(worker_snap)
             if error is not None:
                 if fail_fast:
                     raise RuntimeError(
@@ -426,10 +530,7 @@ def run_sweep(
     ordered = [results[i] for i in range(len(points))]
 
     if manifest:
-        out_path = (
-            Path(manifest_path) if manifest_path is not None
-            else cache_dir.parent / SWEEP_MANIFEST_NAME
-        )
+        out_path = manifest_out
         host = host_reference(store) if use_cache else host_metadata()
         doc = {
             "schema": SWEEP_SCHEMA,
@@ -470,6 +571,8 @@ def run_sweep(
             store.add_run(
                 "sweep", manifest_digest, artifacts, created=doc["created"]
             )
+    if progress is not None:
+        progress.write(finished=True)
 
     return ordered
 

@@ -348,7 +348,7 @@ class IslandLP(LogicalProcess):
         )
         done = jitter_finish_times(finish, layout.jitter[k][w])
         end = cohort_max(done)
-        observe_cohort("island_round", n)
+        observe_cohort("island_round", n, end)
         self.round_ends.append(end)
         self.bytes += int(layout.nbytes[k][w]) * n
         self.clock = end

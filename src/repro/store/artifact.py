@@ -33,6 +33,7 @@ KINDS: Dict[str, str] = {
     "sweep_point": "one sweep point's ScenarioRun outcome",
     "trace": "Chrome trace-event document (self-telemetry spans)",
     "metrics": "metrics-registry snapshot",
+    "timeseries": "simulation-clock time-series snapshot (probe samples)",
     "host": "host/interpreter metadata",
     "bench": "benchmark report or baseline",
 }
@@ -126,6 +127,11 @@ class RunArtifact:
         return cls(kind="metrics", payload=doc)
 
     @classmethod
+    def from_timeseries(cls, doc: Mapping[str, Any]) -> "RunArtifact":
+        """Wrap a :meth:`SeriesRegistry.to_dict` document."""
+        return cls(kind="timeseries", payload=doc)
+
+    @classmethod
     def from_host(cls, meta: Mapping[str, str]) -> "RunArtifact":
         return cls(kind="host", payload=meta)
 
@@ -160,6 +166,10 @@ class RunArtifact:
             return f"trace: {len(p.get('traceEvents', ()))} event(s)"
         if self.kind == "metrics":
             return f"metrics: {len(p.get('metrics', {}))} metric(s)"
+        if self.kind == "timeseries":
+            series = p.get("series", ())
+            points = sum(len(s.get("times", ())) for s in series)
+            return f"timeseries: {len(series)} series, {points} point(s)"
         if self.kind == "host":
             return f"host: {p.get('host', '?')} python {p.get('python', '?')}"
         if self.kind == "bench":

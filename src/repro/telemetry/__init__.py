@@ -47,17 +47,29 @@ from repro.telemetry.tracing import (
     TRACE_SCHEMA,
     validate_chrome_trace,
 )
+from repro.telemetry.timeseries import (
+    SeriesRegistry,
+    TimeSeries,
+    TIMESERIES_SCHEMA,
+    attach_probe,
+    install_standard_probes,
+)
 
 
 class TelemetryState:
     """Process-global telemetry switchboard (one instance: ``TELEMETRY``)."""
 
-    __slots__ = ("active", "tracer", "metrics")
+    __slots__ = ("active", "tracer", "metrics", "series", "remote")
 
     def __init__(self):
         self.active = False
         self.tracer = SpanTracer()
         self.metrics = MetricsRegistry()
+        #: Simulation-clock time series (:mod:`repro.telemetry.timeseries`).
+        self.series = SeriesRegistry()
+        #: Span snapshots collected from worker processes
+        #: (:func:`repro.telemetry.collect.merge_snapshot` appends here).
+        self.remote: list = []
 
 
 #: The singleton hot paths test.  Import the *object* (not the module) so
@@ -83,9 +95,12 @@ def disable() -> TelemetryState:
 
 
 def reset() -> TelemetryState:
-    """Drop all collected spans and metrics (the enable state is kept)."""
+    """Drop all collected spans, metrics, series and remote snapshots
+    (the enable state is kept)."""
     TELEMETRY.tracer = SpanTracer()
     TELEMETRY.metrics = MetricsRegistry()
+    TELEMETRY.series = SeriesRegistry()
+    TELEMETRY.remote = []
     return TELEMETRY
 
 
@@ -133,6 +148,11 @@ __all__ = [
     "SpanTracer",
     "TRACE_SCHEMA",
     "validate_chrome_trace",
+    "SeriesRegistry",
+    "TimeSeries",
+    "TIMESERIES_SCHEMA",
+    "attach_probe",
+    "install_standard_probes",
     "MANIFEST_SCHEMA",
     "build_manifest",
     "cache_hit_ratio",

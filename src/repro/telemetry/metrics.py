@@ -208,6 +208,41 @@ class MetricsRegistry:
     def clear(self) -> None:
         self._metrics.clear()
 
+    # -- cross-process aggregation ------------------------------------------
+    def merge(self, doc: Dict[str, Any]) -> None:
+        """Fold a ``to_dict()`` document (usually from a worker process)
+        into this registry.
+
+        The fold is commutative -- counters add, gauges keep the max
+        (every gauge in the codebase is a high-water mark), histograms
+        add bucket-wise and combine min/max -- so merging worker
+        snapshots in pool-completion order yields the same registry no
+        matter which worker finished first.
+        """
+        for name, entry in (doc.get("metrics") or {}).items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry.get("value", 0))
+            elif kind == "gauge":
+                self.gauge(name).update_max(entry.get("value", 0))
+            elif kind == "histogram":
+                h = self.histogram(name)
+                h.count += entry.get("count", 0)
+                h.total += entry.get("total", 0.0)
+                h.zero_count += entry.get("zero_count", 0)
+                for key, n in (entry.get("buckets") or {}).items():
+                    e = int(key)
+                    h.buckets[e] = h.buckets.get(e, 0) + n
+                for src, better in (("min", min), ("max", max)):
+                    v = entry.get(src)
+                    if v is None:
+                        continue
+                    attr = "vmin" if src == "min" else "vmax"
+                    cur = getattr(h, attr)
+                    setattr(h, attr, v if cur is None else better(cur, v))
+            else:
+                raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+
     # -- renderers ----------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -76,8 +76,11 @@ def test_store_seeds_baseline_and_records_report(harness, tmp_path):
     assert rc == 0
     store = RunStore(store_dir)
     baseline = store.get_ref(harness.BASELINE_REF)
-    assert set(store.get(baseline["digest"]).payload["reference_min"]) == \
-        set(harness.BENCHMARKS)
+    # BENCH_BASELINE.json also carries reference timings for other gates
+    # (telemetry_overhead.py's scenario_probe_path), so the kernel set is
+    # a subset of the stored keys, not an exact match.
+    assert set(harness.BENCHMARKS) <= \
+        set(store.get(baseline["digest"]).payload["reference_min"])
     latest = store.get_ref(harness.REPORT_REF)
     assert store.get(latest["digest"]).payload["smoke"] is True
     # Second run: the baseline is read from the store (same ref, same
@@ -93,8 +96,12 @@ def test_committed_baseline_matches_benchmark_set(harness):
     baseline = json.loads(
         (SCRIPT.parent / "BENCH_BASELINE.json").read_text()
     )
-    for key in ("seed", "reference", "reference_min"):
-        assert set(baseline[key]) == set(harness.BENCHMARKS), key
+    # 'seed' predates the extra gates that share this file, so it is the
+    # kernel set exactly; 'reference'/'reference_min' also carry keys for
+    # telemetry_overhead.py's scenario_probe_path gate.
+    assert set(baseline["seed"]) == set(harness.BENCHMARKS)
+    for key in ("reference", "reference_min"):
+        assert set(harness.BENCHMARKS) <= set(baseline[key]), key
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""``repro-io scenario run`` telemetry surface: merged trace export,
+``--series`` table, store artifacts with refs, and the partition section
+of the metrics summary."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.store import RunStore
+from repro.telemetry import validate_chrome_trace
+from repro.telemetry.timeseries import TIMESERIES_SCHEMA
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture
+def run_artifacts(tmp_path, capsys):
+    """One instrumented scenario run with trace/series/metrics stored."""
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    store_dir = tmp_path / "store"
+    code, out, _ = run_cli(
+        capsys, "scenario", "run", "tiny",
+        "--trace", str(trace), "--series",
+        "--metrics-json", str(metrics),
+        "--store-dir", str(store_dir),
+    )
+    assert code == 0
+    return {"trace": trace, "metrics": metrics, "store": store_dir, "out": out}
+
+
+class TestScenarioRunTelemetry:
+    def test_merged_trace_written_and_valid(self, run_artifacts):
+        with open(run_artifacts["trace"], "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["merged"] is True
+        # Simulation-time probe series ride counter tracks.
+        counters = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert any(n.startswith("pfs.oss.") for n in counters)
+
+    def test_series_table_printed(self, run_artifacts):
+        out = run_artifacts["out"]
+        assert "simulation-time series" in out
+        assert "pfs.oss." in out
+        assert "net.storage.core.util" in out
+
+    def test_artifacts_stored_with_refs(self, run_artifacts):
+        store = RunStore(run_artifacts["store"])
+        refs = dict(store.refs("telemetry/*"))
+        labels = {name.rsplit("-", 1)[1] for name in refs}
+        assert labels == {"trace", "metrics", "series"}
+        for name in refs:
+            art = store.get(store.resolve(name))
+            if name.endswith("-series"):
+                assert art.kind == "timeseries"
+                assert art.payload["schema"] == TIMESERIES_SCHEMA
+                assert art.payload["series"]
+        assert "telemetry stored:" in run_artifacts["out"]
+
+    def test_no_store_skips_artifacts(self, tmp_path, capsys):
+        code, out, _ = run_cli(
+            capsys, "scenario", "run", "tiny", "--series", "--no-store",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "telemetry stored" not in out
+        assert not (tmp_path / "store").exists()
+
+    def test_plain_run_produces_no_telemetry(self, tmp_path, capsys):
+        code, out, _ = run_cli(
+            capsys, "scenario", "run", "tiny",
+            "--store-dir", str(tmp_path / "store"),
+        )
+        assert code == 0
+        assert "telemetry" not in out
+        assert not (tmp_path / "store").exists()
+
+
+class TestPartitionSection:
+    def test_partitioned_metrics_summary(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code, out, _ = run_cli(
+            capsys, "scenario", "run", "scale-tiny",
+            "--engine", "partitioned", "--engine-workers", "2",
+            "--metrics-json", str(metrics), "--no-store",
+        )
+        assert code == 0
+        code, out, _ = run_cli(capsys, "telemetry", str(metrics))
+        assert code == 0
+        assert "partitioned execution:" in out
+        assert "windows" in out
+        assert "cross-partition" in out
+        assert "occupancy" in out
+
+    def test_unpartitioned_metrics_no_section(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code, _, _ = run_cli(
+            capsys, "scenario", "run", "tiny",
+            "--metrics-json", str(metrics), "--no-store",
+        )
+        assert code == 0
+        code, out, _ = run_cli(capsys, "telemetry", str(metrics))
+        assert code == 0
+        assert "partitioned execution:" not in out

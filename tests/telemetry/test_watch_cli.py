@@ -1,0 +1,133 @@
+"""Sweep progress ledger, ``repro-io watch``, and the series/sweep
+summarizers of ``repro-io telemetry``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.platform import tiny_spec
+from repro.scenario import ScenarioSpec, WorkloadSpec, run_sweep
+from repro.scenario.sweep import SWEEP_PROGRESS_NAME, SWEEP_PROGRESS_SCHEMA
+
+KiB = 1024
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _base():
+    return ScenarioSpec(
+        name="watchtest",
+        platform=tiny_spec(),
+        workloads=(
+            WorkloadSpec("ior", 2, {"block_size": 128 * KiB,
+                                    "transfer_size": 64 * KiB}),
+        ),
+        seed=0,
+    )
+
+
+@pytest.fixture
+def swept(tmp_path):
+    """One finished two-point sweep with its progress ledger."""
+    manifest = tmp_path / "sweep-manifest.json"
+    results = run_sweep(
+        _base(), {"n_oss": [1, 2]},
+        cache_dir=tmp_path / "store", manifest_path=manifest,
+    )
+    assert len(results) == 2
+    return tmp_path
+
+
+class TestProgressLedger:
+    def test_written_next_to_manifest(self, swept):
+        doc = json.loads((swept / SWEEP_PROGRESS_NAME).read_text())
+        assert doc["schema"] == SWEEP_PROGRESS_SCHEMA
+        assert doc["finished"] is True
+        assert doc["total"] == 2
+        assert doc["counts"]["done"] + doc["counts"]["cached"] == 2
+        assert doc["counts"]["pending"] == doc["counts"]["failed"] == 0
+        for point in doc["points"].values():
+            assert point["status"] in ("done", "cached")
+
+    def test_cached_rerun_counts_hits(self, swept):
+        run_sweep(
+            _base(), {"n_oss": [1, 2]},
+            cache_dir=swept / "store",
+            manifest_path=swept / "sweep-manifest.json",
+        )
+        doc = json.loads((swept / SWEEP_PROGRESS_NAME).read_text())
+        assert doc["counts"]["cached"] == 2
+        assert doc["finished"] is True
+
+    def test_no_manifest_no_ledger(self, tmp_path):
+        run_sweep(
+            _base(), {"n_oss": [1]},
+            cache_dir=tmp_path / "store", manifest=False,
+        )
+        assert not (tmp_path / SWEEP_PROGRESS_NAME).exists()
+
+
+class TestWatchCommand:
+    def test_watch_once_renders_finished_sweep(self, swept, capsys):
+        code, out, _ = run_cli(capsys, "watch", str(swept), "--once")
+        assert code == 0
+        assert "2/2 point(s)" in out
+        assert "100%" in out
+        assert "finished" in out
+
+    def test_watch_accepts_file_path(self, swept, capsys):
+        code, out, _ = run_cli(
+            capsys, "watch", str(swept / SWEEP_PROGRESS_NAME), "--once")
+        assert code == 0
+        assert "watchtest" in out
+
+    def test_watch_once_missing_file(self, tmp_path, capsys):
+        code, _, err = run_cli(capsys, "watch", str(tmp_path), "--once")
+        assert code == 2
+        assert "no sweep progress" in err
+
+    def test_watch_rejects_other_documents(self, tmp_path, capsys):
+        p = tmp_path / SWEEP_PROGRESS_NAME
+        p.write_text('{"schema": "something/else"}')
+        code, _, err = run_cli(capsys, "watch", str(p), "--once")
+        assert code == 2
+
+    def test_watch_timeout_on_unfinished(self, swept, capsys):
+        doc = json.loads((swept / SWEEP_PROGRESS_NAME).read_text())
+        doc["finished"] = False
+        doc["counts"]["pending"] = 1
+        (swept / SWEEP_PROGRESS_NAME).write_text(json.dumps(doc))
+        code, out, _ = run_cli(
+            capsys, "watch", str(swept), "--timeout", "0.05",
+            "--interval", "0.01",
+        )
+        assert code == 1
+
+
+class TestTelemetrySummarizers:
+    def test_telemetry_renders_sweep_progress(self, swept, capsys):
+        code, out, _ = run_cli(
+            capsys, "telemetry", str(swept / SWEEP_PROGRESS_NAME))
+        assert code == 0
+        assert "watchtest" in out and "point(s)" in out
+
+    def test_telemetry_renders_timeseries(self, tmp_path, capsys):
+        from repro.telemetry.timeseries import SeriesRegistry
+
+        reg = SeriesRegistry()
+        for i in range(50):
+            reg.record("pfs.ost.0.queue", i * 0.01, float(i % 7), "reqs")
+            reg.record("net.storage.core.util", i * 0.01, 0.5, "frac")
+        p = tmp_path / "series.json"
+        p.write_text(json.dumps(reg.to_dict()))
+        code, out, _ = run_cli(capsys, "telemetry", str(p))
+        assert code == 0
+        assert "pfs.ost.0.queue" in out
+        assert "busiest OST" in out
+        assert "busiest link" in out
+        assert "mean" in out and "p99" in out
