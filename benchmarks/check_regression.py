@@ -26,7 +26,17 @@ produce bit-identical result digests, sweeps rank counts for the
 parallel-vs-sequential crossover, writes ``BENCH_PR6.json``, and gates
 against ``benchmarks/BENCH_SCALE_BASELINE.json``.  At full scale the gate
 additionally requires the partitioned-thread arm to beat the sequential
-fast path by at least ``SCALE_MIN_SPEEDUP``x.  ``--tier all`` runs both.
+fast path by at least ``SCALE_MIN_SPEEDUP``x.
+
+``--tier service`` boots an in-process run service (:mod:`repro.service`)
+on an ephemeral port, populates the store with one cold submission, then
+drives a 1000-tenant warm storm and a 64-tenant dedup storm through the
+multi-tenant load generator.  It writes ``BENCH_PR8.json`` and gates on
+the service's own guarantees -- warm storm at a 100% store-hit ratio with
+zero failed requests, the dedup storm computing *exactly once*, a clean
+``store verify`` -- plus p50/p99 latency against
+``benchmarks/BENCH_SERVICE_BASELINE.json``.  ``--tier all`` runs all
+three tiers.
 
 Usage::
 
@@ -56,6 +66,10 @@ BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_BASELINE.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_PR1.json"
 SCALE_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_SCALE_BASELINE.json"
 SCALE_OUTPUT_PATH = REPO_ROOT / "BENCH_PR6.json"
+SERVICE_BASELINE_PATH = (
+    Path(__file__).resolve().parent / "BENCH_SERVICE_BASELINE.json"
+)
+SERVICE_OUTPUT_PATH = REPO_ROOT / "BENCH_PR8.json"
 
 try:  # allow running without PYTHONPATH=src, but never shadow an
     import repro  # noqa: F401  # already-importable repro (e.g. a worktree)
@@ -295,6 +309,163 @@ def run_crossover_sweep(scale: float, full_arms: Dict[str, Dict]) -> Dict:
         "crossover_ranks_thread": first_win("partitioned_thread"),
         "crossover_ranks_process": first_win("partitioned_process"),
     }
+
+
+# -- service tier (multi-tenant run service) ---------------------------------
+
+#: Headline load: 1000 tenants hammering the warm path over 8 sockets.
+SERVICE_TENANTS = 1_000
+SERVICE_CONNECTIONS = 8
+SERVICE_WORKERS = 2
+#: Concurrent identical submissions in the dedup storm (must compute once).
+SERVICE_DEDUP_TENANTS = 64
+#: Pinned source digest for bench runs: cache keys must not depend on the
+#: working tree, or a dirty checkout would silently turn the warm storm
+#: into a cold one and gate on compute latency instead of service latency.
+SERVICE_SOURCE_DIGEST = "bench" + "0" * 59
+
+
+def run_service_bench(
+    tenants: int, connections: int, workers: int = SERVICE_WORKERS
+):
+    """Boot an in-process service and drive the three load phases.
+
+    Returns ``(cold, warm, dedup, verify_problems)`` where the first
+    three are :func:`repro.service.loadgen.run_load` reports and the
+    last is the result of ``store.verify()`` after all load.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.service import RunService, ServiceConfig
+    from repro.service.loadgen import run_load
+
+    async def drive():
+        with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+            service = RunService(ServiceConfig(
+                store_dir=Path(tmp) / "store",
+                workers=workers,
+                queue_limit=max(4096, tenants),
+                tenant_quota=max(64, tenants),
+                source_digest=SERVICE_SOURCE_DIGEST,
+            ))
+            host, port = await service.start()
+            try:
+                # Phase 1 (cold): one tenant populates the store.
+                cold = await run_load(
+                    host, port, tenants=1, connections=1, scenario="tiny",
+                )
+                # Phase 2 (warm storm): every tenant submits the now-cached
+                # scenario; the service must answer all of it from the store.
+                warm = await run_load(
+                    host, port, tenants=tenants, connections=connections,
+                    scenario="tiny",
+                )
+                # Phase 3 (dedup storm): concurrent identical *fresh*
+                # submissions (a seed nobody has computed) must coalesce
+                # onto exactly one computation.
+                dedup = await run_load(
+                    host, port,
+                    tenants=min(SERVICE_DEDUP_TENANTS, tenants),
+                    connections=connections,
+                    scenario="tiny", seed=990_001,
+                )
+                verify = service.store.verify()
+            finally:
+                await service.stop()
+            return cold, warm, dedup, verify
+
+    return asyncio.run(drive())
+
+
+def _service_main(args, rounds: int, scale: float) -> int:
+    tenants = max(2, int(SERVICE_TENANTS * scale))
+    connections = min(SERVICE_CONNECTIONS, tenants)
+
+    baseline = {}
+    if args.service_baseline.exists():
+        with open(args.service_baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    cold, warm, dedup, verify = run_service_bench(tenants, connections)
+
+    latency_ms = {k: v * 1e3 for k, v in warm["latency"].items()}
+    gated = not args.smoke and scale == 1.0
+
+    # Correctness gates hold at every scale: a service that recomputes
+    # cached work or loses requests is wrong, not slow.
+    gate_failures = []
+    if verify:
+        gate_failures.append(
+            f"store verify found {len(verify)} problem(s) after load"
+        )
+    for phase_name, phase in (("cold", cold), ("warm", warm),
+                              ("dedup", dedup)):
+        if phase["requests_failed"]:
+            gate_failures.append(
+                f"{phase_name} phase: {phase['requests_failed']} of "
+                f"{phase['requests']} request(s) failed"
+            )
+    if warm["hit_ratio"] != 1.0:
+        ratio = warm["hit_ratio"]
+        gate_failures.append(
+            f"warm storm hit ratio {ratio:.1%}, expected 100%"
+        )
+    computed = dedup["server_delta"].get("computed", 0)
+    if computed != 1:
+        gate_failures.append(
+            f"dedup storm ran {computed} computation(s), expected exactly 1"
+        )
+    regressions = compare(
+        {"p50_ms": latency_ms["p50"], "p99_ms": latency_ms["p99"]},
+        baseline.get("reference_ms"), args.service_tolerance,
+    ) if gated else {}
+
+    report = {
+        "tier": "service",
+        "scale": scale,
+        "smoke": args.smoke,
+        "tenants": tenants,
+        "connections": connections,
+        "workers": SERVICE_WORKERS,
+        "cold": cold,
+        "warm": warm,
+        "dedup": dedup,
+        "latency_ms": latency_ms,
+        "throughput_rps": warm["throughput_rps"],
+        "hit_ratio": warm["hit_ratio"],
+        "store_verify_problems": len(verify),
+        "baseline_reference_ms": baseline.get("reference_ms"),
+        "tolerance": args.service_tolerance,
+        "regressions": regressions,
+        "gate_failures": gate_failures,
+        "ok": not regressions and not gate_failures,
+    }
+    args.service_output.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.service_output, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+
+    print(f"service tier: {tenants} tenant(s) over {connections} "
+          f"connection(s), {SERVICE_WORKERS} worker(s)")
+    print(f"warm storm : {warm['requests']} requests, "
+          f"{warm['throughput_rps']:8.0f} req/s, "
+          f"p50 {latency_ms['p50']:6.2f} ms, p99 {latency_ms['p99']:6.2f} ms, "
+          f"hit ratio {warm['hit_ratio']:.0%}")
+    print(f"dedup storm: {dedup['requests']} concurrent identical "
+          f"submissions -> {computed} computation(s), "
+          f"{dedup['server_delta'].get('coalesced', 0)} coalesced, "
+          f"{dedup['server_delta'].get('warm_hits', 0)} warm")
+    for name, row in regressions.items():
+        print(f"{name}: REGRESSED {row['slowdown']:.2f}x "
+              f"({row['current']:.2f} vs {row['reference']:.2f} ms)")
+    print(f"report written to {args.service_output}")
+    for failure in gate_failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if regressions:
+        print(f"FAIL: {len(regressions)} latency percentile(s) regressed "
+              f"more than {args.service_tolerance:.0%}", file=sys.stderr)
+    return 1 if (regressions or gate_failures) else 0
 
 
 # -- harness -----------------------------------------------------------------
@@ -553,7 +724,8 @@ def _scale_main(args, rounds: int, scale: float) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tier", choices=("kernel", "scale", "all"),
+    parser.add_argument("--tier", choices=("kernel", "scale", "service",
+                                           "all"),
                         default="kernel",
                         help="which benchmark tier(s) to run")
     parser.add_argument("--rounds", type=int, default=5,
@@ -579,6 +751,19 @@ def main(argv=None) -> int:
                         help="committed reference timings for the scale tier")
     parser.add_argument("--scale-output", type=Path, default=SCALE_OUTPUT_PATH,
                         help="scale-tier report path")
+    parser.add_argument("--service-baseline", type=Path,
+                        default=SERVICE_BASELINE_PATH,
+                        help="committed reference latencies for the "
+                        "service tier")
+    parser.add_argument("--service-output", type=Path,
+                        default=SERVICE_OUTPUT_PATH,
+                        help="service-tier report path")
+    parser.add_argument("--service-tolerance", type=float, default=1.5,
+                        help="service tier: allowed p50/p99 slowdown vs the "
+                        "reference.  Loose by design -- warm-path latencies "
+                        "are sub-millisecond and swing with host load; the "
+                        "hit-ratio and compute-exactly-once gates are "
+                        "noise-immune and stay strict")
     parser.add_argument(
         "--store", type=Path, default=None, metavar="DIR",
         help="read the kernel baseline from (and record the report into) "
@@ -601,6 +786,8 @@ def main(argv=None) -> int:
         rc |= _kernel_main(args, rounds, scale)
     if args.tier in ("scale", "all"):
         rc |= _scale_main(args, rounds, scale)
+    if args.tier in ("service", "all"):
+        rc |= _service_main(args, rounds, scale)
     return rc
 
 

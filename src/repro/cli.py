@@ -23,10 +23,25 @@ Subcommands::
                                        metrics / timeseries / sweep JSON
                                        -- a file path, or a store token
                                        (run id, ref, digest, 'latest')
-    repro-io watch [dir|file]          live monitor for a running sweep:
-                                       per-point progress, cache-hit
-                                       ratio, worker liveness, ETA
-                                       (tails sweep-progress.json)
+    repro-io watch [dir|file]          live monitor: tails a running
+                                       sweep's sweep-progress.json or a
+                                       service's service-jobs.json
+                                       (--fail-on-errors exits nonzero
+                                       on any failed point/job)
+    repro-io serve                     run the multi-tenant run service:
+                                       an async job server over the
+                                       store with fair-share scheduling,
+                                       digest coalescing and warm hits
+    repro-io submit <name|file> [k=v1,v2 ...]
+                                       submit a scenario or sweep to a
+                                       running service (discovery via
+                                       results/service.json)
+    repro-io jobs list|show|cancel|stats|shutdown
+                                       inspect or control a running
+                                       service
+    repro-io loadgen                   hammer a service with simulated
+                                       tenants; reports p50/p99 latency,
+                                       throughput, store-hit ratio
     repro-io store ls|show|diff|gc|verify|export|migrate|table
                                        inspect the content-addressed run
                                        store (results/store): list runs
@@ -224,6 +239,20 @@ def _parse_sweep_value(text: str):
     return text.strip()
 
 
+def _parse_grid(items) -> dict:
+    """Parse ``key=v1,v2`` grid axes; raises ValueError on bad input."""
+    grid = {}
+    for item in items:
+        if "=" not in item:
+            raise ValueError(
+                f"bad sweep parameter {item!r} (want key=v1,v2,...)")
+        key, _, values = item.partition("=")
+        grid[key] = [_parse_sweep_value(v) for v in values.split(",") if v]
+        if not grid[key]:
+            raise ValueError(f"no values for sweep parameter {key!r}")
+    return grid
+
+
 def _cmd_scenario(args) -> int:
     from repro.scenario import ScenarioError
 
@@ -302,17 +331,11 @@ def _cmd_scenario(args) -> int:
         from repro.scenario import run_sweep
 
         spec = _scenario_spec(args.scenario, args.seed)
-        grid = {}
-        for item in args.params:
-            if "=" not in item:
-                print(f"bad sweep parameter {item!r} (want key=v1,v2,...)",
-                      file=sys.stderr)
-                return 2
-            key, _, values = item.partition("=")
-            grid[key] = [_parse_sweep_value(v) for v in values.split(",") if v]
-            if not grid[key]:
-                print(f"no values for sweep parameter {key!r}", file=sys.stderr)
-                return 2
+        try:
+            grid = _parse_grid(args.params)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         if not grid:
             print("sweep needs at least one key=v1,v2 parameter", file=sys.stderr)
             return 2
@@ -714,40 +737,122 @@ def _render_sweep_progress(doc, now: Optional[float] = None) -> str:
     return "\n".join(lines)
 
 
+def _render_service_ledger(doc, now: Optional[float] = None) -> str:
+    """Render one frame of the service monitor from a
+    ``repro.service.jobs/1`` job-ledger document."""
+    import time as _time
+
+    now = _time.time() if now is None else now
+    counts = doc.get("counts", {})
+    stats = doc.get("stats", {})
+    total = doc.get("total", 0) or 0
+    terminal = (
+        counts.get("done", 0) + counts.get("failed", 0)
+        + counts.get("cancelled", 0)
+    )
+    service = doc.get("service", {})
+    width = 40
+    filled = int(width * terminal / total) if total else width
+    bar = "#" * filled + "-" * (width - filled)
+    pct = (100.0 * terminal / total) if total else 100.0
+
+    lines = [
+        f"service {service.get('host', '?')}:{service.get('port', '?')} "
+        f"(pid {service.get('pid', '?')}, workers={service.get('workers', '?')}): "
+        f"{terminal}/{total} job(s) [{bar}] {pct:.0f}%",
+        f"  queued {counts.get('queued', 0)}  running {counts.get('running', 0)}"
+        f"  done {counts.get('done', 0)}  failed {counts.get('failed', 0)}"
+        f"  cancelled {counts.get('cancelled', 0)}",
+        f"  tasks: {stats.get('tasks_submitted', 0)} submitted, "
+        f"{stats.get('computed', 0)} computed, "
+        f"{stats.get('warm_hits', 0)} warm, "
+        f"{stats.get('coalesced', 0)} coalesced, "
+        f"{stats.get('requeued', 0)} requeued",
+    ]
+    tasks = stats.get("tasks_submitted", 0)
+    if tasks:
+        lines.append(
+            f"  store-hit ratio {stats.get('warm_hits', 0) / tasks:.0%}"
+            f"  (rejected: {stats.get('rejected_backpressure', 0)} "
+            f"backpressure, {stats.get('rejected_quota', 0)} quota)"
+        )
+    tenants = doc.get("tenants", {})
+    if tenants:
+        top = sorted(tenants.items(), key=lambda kv: -kv[1])[:5]
+        lines.append("  queued by tenant: " + ", ".join(
+            f"{t}={n}" for t, n in top))
+    failures = [
+        (name, row) for name, row in doc.get("jobs", {}).items()
+        if row.get("status") == "failed"
+    ]
+    for name, row in failures[-3:]:
+        lines.append(
+            f"    {name} ({row.get('tenant', '?')}) FAILED: "
+            f"{str(row.get('error', '?'))[:80]}"
+        )
+    age = now - doc.get("updated", now)
+    if doc.get("finished"):
+        lines.append("  service stopped")
+    else:
+        liveness = "alive" if age < 30 else "STALLED?"
+        lines.append(f"  last update {age:.1f}s ago ({liveness})")
+    return "\n".join(lines)
+
+
 def _cmd_watch(args) -> int:
-    """Live monitor: tail a running sweep's progress ledger."""
+    """Live monitor: tail a sweep progress ledger or a run-service job
+    ledger (whichever the path resolves to)."""
     import time as _time
     from pathlib import Path
 
     from repro.scenario.sweep import SWEEP_PROGRESS_NAME, SWEEP_PROGRESS_SCHEMA
+    from repro.service.jobs import SERVICE_LEDGER_NAME, SERVICE_LEDGER_SCHEMA
 
+    renderers = {
+        SWEEP_PROGRESS_SCHEMA: _render_sweep_progress,
+        SERVICE_LEDGER_SCHEMA: _render_service_ledger,
+    }
     path = Path(args.path)
     if path.is_dir():
-        path = path / SWEEP_PROGRESS_NAME
+        # A directory holds either (or both) ledgers; prefer the sweep
+        # ledger for compatibility, fall back to the service one.
+        candidates = [path / SWEEP_PROGRESS_NAME, path / SERVICE_LEDGER_NAME]
+    else:
+        candidates = [path]
     waited = 0.0
     while True:
-        doc = None
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                doc = json.load(fh)
-        except FileNotFoundError:
-            doc = None
-        except ValueError:  # mid-write is impossible (atomic), but be safe
-            doc = None
-        if doc is not None and doc.get("schema") != SWEEP_PROGRESS_SCHEMA:
-            print(f"{path}: not a sweep progress document "
-                  f"(schema={doc.get('schema')!r})", file=sys.stderr)
+        doc, doc_path = None, candidates[0]
+        for candidate in candidates:
+            try:
+                with open(candidate, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                doc_path = candidate
+                break
+            except FileNotFoundError:
+                continue
+            except ValueError:  # mid-write is impossible (atomic), but be safe
+                continue
+        if doc is not None and doc.get("schema") not in renderers:
+            print(f"{doc_path}: not a sweep progress or service job "
+                  f"document (schema={doc.get('schema')!r})", file=sys.stderr)
             return 2
         if doc is None:
             if args.once:
-                print(f"no sweep progress at {path} (start a sweep with "
-                      f"`repro-io scenario sweep ...`)", file=sys.stderr)
+                print(f"no sweep progress or service job ledger at "
+                      f"{' or '.join(str(c) for c in candidates)} (start one "
+                      f"with `repro-io scenario sweep ...` or "
+                      f"`repro-io serve`)", file=sys.stderr)
                 return 2
             if waited == 0.0:
-                print(f"waiting for {path} ...")
+                print(f"waiting for {' or '.join(str(c) for c in candidates)} ...")
         else:
-            print(_render_sweep_progress(doc))
+            print(renderers[doc["schema"]](doc))
             if args.once or doc.get("finished"):
+                failed = (doc.get("counts", {}).get("failed", 0)
+                          or doc.get("stats", {}).get("failed", 0))
+                if args.fail_on_errors and failed:
+                    print(f"{failed} failed point(s)/job(s)", file=sys.stderr)
+                    return 1
                 return 0
             print()
         if args.timeout and waited >= args.timeout:
@@ -765,6 +870,278 @@ def _fmt_when(ts) -> str:
             "%Y-%m-%d %H:%M:%S")
     except (TypeError, ValueError, OSError, OverflowError):
         return "?"
+
+
+def _service_endpoint(args) -> "tuple[str, int]":
+    """Resolve the service address: ``--address host:port`` beats the
+    discovery file the server writes next to its store."""
+    address = getattr(args, "address", None)
+    if address:
+        host, _, port = address.rpartition(":")
+        return host or "127.0.0.1", int(port)
+    from repro.service import load_discovery
+
+    doc = load_discovery(getattr(args, "state_dir", "results"))
+    return doc["host"], doc["port"]
+
+
+def _submit_scenario_ref(ref: str, seed: Optional[int]):
+    """A submit payload: inline spec dict for files, name for presets."""
+    from pathlib import Path
+
+    if Path(ref).is_file() or ref.endswith(".json"):
+        return _scenario_spec(ref, seed or 0).to_dict()
+    return ref
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.service import RunService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        store_dir=Path(args.store_dir),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        use_cache=not args.no_cache,
+        enable_chaos=args.enable_chaos,
+    )
+    service = RunService(config)
+
+    async def _run() -> None:
+        await service.start()
+        print(f"run service listening on {service.host}:{service.port} "
+              f"({config.workers} worker(s))")
+        print(f"  store     {service.store.root}")
+        print(f"  ledger    {service.ledger_path}")
+        print(f"  discovery {service.discovery_path}")
+        print(f"monitor with `repro-io watch {service.ledger_path.parent}`; "
+              f"stop with Ctrl-C or `repro-io jobs shutdown`")
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nservice stopped")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceClient
+
+    try:
+        host, port = _service_endpoint(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        grid = _parse_grid(args.params) if args.params else None
+        scenario = _submit_scenario_ref(args.scenario, args.seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def _run():
+        async with await ServiceClient.connect(host, port) as client:
+            return await client.submit(
+                scenario,
+                tenant=args.tenant,
+                grid=grid,
+                seed=args.seed,
+                wait=not args.no_wait,
+            )
+
+    doc = asyncio.run(_run())
+    if args.no_wait:
+        print(f"job {doc.get('job_id', '?')} {doc.get('state', '?')}: "
+              f"{doc.get('total', 0)} task(s), {doc.get('warm', 0)} warm, "
+              f"{doc.get('coalesced', 0)} coalesced")
+        if doc.get("job_id"):
+            print(f"await it with `repro-io jobs show {doc['job_id']}`")
+        return 0 if doc.get("ok") else 1
+    if "job_id" not in doc:  # rejected at admission
+        print(f"submission rejected: {doc.get('reason') or doc.get('error')}",
+              file=sys.stderr)
+        return 1
+    _print_job_doc(doc, latency=doc.get("latency"))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({k: v for k, v in doc.items() if k != "ok"}, fh, indent=1)
+        print(f"job document written to {args.json}")
+    return 0 if doc.get("state") == "done" else 1
+
+
+def _print_job_doc(job: dict, latency=None) -> None:
+    head = (f"job {job.get('job_id', '?')} [{job.get('state', '?')}] "
+            f"tenant={job.get('tenant', '?')} kind={job.get('kind', '?')}: "
+            f"{job.get('total', 0)} task(s), {job.get('warm', 0)} warm, "
+            f"{job.get('coalesced', 0)} coalesced")
+    if latency is not None:
+        head += f"  ({latency:.3f}s)"
+    print(head)
+    if job.get("run_id"):
+        print(f"  run {job['run_id']}")
+    for task in job.get("tasks", ()):
+        origin = "warm" if task.get("cached") else f"{task.get('seconds', 0.0):.2f}s"
+        line = (f"  {task.get('name', '?'):<48} {task.get('state', '?'):<9} "
+                f"[{origin}]")
+        if task.get("artifact"):
+            line += f" {task['artifact'][:16]}"
+        print(line)
+        if task.get("error"):
+            print(f"    ERROR: {task['error']}")
+
+
+def _cmd_jobs(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceClient
+
+    try:
+        host, port = _service_endpoint(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def _run():
+        async with await ServiceClient.connect(host, port) as client:
+            if args.action == "list":
+                return await client.jobs(tenant=args.tenant)
+            if args.action == "show":
+                if args.wait:
+                    return await client.wait(args.job_id)
+                return await client.status(args.job_id)
+            if args.action == "cancel":
+                return await client.cancel(
+                    job_id=args.job_id, tenant=args.tenant)
+            if args.action == "stats":
+                return await client.stats()
+            if args.action == "chaos-kill":
+                return await client.chaos_kill()
+            if args.action == "shutdown":
+                return await client.shutdown()
+            raise AssertionError(args.action)
+
+    doc = asyncio.run(_run())
+    if not doc.get("ok", True) and doc.get("error"):
+        print(f"error: {doc['error']}", file=sys.stderr)
+        return 1
+
+    if args.action == "list":
+        jobs = doc.get("jobs", {})
+        if not jobs:
+            print("no jobs")
+            return 0
+        for job_id, row in jobs.items():
+            line = (f"{job_id:<24} {row.get('status', '?'):<9} "
+                    f"{row.get('tenant', '?'):<16} {row.get('kind', '?'):<8} "
+                    f"{row.get('total', 0)} task(s), {row.get('warm', 0)} warm")
+            if "seconds" in row:
+                line += f"  {row['seconds']:.2f}s"
+            if row.get("error"):
+                line += f"  ERROR: {str(row['error'])[:60]}"
+            print(line)
+        return 0
+    if args.action == "show":
+        _print_job_doc(doc)
+        return 0 if doc.get("state") in ("done", "queued", "running") else 1
+    if args.action == "cancel":
+        cancelled = doc.get("cancelled", [])
+        print(f"cancelled {len(cancelled)} job(s), "
+              f"{doc.get('dropped', 0)} queued computation(s) dropped")
+        for job_id in cancelled:
+            print(f"  {job_id}")
+        return 0
+    if args.action == "chaos-kill":
+        print(f"killed {doc.get('killed', 0)} worker(s); pool rebuilt "
+              f"(generation {doc.get('pool_generation', '?')})")
+        return 0
+    if args.action == "shutdown":
+        print("shutdown requested")
+        return 0
+    # stats
+    stats = doc.get("stats", {})
+    print(f"service {host}:{port} up {doc.get('uptime', 0.0):.1f}s, "
+          f"{doc.get('workers', '?')} worker(s) "
+          f"(pool generation {doc.get('pool_generation', 0)})")
+    print(f"  store {doc.get('store', '?')}")
+    print(f"  jobs: {stats.get('jobs_submitted', 0)} submitted, "
+          f"{stats.get('done', 0)} done, {stats.get('failed', 0)} failed, "
+          f"{stats.get('cancelled', 0)} cancelled")
+    print(f"  tasks: {stats.get('tasks_submitted', 0)} submitted, "
+          f"{stats.get('computed', 0)} computed, "
+          f"{stats.get('warm_hits', 0)} warm, "
+          f"{stats.get('coalesced', 0)} coalesced, "
+          f"{stats.get('requeued', 0)} requeued")
+    print(f"  admission: {stats.get('rejected_backpressure', 0)} backpressure "
+          f"rejection(s), {stats.get('rejected_quota', 0)} quota rejection(s)")
+    print(f"  queue {doc.get('queue', 0)}, running {doc.get('running', 0)}, "
+          f"inflight digests {doc.get('inflight', 0)}")
+    tenants = doc.get("tenants", {})
+    if tenants:
+        print("  outstanding by tenant: " + ", ".join(
+            f"{t}={n}" for t, n in sorted(tenants.items())[:10]))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import asyncio
+
+    from repro.service.loadgen import run_load
+
+    try:
+        host, port = _service_endpoint(args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        grid = _parse_grid(args.params) if args.params else None
+        scenario = _submit_scenario_ref(args.scenario, args.seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    report = asyncio.run(run_load(
+        host, port,
+        tenants=args.tenants,
+        requests_per_tenant=args.requests_per_tenant,
+        connections=args.connections,
+        scenario=scenario,
+        grid=grid,
+        seed=args.seed,
+        distinct_seeds=args.distinct_seeds,
+        tenant_prefix=args.tenant_prefix,
+    ))
+    lat = report["latency"]
+    print(f"{report['requests']} submission(s) from {report['tenants']} "
+          f"tenant(s) over {report['connections']} connection(s): "
+          f"{report['requests_ok']} ok, {report['requests_failed']} failed, "
+          f"{report['retries']} admission retries")
+    print(f"  wall {report['wall_seconds']:.2f}s, "
+          f"throughput {report['throughput_rps']:.0f} req/s")
+    print(f"  latency p50 {lat['p50'] * 1e3:.1f}ms  "
+          f"p95 {lat['p95'] * 1e3:.1f}ms  p99 {lat['p99'] * 1e3:.1f}ms  "
+          f"mean {lat['mean'] * 1e3:.1f}ms  max {lat['max'] * 1e3:.1f}ms")
+    delta = report["server_delta"]
+    hit = report["hit_ratio"]
+    print(f"  server: {delta.get('computed', 0)} computed, "
+          f"{delta.get('warm_hits', 0)} warm, "
+          f"{delta.get('coalesced', 0)} coalesced"
+          + (f", store-hit ratio {hit:.0%}" if hit is not None else ""))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1)
+        print(f"load report written to {args.json}")
+    return 0 if report["requests_failed"] == 0 else 1
 
 
 def _cmd_store(args) -> int:
@@ -1210,7 +1587,118 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render one frame and exit")
     p.add_argument("--timeout", type=float, default=0.0,
                    help="give up after this many seconds (default: never)")
+    p.add_argument("--fail-on-errors", action="store_true",
+                   help="exit nonzero when the final frame shows any "
+                   "failed point or job")
     p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant run service (async job server over "
+        "the store; submit with `repro-io submit`)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = pick a free one)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="process-pool workers executing scenarios (default 2)")
+    p.add_argument("--store-dir", default="results/store",
+                   help="run-store root results land in (default results/store)")
+    p.add_argument("--queue-limit", type=int, default=256,
+                   help="admission queue depth before backpressure "
+                   "rejections (default 256)")
+    p.add_argument("--tenant-quota", type=int, default=64,
+                   help="max outstanding computations per tenant (default 64)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="do not serve warm results from (or land refs in) "
+                   "the store")
+    p.add_argument("--enable-chaos", action="store_true",
+                   help="allow the chaos-kill op (testing: kills a pool "
+                   "worker mid-job)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a scenario (or key=v1,v2 sweep) to a running service",
+    )
+    p.add_argument("scenario", help="preset name or scenario JSON path")
+    p.add_argument("params", nargs="*", metavar="key=v1,v2",
+                   help="optional sweep grid axes (as in `scenario sweep`)")
+    p.add_argument("--tenant", default="cli",
+                   help="tenant the submission is accounted to (default cli)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--no-wait", action="store_true",
+                   help="return the job id immediately instead of waiting")
+    p.add_argument("--json", help="write the finished job document here")
+    p.add_argument("--address", metavar="HOST:PORT",
+                   help="service address (default: discovery file)")
+    p.add_argument("--state-dir", default="results",
+                   help="directory holding service.json discovery "
+                   "(default results)")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "jobs",
+        help="inspect a running service: list/show/cancel jobs, stats, "
+        "shutdown",
+    )
+    p.add_argument("--address", metavar="HOST:PORT",
+                   help="service address (default: discovery file)")
+    p.add_argument("--state-dir", default="results",
+                   help="directory holding service.json discovery "
+                   "(default results)")
+    jobs_sub = p.add_subparsers(dest="action", required=True)
+    sp = jobs_sub.add_parser("list", help="list jobs the service knows")
+    sp.add_argument("--tenant", help="only this tenant's jobs")
+    sp.set_defaults(fn=_cmd_jobs)
+    sp = jobs_sub.add_parser("show", help="show one job document")
+    sp.add_argument("job_id")
+    sp.add_argument("--wait", action="store_true",
+                    help="block until the job is terminal")
+    sp.set_defaults(fn=_cmd_jobs)
+    sp = jobs_sub.add_parser(
+        "cancel", help="cancel a job id or a whole tenant's queued work"
+    )
+    sp.add_argument("job_id", nargs="?")
+    sp.add_argument("--tenant", help="cancel every unfinished job of "
+                    "this tenant")
+    sp.set_defaults(fn=_cmd_jobs)
+    sp = jobs_sub.add_parser("stats", help="server counters and queue state")
+    sp.set_defaults(fn=_cmd_jobs)
+    sp = jobs_sub.add_parser(
+        "chaos-kill",
+        help="kill one pool worker (server must run with --enable-chaos)",
+    )
+    sp.set_defaults(fn=_cmd_jobs)
+    sp = jobs_sub.add_parser("shutdown", help="stop the service")
+    sp.set_defaults(fn=_cmd_jobs)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="multi-tenant load generator: hammer a running service and "
+        "report p50/p99 latency, throughput and store-hit ratio",
+    )
+    p.add_argument("scenario", nargs="?", default="tiny",
+                   help="preset name or scenario JSON path (default tiny)")
+    p.add_argument("params", nargs="*", metavar="key=v1,v2",
+                   help="optional sweep grid axes")
+    p.add_argument("--tenants", type=int, default=100,
+                   help="simulated tenants (default 100)")
+    p.add_argument("--requests-per-tenant", type=int, default=1)
+    p.add_argument("--connections", type=int, default=8,
+                   help="real sockets the tenants multiplex over (default 8)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--distinct-seeds", action="store_true",
+                   help="give every tenant its own seed (forces cold "
+                   "computations instead of warm hits)")
+    p.add_argument("--tenant-prefix", default="tenant")
+    p.add_argument("--json", help="write the full load report here")
+    p.add_argument("--address", metavar="HOST:PORT",
+                   help="service address (default: discovery file)")
+    p.add_argument("--state-dir", default="results",
+                   help="directory holding service.json discovery "
+                   "(default results)")
+    p.set_defaults(fn=_cmd_loadgen)
 
     p = sub.add_parser(
         "store",

@@ -62,14 +62,9 @@ from repro.core.experiment import (
     record_from_dict,  # noqa: F401  (re-export: canonical home is repro.core)
     record_payload,
 )
-from repro.ioutil import resilient_pool_map
-from repro.telemetry.collect import (
-    init_worker,
-    merge_snapshot,
-    worker_init_args,
-    worker_snapshot,
-)
-from repro.store import RunArtifact, RunStore, StoreError
+from repro.jobs import execute_tasks, load_ref_artifact, store_ref_artifact
+from repro.telemetry.collect import worker_snapshot
+from repro.store import RunArtifact, RunStore
 from repro.store.store import DEFAULT_STORE_DIR
 from repro.telemetry import TELEMETRY, build_manifest, write_manifest
 from repro.telemetry.provenance import MANIFEST_NAME, host_reference
@@ -277,72 +272,43 @@ def run_experiments(
             store.root, cache_counts["hits"], len(misses), len(tasks),
         )
 
-    # Compute misses -- in-process for jobs=1, fanned out otherwise.
+    # Compute misses through the shared job-execution core -- in-process
+    # for jobs=1, fanned out over resilient worker pools otherwise.
     if misses:
-        if jobs == 1 or len(misses) == 1:
-            for task in misses:
-                start = time.perf_counter()
-                try:
-                    if tracer is not None:
-                        with tracer.span(
-                            "experiment_task", cat="runner",
-                            experiment=task[0], seed=task[1],
-                        ):
-                            payload = _execute(task)
-                    else:
-                        payload = _execute(task)
-                except Exception as exc:
-                    if fail_fast:
-                        raise
-                    log.error("task %s#s%d failed: %s", task[0], task[1], exc)
-                    results[task] = RunResult(
-                        task[0], task[1], None, cached=False,
-                        seconds=time.perf_counter() - start,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
-                else:
-                    results[task] = RunResult(
-                        task[0], task[1],
-                        record_from_dict(payload),
-                        cached=False,
-                        seconds=time.perf_counter() - start,
-                    )
-        else:
-            workers = min(jobs, len(misses))
-            pool_kwargs = dict(
-                initializer=init_worker, initargs=worker_init_args()
+        span_factory = pool_span = None
+        if tracer is not None:
+            span_factory = lambda k: tracer.span(  # noqa: E731
+                "experiment_task", cat="runner",
+                experiment=misses[k][0], seed=misses[k][1],
             )
-            if tracer is not None:
-                with tracer.span(
-                    "pool.map", cat="runner", workers=workers, tasks=len(misses)
-                ):
-                    outcomes = resilient_pool_map(
-                        _execute_timed, misses, workers, **pool_kwargs
-                    )
-            else:
-                outcomes = resilient_pool_map(
-                    _execute_timed, misses, workers, **pool_kwargs
+            pool_span = lambda workers, n: tracer.span(  # noqa: E731
+                "pool.map", cat="runner", workers=workers, tasks=n,
+            )
+        outcomes = execute_tasks(
+            _execute_timed, misses, jobs,
+            fail_fast=fail_fast,
+            fail_label=lambda k: (
+                f"experiment task {misses[k][0]}#s{misses[k][1]}"
+            ),
+            span_factory=span_factory,
+            pool_span=pool_span,
+        )
+        for task, outcome in zip(misses, outcomes):
+            if outcome.failed:
+                log.error(
+                    "task %s#s%d failed: %s", task[0], task[1], outcome.error
                 )
-            for task, (value, error) in zip(misses, outcomes):
-                if error is not None:
-                    if fail_fast:
-                        raise RuntimeError(
-                            f"experiment task {task[0]}#s{task[1]} failed: {error}"
-                        )
-                    log.error("task %s#s%d failed: %s", task[0], task[1], error)
-                    results[task] = RunResult(
-                        task[0], task[1], None, cached=False, seconds=0.0,
-                        error=error,
-                    )
-                else:
-                    payload, seconds, worker_snap = value
-                    merge_snapshot(worker_snap)
-                    results[task] = RunResult(
-                        task[0], task[1],
-                        record_from_dict(payload),
-                        cached=False,
-                        seconds=seconds,
-                    )
+                results[task] = RunResult(
+                    task[0], task[1], None, cached=False,
+                    seconds=outcome.seconds, error=outcome.error,
+                )
+            else:
+                results[task] = RunResult(
+                    task[0], task[1],
+                    record_from_dict(outcome.value),
+                    cached=False,
+                    seconds=outcome.seconds,
+                )
         log.info(
             "executed %d task(s) with jobs=%d in %.2fs",
             len(misses), jobs, time.perf_counter() - wall_start,
@@ -437,27 +403,13 @@ def _cache_load(
     logged and *never* served; the caller falls back to re-execution, and
     the re-put heals a corrupt object in place.
     """
-    if digest is None:
-        return None, "miss"
-    name = record_ref_name(task[0], task[1], digest)
+    name = record_ref_name(task[0], task[1], digest) if digest else None
+    artifact, status = load_ref_artifact(store, name, digest) if name else (None, "miss")
+    if artifact is None:
+        return None, status
     try:
-        entry = store.get_ref(name)
-    except StoreError as exc:
-        log.warning("corrupt cache ref %s (%s); re-executing", name, exc)
-        return None, "corrupt"
-    if entry is None:
-        return None, "miss"
-    if entry.get("meta", {}).get("source_digest") != digest:
-        log.warning(
-            "stale cache ref %s (stored digest %r != %r); re-executing",
-            name, entry.get("meta", {}).get("source_digest"), digest,
-        )
-        return None, "stale"
-    if not store.has(entry["digest"]):
-        return None, "miss"
-    try:
-        record = store.get(entry["digest"]).to_record()
-    except (StoreError, ValueError) as exc:
+        record = artifact.to_record()
+    except ValueError as exc:
         log.warning("corrupt cache entry %s (%s); re-executing", name, exc)
         return None, "corrupt"
     return (
@@ -469,7 +421,6 @@ def _cache_load(
 def _cache_store(
     store: RunStore, task: Tuple[str, int], digest: str, record: ExperimentRecord
 ) -> None:
-    artifact_digest = store.put(RunArtifact.from_record(record))
     # Prune refs for the same task keyed on older source digests (their
     # objects stay until ``store gc`` decides they are unreachable).
     stale_prefix = f"records/{task[0]}-s{task[1]}-"
@@ -477,13 +428,13 @@ def _cache_store(
     for name, _ in store.refs(f"{stale_prefix}*"):
         if name != current:
             store.delete_ref(name)
-    store.set_ref(
+    store_ref_artifact(
+        store,
         current,
-        artifact_digest,
+        RunArtifact.from_record(record),
         meta={
             "experiment_id": task[0],
             "seed": task[1],
             "source_digest": digest,
-            "created": time.time(),
         },
     )

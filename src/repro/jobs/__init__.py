@@ -1,0 +1,35 @@
+"""Reusable job-execution core shared by every submission front-end.
+
+Historically the experiment runner (:mod:`repro.experiments.runner`) and
+the scenario sweep driver (:mod:`repro.scenario.sweep`) each carried
+their own copy of the same machinery: fan tasks out over
+:func:`repro.ioutil.resilient_pool_map`, time them worker-side, merge
+worker telemetry snapshots, serve unchanged work from digest-keyed store
+refs, and keep a live progress ledger.  The run service
+(:mod:`repro.service`) is a third front-end over the very same pipeline,
+so this package extracts the core once:
+
+* :mod:`repro.jobs.execution` -- sequential/pooled task fan-out with
+  uniform timing, telemetry merging and failure containment
+  (:func:`execute_tasks`);
+* :mod:`repro.jobs.cache` -- digest-keyed artifact refs over the
+  content-addressed run store (hit / miss / stale / corrupt discipline);
+* :mod:`repro.jobs.ledger` -- the atomically-rewritten progress ledger
+  that ``repro-io watch`` tails.
+
+Front-ends keep their own task functions, manifests, and ref-naming
+schemes; everything between "list of payloads" and "list of outcomes"
+lives here so there is one code path from submission to stored artifact.
+"""
+
+from repro.jobs.cache import load_ref_artifact, store_ref_artifact
+from repro.jobs.execution import TaskOutcome, execute_tasks
+from repro.jobs.ledger import ProgressLedger
+
+__all__ = [
+    "TaskOutcome",
+    "execute_tasks",
+    "load_ref_artifact",
+    "store_ref_artifact",
+    "ProgressLedger",
+]

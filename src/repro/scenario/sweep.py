@@ -39,13 +39,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cluster.platform import PlatformSpec
-from repro.ioutil import atomic_write_json, resilient_pool_map
-from repro.telemetry.collect import (
-    init_worker,
-    merge_snapshot,
-    worker_init_args,
-    worker_snapshot,
+from repro.jobs import (
+    ProgressLedger,
+    execute_tasks,
+    load_ref_artifact,
+    store_ref_artifact,
 )
+from repro.telemetry.collect import worker_snapshot
 from repro.scenario.spec import (
     ScenarioError,
     ScenarioSpec,
@@ -53,7 +53,7 @@ from repro.scenario.spec import (
     StorageSpec,
     WorkloadSpec,
 )
-from repro.store import RunArtifact, RunStore, StoreError
+from repro.store import RunArtifact, RunStore
 from repro.store.store import DEFAULT_STORE_DIR
 
 log = logging.getLogger(__name__)
@@ -277,57 +277,23 @@ def point_ref_name(scenario_digest: str, source_digest: str) -> str:
     return f"sweep/{scenario_digest[:16]}-{source_digest[:16]}"
 
 
-class _SweepProgress:
+class _SweepProgress(ProgressLedger):
     """Live progress ledger for one running sweep.
 
-    Atomically rewrites ``sweep-progress.json`` next to the sweep
-    manifest at start, after every point completion, and at finish, so
-    ``repro-io watch`` can tail a consistent document while the pool is
-    still working (readers never see a partial file --
-    :func:`repro.ioutil.atomic_write_json`).
+    A :class:`repro.jobs.ProgressLedger` instantiated with the
+    historical ``sweep-progress.json`` schema: atomically rewritten next
+    to the sweep manifest at start, after every point completion, and at
+    finish, so ``repro-io watch`` can tail a consistent document while
+    the pool is still working.
     """
 
     def __init__(self, path: Path, base_name: str, points, jobs: int):
-        self.path = path
-        self.started = time.time()
-        self.jobs = jobs
-        self.base_name = base_name
-        self.points: Dict[str, Dict[str, Any]] = {
-            p.name: {"status": "pending"} for p in points
-        }
-
-    def mark_cached(self, name: str) -> None:
-        self.points[name] = {"status": "cached", "seconds": 0.0}
-
-    def mark_done(self, name: str, seconds: float, error: Optional[str]) -> None:
-        entry: Dict[str, Any] = {
-            "status": "failed" if error is not None else "done",
-            "seconds": seconds,
-        }
-        if error is not None:
-            entry["error"] = error
-        self.points[name] = entry
-        self.write()
-
-    def write(self, finished: bool = False) -> None:
-        counts = {"pending": 0, "cached": 0, "done": 0, "failed": 0}
-        for entry in self.points.values():
-            counts[entry["status"]] += 1
-        doc = {
-            "schema": SWEEP_PROGRESS_SCHEMA,
-            "sweep": self.base_name,
-            "started": self.started,
-            "updated": time.time(),
-            "finished": finished,
-            "jobs": self.jobs,
-            "total": len(self.points),
-            "counts": counts,
-            "points": self.points,
-        }
-        try:
-            atomic_write_json(doc, self.path)
-        except OSError as exc:  # pragma: no cover - progress is best-effort
-            log.warning("could not write sweep progress %s: %s", self.path, exc)
+        super().__init__(
+            path,
+            SWEEP_PROGRESS_SCHEMA,
+            (p.name for p in points),
+            extra={"sweep": base_name, "jobs": jobs},
+        )
 
 
 def _cache_load(
@@ -335,33 +301,19 @@ def _cache_load(
 ) -> Optional[Dict[str, Any]]:
     """Serve one point from the store, or ``None`` to re-execute.
 
-    A ref keyed on another source digest, an unreadable ref, or an
-    artifact whose bytes no longer hash to its address are all logged and
-    never served (the re-put after recomputation heals corrupt objects).
+    A ref keyed on another source digest, an unreadable ref, an artifact
+    whose bytes no longer hash to its address, or one of the wrong kind
+    are all logged and never served (the re-put after recomputation
+    heals corrupt objects) -- the shared
+    :func:`repro.jobs.load_ref_artifact` discipline.
     """
-    name = point_ref_name(scenario_digest, source_digest)
-    try:
-        entry = store.get_ref(name)
-    except StoreError as exc:
-        log.warning("corrupt sweep cache ref %s (%s); re-executing", name, exc)
-        return None
-    if entry is None:
-        return None
-    if entry.get("meta", {}).get("source_digest") != source_digest:
-        log.warning("stale sweep cache ref %s; re-executing", name)
-        return None
-    if not store.has(entry["digest"]):
-        return None
-    try:
-        artifact = store.get(entry["digest"])
-    except StoreError as exc:
-        log.warning("corrupt sweep cache entry %s (%s); re-executing", name, exc)
-        return None
-    if artifact.kind != "sweep_point":
-        log.warning(
-            "sweep ref %s points at a %r artifact; re-executing",
-            name, artifact.kind,
-        )
+    artifact, _status = load_ref_artifact(
+        store,
+        point_ref_name(scenario_digest, source_digest),
+        source_digest,
+        kind="sweep_point",
+    )
+    if artifact is None:
         return None
     outcome = dict(artifact.payload)
     return outcome if outcome else None
@@ -373,17 +325,15 @@ def _cache_store(
     source_digest: str,
     outcome: Dict[str, Any],
 ) -> str:
-    digest = store.put(RunArtifact.from_sweep_point(outcome))
-    store.set_ref(
+    return store_ref_artifact(
+        store,
         point_ref_name(scenario_digest, source_digest),
-        digest,
+        RunArtifact.from_sweep_point(outcome),
         meta={
             "scenario_digest": scenario_digest,
             "source_digest": source_digest,
-            "created": time.time(),
         },
     )
-    return digest
 
 
 def run_sweep(
@@ -467,64 +417,40 @@ def run_sweep(
 
     if misses:
         payloads = [points[i].scenario.canonical_json() for i in misses]
-        if jobs == 1 or len(misses) == 1:
-            outcomes = []
-            for k, p in enumerate(payloads):
-                start = time.perf_counter()
-                try:
-                    value = _execute_point_timed(p)
-                    # In-process the wrapper returns (outcome, seconds):
-                    # telemetry already lives in the parent registries.
-                    if len(value) == 2:  # pragma: no cover - monkeypatched
-                        value = (*value, None)
-                    outcomes.append((value, None))
-                except Exception as exc:
-                    if fail_fast:
-                        raise
-                    outcomes.append(
-                        ((None, time.perf_counter() - start, None),
-                         f"{type(exc).__name__}: {exc}")
-                    )
-                if progress is not None:
-                    value, error = outcomes[-1]
-                    progress.mark_done(points[misses[k]].name, value[1], error)
-        else:
 
-            def on_point_done(k: int, pool_outcome) -> None:
-                if progress is None:
-                    return
-                value, error = pool_outcome
-                seconds = value[1] if value is not None else 0.0
-                progress.mark_done(points[misses[k]].name, seconds, error)
-
-            outcomes = resilient_pool_map(
-                _execute_point_timed,
-                payloads,
-                min(jobs, len(misses)),
-                initializer=init_worker,
-                initargs=worker_init_args(),
-                on_result=on_point_done,
+        def on_point_done(k: int, task_outcome) -> None:
+            if progress is None:
+                return
+            progress.mark_done(
+                points[misses[k]].name, task_outcome.seconds,
+                task_outcome.error,
             )
-            outcomes = [
-                (value if value is not None else (None, 0.0, None), error)
-                for value, error in outcomes
-            ]
-        for i, ((outcome, seconds, worker_snap), error) in zip(misses, outcomes):
-            merge_snapshot(worker_snap)
-            if error is not None:
-                if fail_fast:
-                    raise RuntimeError(
-                        f"sweep point {points[i].name!r} failed: {error}"
-                    )
-                log.error("sweep point %r failed: %s", points[i].name, error)
+
+        outcomes = execute_tasks(
+            _execute_point_timed,
+            payloads,
+            jobs,
+            fail_fast=fail_fast,
+            fail_label=lambda k: f"sweep point {points[misses[k]].name!r}",
+            on_outcome=on_point_done,
+        )
+        for i, outcome in zip(misses, outcomes):
+            if outcome.failed:
+                log.error(
+                    "sweep point %r failed: %s", points[i].name, outcome.error
+                )
                 results[i] = SweepResult(
-                    points[i], None, cached=False, seconds=seconds, error=error
+                    points[i], None, cached=False, seconds=outcome.seconds,
+                    error=outcome.error,
                 )
                 continue  # never cache a failure
-            results[i] = SweepResult(points[i], outcome, cached=False, seconds=seconds)
+            results[i] = SweepResult(
+                points[i], outcome.value, cached=False, seconds=outcome.seconds
+            )
             if use_cache:
                 _cache_store(
-                    store, points[i].scenario.digest(), src_digest, outcome
+                    store, points[i].scenario.digest(), src_digest,
+                    outcome.value,
                 )
 
     ordered = [results[i] for i in range(len(points))]

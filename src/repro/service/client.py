@@ -1,0 +1,192 @@
+"""Asyncio client for the run service's JSON-lines protocol.
+
+One :class:`ServiceClient` owns one socket and multiplexes any number of
+concurrent requests over it: every request carries a client-assigned
+``id``, a background reader task resolves the matching future when the
+response line arrives, so ``await client.submit(...)`` from a hundred
+tasks shares one connection without head-of-line blocking on the
+server's side (the server pipelines too -- each request is served by its
+own task).  This is what lets the load generator simulate thousands of
+tenants over a handful of sockets.
+
+Discovery: the server writes ``service.json`` next to its job ledger;
+:func:`load_discovery` reads it so CLI clients can find a locally
+running server without flags.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import logging
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+log = logging.getLogger(__name__)
+
+__all__ = ["ServiceClient", "load_discovery"]
+
+_STREAM_LIMIT = 16 * 1024 * 1024
+
+
+def load_discovery(where: Union[Path, str]) -> Dict[str, Any]:
+    """Read a service discovery document.
+
+    ``where`` may be the discovery file itself or the directory the
+    server wrote it into (the store's parent by default).
+    """
+    from repro.service.server import DISCOVERY_NAME, DISCOVERY_SCHEMA
+
+    path = Path(where)
+    if path.is_dir():
+        path = path / DISCOVERY_NAME
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no service discovery file at {path} -- is `repro-io serve` "
+            f"running with this state directory?"
+        )
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != DISCOVERY_SCHEMA:
+        raise ValueError(f"{path} is not a service discovery document")
+    return doc
+
+
+class ServiceClient:
+    """One connection to a :class:`repro.service.RunService`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="service-client-reader"
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=_STREAM_LIMIT
+        )
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    log.warning("unparseable service response: %r", line[:200])
+                    continue
+                future = self._pending.pop(doc.pop("id", None), None)
+                if future is None:
+                    log.debug("unmatched service response: %r", doc)
+                elif not future.done():
+                    future.set_result(doc)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionResetError, OSError) as exc:
+            self._fail_pending(ConnectionError(str(exc)))
+        else:
+            self._fail_pending(ConnectionError("server closed the connection"))
+
+    async def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request and await its matched response document."""
+        rid = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        payload = {"op": op, "id": rid, **params}
+        data = json.dumps(payload).encode("utf-8") + b"\n"
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+        return await future
+
+    # -- convenience ops -----------------------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request("ping")
+
+    async def submit(
+        self,
+        scenario: Union[str, Dict[str, Any]],
+        *,
+        tenant: str = "anonymous",
+        grid: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        wait: bool = True,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "scenario": scenario, "tenant": tenant, "wait": wait,
+        }
+        if grid:
+            params["grid"] = grid
+        if seed is not None:
+            params["seed"] = seed
+        return await self.request("submit", **params)
+
+    async def wait(self, job_id: str) -> Dict[str, Any]:
+        return await self.request("wait", job_id=job_id)
+
+    async def status(self, job_id: str) -> Dict[str, Any]:
+        return await self.request("status", job_id=job_id)
+
+    async def jobs(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+        params = {"tenant": tenant} if tenant is not None else {}
+        return await self.request("jobs", **params)
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.request("stats")
+
+    async def cancel(
+        self,
+        job_id: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {}
+        if job_id is not None:
+            params["job_id"] = job_id
+        if tenant is not None:
+            params["tenant"] = tenant
+        return await self.request("cancel", **params)
+
+    async def chaos_kill(self) -> Dict[str, Any]:
+        return await self.request("chaos-kill")
+
+    async def shutdown(self) -> Dict[str, Any]:
+        return await self.request("shutdown")

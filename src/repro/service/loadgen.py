@@ -1,0 +1,157 @@
+"""Multi-tenant load generator for the run service.
+
+Simulates ``tenants`` independent submitters multiplexed over a small
+number of real sockets (each :class:`~repro.service.client.ServiceClient`
+pipelines its tenants' requests concurrently), measures the
+admission-to-result latency of every submission, and reads the server's
+own counters before and after -- so a run reports both the client-side
+view (p50/p99 latency, throughput) and the server-side one (warm hits,
+coalesced joins, computations, rejections).
+
+Two canonical shapes:
+
+* **warm** -- every tenant submits the *same* scenario after the store
+  has been populated: all submissions must be answered straight from
+  the store (100% hit ratio), which is the regression-gated bench
+  (``check_regression.py --tier service``);
+* **cold** -- ``distinct_seeds`` gives every tenant its own scenario
+  digest, forcing real computations through the admission queue and the
+  fair-share scheduler (backpressure rejections are retried with
+  backoff and counted).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from repro.service.client import ServiceClient
+
+log = logging.getLogger(__name__)
+
+__all__ = ["run_load", "percentile"]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    k = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[int(k)]
+
+
+async def _one_submission(
+    client: ServiceClient,
+    tenant: str,
+    scenario: Union[str, Dict[str, Any]],
+    grid: Optional[Dict[str, Any]],
+    seed: Optional[int],
+    max_retries: int,
+    retry_delay: float,
+) -> Dict[str, Any]:
+    """Submit once (retrying admission rejections) and time it."""
+    retries = 0
+    start = time.perf_counter()
+    while True:
+        doc = await client.submit(
+            scenario, tenant=tenant, grid=grid, seed=seed, wait=True
+        )
+        if doc.get("ok") or not doc.get("retry") or retries >= max_retries:
+            return {
+                "latency": time.perf_counter() - start,
+                "ok": bool(doc.get("ok")),
+                "warm": doc.get("warm", 0),
+                "total": doc.get("total", 0),
+                "retries": retries,
+                "reason": doc.get("reason"),
+            }
+        retries += 1
+        await asyncio.sleep(retry_delay * min(retries, 8))
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    tenants: int = 100,
+    requests_per_tenant: int = 1,
+    connections: int = 8,
+    scenario: Union[str, Dict[str, Any]] = "tiny",
+    grid: Optional[Dict[str, Any]] = None,
+    seed: Optional[int] = None,
+    distinct_seeds: bool = False,
+    tenant_prefix: str = "tenant",
+    max_retries: int = 50,
+    retry_delay: float = 0.05,
+) -> Dict[str, Any]:
+    """Drive the service and return a latency/throughput report."""
+    if tenants < 1:
+        raise ValueError(f"tenants must be >= 1, got {tenants}")
+    connections = max(1, min(connections, tenants))
+    clients = [
+        await ServiceClient.connect(host, port) for _ in range(connections)
+    ]
+    try:
+        before = (await clients[0].stats())
+        submissions = []
+        for t in range(tenants):
+            for r in range(requests_per_tenant):
+                submissions.append(
+                    _one_submission(
+                        clients[t % connections],
+                        f"{tenant_prefix}-{t:04d}",
+                        scenario,
+                        grid,
+                        t if distinct_seeds else seed,
+                        max_retries,
+                        retry_delay,
+                    )
+                )
+        wall_start = time.perf_counter()
+        results = await asyncio.gather(*submissions)
+        wall = time.perf_counter() - wall_start
+        after = (await clients[0].stats())
+    finally:
+        for client in clients:
+            await client.close()
+
+    latencies = [r["latency"] for r in results]
+    ok = sum(1 for r in results if r["ok"])
+    delta = {
+        key: after["stats"][key] - before["stats"][key]
+        for key in after.get("stats", {})
+        if key in before.get("stats", {})
+    }
+    tasks = delta.get("tasks_submitted", 0)
+    report = {
+        "tenants": tenants,
+        "requests": len(results),
+        "requests_ok": ok,
+        "requests_failed": len(results) - ok,
+        "connections": connections,
+        "scenario": scenario if isinstance(scenario, str) else "<inline spec>",
+        "grid": grid or {},
+        "distinct_seeds": distinct_seeds,
+        "wall_seconds": wall,
+        "throughput_rps": len(results) / wall if wall > 0 else 0.0,
+        "retries": sum(r["retries"] for r in results),
+        "latency": {
+            "p50": percentile(latencies, 50),
+            "p95": percentile(latencies, 95),
+            "p99": percentile(latencies, 99),
+            "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "min": min(latencies) if latencies else 0.0,
+            "max": max(latencies) if latencies else 0.0,
+        },
+        "server_delta": delta,
+        "hit_ratio": (delta.get("warm_hits", 0) / tasks) if tasks else None,
+        "server": {
+            "workers": after.get("workers"),
+            "pool_generation": after.get("pool_generation"),
+            "store": after.get("store"),
+        },
+    }
+    return report

@@ -1,0 +1,129 @@
+"""Start-time fair queueing of simulator capacity across tenants.
+
+This is :class:`repro.des.sharing.FairShareLink`'s virtual-service
+accounting dog-fooded at the control plane: instead of flows sharing
+link bandwidth, tenants share pool workers.  The link tracks one
+link-wide ``_virtual`` ("bytes served to every active flow since the
+busy period began") and stamps each flow a *finish tag* at admission;
+the active set is a min-heap keyed ``(finish_tag, seq)``.  The queue
+here does exactly the same with task cost in place of bytes:
+
+* each tenant carries a *virtual finish time* -- the tag of its last
+  admitted task;
+* a task of cost ``c`` from tenant ``t`` is stamped
+  ``start = max(V, tag[t])``, ``finish = start + c / weight`` (an idle
+  tenant re-enters at the current virtual time ``V``, never banking
+  idle credit -- the start-time rule that makes fair queueing fair);
+* :meth:`pop` always dispatches the smallest ``(finish_tag, seq)`` and
+  advances ``V`` to it, so a tenant that queued 1000 tasks and a tenant
+  that queued one interleave 1:1 instead of FIFO-starving the
+  latecomer;
+* when the queue drains, tags and ``V`` reset -- the same busy-period
+  reset the link performs.
+
+``seq`` breaks ties in admission order, making dispatch deterministic
+under equal tags (exactly the link's ``(finish_tag, seq)`` discipline).
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["FairShareQueue"]
+
+
+class _Entry:
+    """One queued task, ordered by (finish_tag, seq)."""
+
+    __slots__ = ("finish_tag", "seq", "tenant", "item")
+
+    def __init__(self, finish_tag: float, seq: int, tenant: str, item: Any):
+        self.finish_tag = finish_tag
+        self.seq = seq
+        self.tenant = tenant
+        self.item = item
+
+    def __lt__(self, other: "_Entry") -> bool:
+        if self.finish_tag != other.finish_tag:
+            return self.finish_tag < other.finish_tag
+        return self.seq < other.seq
+
+
+class FairShareQueue:
+    """A weighted fair queue over tenants (see module docstring).
+
+    Not thread-safe by design: the service drives it from one asyncio
+    event loop, the same way the link is driven by one DES loop.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        #: Per-tenant virtual finish time of the last admitted task.
+        self._tenant_tag: Dict[str, float] = {}
+        #: Queue-wide virtual time (tag of the last dispatched task).
+        self._virtual = 0.0
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def virtual_time(self) -> float:
+        return self._virtual
+
+    def push(
+        self, tenant: str, item: Any, cost: float = 1.0, weight: float = 1.0
+    ) -> None:
+        """Admit one task of ``cost`` for ``tenant``.
+
+        ``weight > 1`` gives the tenant a proportionally larger share
+        (its tasks accrue virtual time more slowly).
+        """
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        start = max(self._virtual, self._tenant_tag.get(tenant, 0.0))
+        finish = start + cost / weight
+        self._tenant_tag[tenant] = finish
+        heappush(self._heap, _Entry(finish, self._seq, tenant, item))
+        self._seq += 1
+
+    def pop(self) -> Any:
+        """Dispatch the earliest-finishing task; advances virtual time."""
+        if not self._heap:
+            raise IndexError("pop from an empty FairShareQueue")
+        entry = heappop(self._heap)
+        self._virtual = max(self._virtual, entry.finish_tag)
+        if not self._heap:
+            # Busy period over: reset the clock so tags never grow
+            # without bound (the link's drain-time reset).
+            self._virtual = 0.0
+            self._tenant_tag.clear()
+        return entry.item
+
+    def drop(self, predicate: Callable[[Any], bool]) -> List[Any]:
+        """Remove every queued item matching ``predicate``; returns them.
+
+        Used to abort a tenant's queued work without draining the pool:
+        O(n) rebuild, which is fine at control-plane queue sizes.
+        """
+        dropped = [e.item for e in self._heap if predicate(e.item)]
+        if dropped:
+            self._heap = [e for e in self._heap if not predicate(e.item)]
+            heapify(self._heap)
+            if not self._heap:
+                self._virtual = 0.0
+                self._tenant_tag.clear()
+        return dropped
+
+    def queued_by_tenant(self) -> Dict[str, int]:
+        """Queued task count per tenant (for stats/ledger rendering)."""
+        counts: Dict[str, int] = {}
+        for entry in self._heap:
+            counts[entry.tenant] = counts.get(entry.tenant, 0) + 1
+        return counts

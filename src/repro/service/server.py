@@ -1,0 +1,794 @@
+"""The asyncio run service: admission, fair share, coalescing, execution.
+
+One process, one event loop, one process pool.  Clients speak a
+JSON-lines protocol (one request object per line, one response per
+request, matched by a client-chosen ``id`` so a single connection can
+pipeline many concurrent requests -- the load generator multiplexes
+hundreds of simulated tenants over a handful of sockets this way).
+
+Request lifecycle::
+
+    submit --> admission control --> per-digest resolution --> dispatch
+               backpressure/quota     warm | coalesce | fresh    fair share
+
+* **Admission** -- a submission is rejected (never queued) when the
+  fresh work it would enqueue overflows the bounded admission queue
+  (``reason: "backpressure"``) or the tenant's outstanding-task quota
+  (``reason: "quota"``).  Rejections are cheap and explicit; clients
+  retry with backoff.
+* **Per-digest resolution** -- each task's scenario digest is checked
+  against the store first (*warm*: answered without touching the pool),
+  then against the in-flight table (*coalesce*: join the existing
+  computation as another waiter), and only then becomes a *fresh*
+  computation on the fair-share queue.  Identical submissions cost one
+  execution no matter how many tenants ask.
+* **Dispatch** -- :class:`repro.service.scheduler.FairShareQueue`
+  (start-time fair queueing, the ``des/sharing`` algorithm at the
+  control plane) picks the next computation whenever a pool slot frees.
+* **Execution** -- the same module-level task function the sweep path
+  pools (:func:`repro.scenario.sweep._execute_point_timed` via
+  :func:`_run_computation_task`), so a service-computed artifact has
+  the same content address a ``repro-io scenario sweep`` would produce.
+  Results are cached under the same ``sweep/<digest>`` refs.
+* **Worker death** -- ``BrokenProcessPool`` never fails a job outright:
+  the pool is rebuilt (once per generation, whoever notices first) and
+  the computation is re-queued with its waiters intact, up to
+  ``crash_retries`` times.  Failures -- crash or in-task exception --
+  are **never cached**; ``store verify`` stays clean because nothing
+  partial is ever put.
+
+Completed jobs that computed fresh work land a ``service_job`` artifact
+plus a run document (``repro-io store ls``); warm-only jobs write
+nothing (pure store reads).  A debounced job ledger
+(``service-jobs.json``) next to the store feeds ``repro-io watch``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.ioutil import atomic_write_json
+from repro.jobs import ProgressLedger, load_ref_artifact, store_ref_artifact
+from repro.scenario import ScenarioError, ScenarioSpec, expand_grid, get_scenario
+from repro.scenario.sweep import _execute_point_timed, point_ref_name
+from repro.service.jobs import (
+    JOB_STATES,
+    SERVICE_LEDGER_NAME,
+    SERVICE_LEDGER_SCHEMA,
+    Computation,
+    Job,
+)
+from repro.service.scheduler import FairShareQueue
+from repro.store import RunArtifact, RunStore
+from repro.store.store import DEFAULT_STORE_DIR
+from repro.telemetry.collect import init_worker, merge_snapshot, worker_init_args
+
+log = logging.getLogger(__name__)
+
+__all__ = ["ServiceConfig", "RunService", "DISCOVERY_NAME"]
+
+#: Service discovery file, written next to the job ledger.
+DISCOVERY_NAME = "service.json"
+DISCOVERY_SCHEMA = "repro.service.discovery/1"
+
+#: Most recent jobs retained in the ledger document (counters in the
+#: ledger's ``stats`` block stay cumulative beyond this window).
+LEDGER_MAX_JOBS = 500
+
+#: Maximum protocol line length (sweep submissions carry full specs).
+_STREAM_LIMIT = 16 * 1024 * 1024
+
+
+def _run_computation_task(scenario_json: str):
+    """Pool-side task: exactly the sweep path's timed point execution.
+
+    Module-level so it pickles by reference; running the *same* function
+    as ``repro-io scenario sweep`` is what makes service artifacts land
+    at identical content addresses.
+    """
+    return _execute_point_timed(scenario_json)
+
+
+def _chaos_exit() -> None:  # pragma: no cover - dies by design
+    """Chaos hook: kill the worker that runs this (``--enable-chaos``)."""
+    os._exit(42)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`RunService` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, resolved at start
+    store_dir: Path = Path(DEFAULT_STORE_DIR)
+    #: Pool worker processes (concurrent computations).
+    workers: int = 2
+    #: Admission-queue capacity in *fresh computations*; submissions
+    #: that would overflow it are rejected (backpressure).
+    queue_limit: int = 256
+    #: Per-tenant cap on outstanding (queued + running + waited-on) tasks.
+    tenant_quota: int = 64
+    #: Re-queues per computation after a worker-process death.
+    crash_retries: int = 2
+    #: Serve/populate the store-backed cache (warm hits, sweep refs).
+    use_cache: bool = True
+    #: Job ledger + discovery file directory (default: store parent).
+    state_dir: Optional[Path] = None
+    #: Seconds between debounced ledger flushes.
+    ledger_interval: float = 0.5
+    #: Allow the ``chaos-kill`` op (tests, CI smoke).
+    enable_chaos: bool = False
+    #: Precomputed source digest (recomputed at start when ``None``).
+    source_digest: Optional[str] = None
+
+    def resolved_state_dir(self) -> Path:
+        return Path(
+            self.state_dir if self.state_dir is not None
+            else Path(self.store_dir).parent
+        )
+
+
+class RunService:
+    """One service instance; see the module docstring for the design."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.store = RunStore(self.config.store_dir)
+        self.started = time.time()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue = FairShareQueue()
+        #: digest -> live (non-terminal) computation, for coalescing.
+        self._inflight: Dict[str, Computation] = {}
+        self._jobs: Dict[str, Job] = {}
+        self._finished_jobs: set = set()
+        self._job_ids = itertools.count(1)
+        self._outstanding: Dict[str, int] = {}
+        self._running_count = 0
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._wake = asyncio.Event()
+        self._tasks: set = set()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._pool_lock = asyncio.Lock()
+        self._source_digest = self.config.source_digest
+        self.stats: Dict[str, int] = {
+            "jobs_submitted": 0,
+            "tasks_submitted": 0,
+            "computed": 0,
+            "warm_hits": 0,
+            "coalesced": 0,
+            "done": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "requeued": 0,
+            "rejected_backpressure": 0,
+            "rejected_quota": 0,
+        }
+        state_dir = self.config.resolved_state_dir()
+        self.ledger_path = state_dir / SERVICE_LEDGER_NAME
+        self.discovery_path = state_dir / DISCOVERY_NAME
+        self._ledger = ProgressLedger(
+            self.ledger_path,
+            SERVICE_LEDGER_SCHEMA,
+            (),
+            statuses=JOB_STATES,
+            item_key="jobs",
+            extra=self._ledger_extra,
+        )
+        self._ledger_dirty = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start the dispatcher/ledger tasks, write discovery."""
+        if self._source_digest is None:
+            from repro.experiments.runner import source_digest
+
+            self._source_digest = await asyncio.get_running_loop()\
+                .run_in_executor(None, source_digest)
+        self._new_pool()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=_STREAM_LIMIT,
+        )
+        sock = self._server.sockets[0].getsockname()
+        self.host, self.port = sock[0], sock[1]
+        self._spawn(self._dispatch_loop(), name="dispatch")
+        self._spawn(self._ledger_loop(), name="ledger")
+        atomic_write_json(
+            {
+                "schema": DISCOVERY_SCHEMA,
+                "host": self.host,
+                "port": self.port,
+                "pid": os.getpid(),
+                "started": self.started,
+                "store": str(self.store.root),
+                "ledger": str(self.ledger_path),
+            },
+            self.discovery_path,
+        )
+        self._write_ledger()
+        log.info(
+            "run service listening on %s:%d (workers=%d, store=%s)",
+            self.host, self.port, self.config.workers, self.store.root,
+        )
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel queued work, drain tasks, final ledger.
+
+        Idempotent: a second concurrent caller waits for the first to
+        finish (so e.g. ``serve_forever``'s cleanup path cannot let the
+        loop die while a ``shutdown`` op's stop() is still writing the
+        final ledger)."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        self._wake.set()
+        try:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            # Cancel everything still queued; running computations are
+            # abandoned (their pool futures are orphaned by the shutdown).
+            for comp in self._queue.drop(lambda c: True):
+                self._resolve(comp, "cancelled", error="service shutting down")
+            pending = list(self._tasks)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            self._write_ledger(finished=True)
+            try:
+                self.discovery_path.unlink()
+            except OSError:
+                pass
+        finally:
+            self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and run until cancelled."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            pass
+
+    def _spawn(self, coro, name: str) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro, name=name)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    # -- process pool --------------------------------------------------------
+
+    def _new_pool(self) -> None:
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=init_worker,
+            initargs=worker_init_args(),
+        )
+        self._pool_generation += 1
+
+    async def _rebuild_pool(self, seen_generation: int) -> None:
+        """Replace a broken pool exactly once per generation.
+
+        Every in-flight computation whose future died calls this with
+        the generation it submitted against; the first caller rebuilds,
+        the rest see the bumped generation and return.
+        """
+        async with self._pool_lock:
+            if self._pool_generation != seen_generation:
+                return
+            old = self._pool
+            log.warning(
+                "process pool (generation %d) broke; rebuilding",
+                seen_generation,
+            )
+            self._new_pool()
+            if old is not None:
+                old.shutdown(wait=False)
+
+    # -- dispatch and execution ----------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while not self._stopping:
+            self._wake.clear()
+            while self._queue and self._running_count < self.config.workers:
+                comp = self._queue.pop()
+                if comp.state != "queued":
+                    continue  # cancelled while queued
+                comp.state = "running"
+                self._running_count += 1
+                self._ledger_dirty = True
+                self._spawn(
+                    self._run_computation(comp), name=f"comp:{comp.digest[:8]}"
+                )
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=0.5)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _run_computation(self, comp: Computation) -> None:
+        loop = asyncio.get_running_loop()
+        generation = self._pool_generation
+        try:
+            value = await loop.run_in_executor(
+                self._pool, _run_computation_task, comp.scenario_json
+            )
+        except BrokenProcessPool as exc:
+            await self._rebuild_pool(generation)
+            comp.attempts += 1
+            if self._stopping:
+                self._resolve(comp, "cancelled", error="service shutting down")
+            elif comp.attempts <= self.config.crash_retries:
+                # Re-queue with waiters intact: a transient kill must not
+                # fail N tenants' jobs.  Nothing was cached (the worker
+                # died before any put), so the retry recomputes cleanly.
+                log.warning(
+                    "computation %s lost its worker (attempt %d/%d); "
+                    "re-queueing with %d waiter(s)",
+                    comp.name, comp.attempts, self.config.crash_retries,
+                    len(comp.jobs),
+                )
+                comp.state = "queued"
+                self.stats["requeued"] += 1
+                self._queue.push(comp.jobs[0].tenant if comp.jobs else "-",
+                                 comp)
+                self._ledger_dirty = True
+            else:
+                self._resolve(
+                    comp, "failed",
+                    error=f"worker process crashed repeatedly "
+                          f"({type(exc).__name__}: {exc})",
+                )
+        except asyncio.CancelledError:
+            self._resolve(comp, "cancelled", error="service shutting down")
+            raise
+        except Exception as exc:
+            # Deterministic in-task failure: contained, never cached.
+            self._resolve(
+                comp, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            outcome, seconds, snap = value
+            merge_snapshot(snap)
+            artifact = RunArtifact.from_sweep_point(outcome)
+            if self.config.use_cache:
+                digest = store_ref_artifact(
+                    self.store,
+                    point_ref_name(comp.digest, self._source_digest),
+                    artifact,
+                    meta={
+                        "scenario_digest": comp.digest,
+                        "source_digest": self._source_digest,
+                    },
+                )
+            else:
+                digest = artifact.digest()
+            self.stats["computed"] += 1
+            self._resolve(comp, "done", seconds=seconds, artifact=digest)
+        finally:
+            self._running_count -= 1
+            self._wake.set()
+
+    def _resolve(self, comp: Computation, state: str, **kwargs: Any) -> None:
+        """Terminal transition + all the bookkeeping around it."""
+        waiters = list(comp.jobs)
+        comp.resolve(state, **kwargs)
+        self._inflight.pop(comp.digest, None)
+        for job in waiters:
+            self._outstanding[job.tenant] = max(
+                0, self._outstanding.get(job.tenant, 0) - 1
+            )
+            if job.done_event.is_set():
+                self._finish_job(job)
+        self._ledger_dirty = True
+
+    def _finish_job(self, job: Job) -> None:
+        """Land a finished job's run document (fresh-compute jobs only).
+
+        Idempotent per job: a job that waited on the same computation
+        through several slots is notified once per slot."""
+        if job.job_id in self._finished_jobs:
+            return
+        self._finished_jobs.add(job.job_id)
+        state = job.state
+        if state in ("done", "failed", "cancelled"):
+            self.stats[state] += 1
+        fresh_done = [
+            c for c in job.computations
+            if c.state == "done" and not c.cached
+        ]
+        if not fresh_done or not self.config.use_cache:
+            return
+        try:
+            doc = job.document()
+            manifest_digest = self.store.put(RunArtifact.from_service_job(doc))
+            artifacts = {
+                c.name: c.artifact
+                for c in job.computations
+                if c.state == "done" and c.artifact is not None
+            }
+            job.run_id = self.store.add_run(
+                "service", manifest_digest, artifacts, created=job.finished
+            )
+        except OSError as exc:  # pragma: no cover - store on a bad disk
+            log.warning("could not land run document for %s: %s",
+                        job.job_id, exc)
+
+    # -- admission -----------------------------------------------------------
+
+    def _resolve_specs(
+        self, req: Dict[str, Any]
+    ) -> Tuple[str, List[Tuple[str, ScenarioSpec]]]:
+        """Turn a submit request into named, validated scenario specs."""
+        scenario = req.get("scenario")
+        if isinstance(scenario, str):
+            base = get_scenario(scenario)
+        elif isinstance(scenario, dict):
+            base = ScenarioSpec.from_dict(scenario)
+        else:
+            raise ScenarioError(
+                "submit needs 'scenario': a preset name or a spec object"
+            )
+        seed = req.get("seed")
+        if seed is not None:
+            base = base.with_seed(int(seed))
+        grid = req.get("grid") or {}
+        if grid:
+            points = expand_grid(base, grid)
+            return "sweep", [(p.name, p.scenario) for p in points]
+        return "scenario", [(base.name, base.validate())]
+
+    def _admit(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Admission control + per-digest resolution; returns the response
+        skeleton (the job is registered on success)."""
+        tenant = str(req.get("tenant") or "anonymous")
+        try:
+            kind, specs = self._resolve_specs(req)
+        except (ScenarioError, KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "reason": "bad-request", "error": str(exc)}
+
+        resolved: List[Tuple[str, str, str]] = []  # (name, digest, json)
+        for name, spec in specs:
+            resolved.append((name, spec.digest(), spec.canonical_json()))
+
+        # Classify before creating anything, so rejections are side-effect
+        # free: warm (store hit), coalesce (in-flight), fresh (new work).
+        warm: Dict[str, str] = {}  # digest -> artifact digest
+        fresh_digests: List[str] = []
+        seen_fresh: set = set()
+        for name, digest, _payload in resolved:
+            if digest in self._inflight or digest in warm \
+                    or digest in seen_fresh:
+                continue  # coalesces, or duplicate inside this submission
+            hit = self._warm_lookup(digest) if self.config.use_cache else None
+            if hit is not None:
+                warm[digest] = hit
+            else:
+                seen_fresh.add(digest)
+                fresh_digests.append(digest)
+
+        if len(self._queue) + len(fresh_digests) > self.config.queue_limit:
+            self.stats["rejected_backpressure"] += 1
+            return {
+                "ok": False, "reason": "backpressure", "retry": True,
+                "error": f"admission queue full "
+                         f"({len(self._queue)}/{self.config.queue_limit})",
+            }
+        outstanding = self._outstanding.get(tenant, 0)
+        n_new = len(resolved) - len([
+            1 for _n, d, _p in resolved if d in warm
+        ])
+        if outstanding + n_new > self.config.tenant_quota:
+            self.stats["rejected_quota"] += 1
+            return {
+                "ok": False, "reason": "quota", "retry": True,
+                "error": f"tenant {tenant!r} quota exceeded "
+                         f"({outstanding}+{n_new} > "
+                         f"{self.config.tenant_quota})",
+            }
+
+        # Build the job: every slot points at a computation.
+        computations: List[Computation] = []
+        by_digest: Dict[str, Computation] = {}
+        n_warm = n_coalesced = 0
+        for name, digest, payload in resolved:
+            if digest in by_digest:  # duplicate point in this submission
+                comp = by_digest[digest]
+                n_coalesced += 1
+            elif digest in self._inflight:
+                comp = self._inflight[digest]
+                n_coalesced += 1
+                self.stats["coalesced"] += 1
+            elif digest in warm:
+                artifact_digest = warm[digest]
+                comp = Computation(digest, payload, name)
+                comp.resolve(
+                    "done", artifact=artifact_digest, cached=True
+                )
+                n_warm += 1
+                self.stats["warm_hits"] += 1
+            else:
+                comp = Computation(digest, payload, name)
+                self._inflight[digest] = comp
+                self._queue.push(tenant, comp)
+            by_digest[digest] = comp
+            computations.append(comp)
+
+        job = Job(
+            f"job-{next(self._job_ids):05d}",
+            tenant, kind, computations,
+            warm=n_warm, coalesced=n_coalesced,
+        )
+        self._jobs[job.job_id] = job
+        self._outstanding[tenant] = (
+            self._outstanding.get(tenant, 0) + job.outstanding
+        )
+        self.stats["jobs_submitted"] += 1
+        self.stats["tasks_submitted"] += len(computations)
+        if job.done_event.is_set():
+            self._finish_job(job)
+        self._ledger_dirty = True
+        self._wake.set()
+        return {"ok": True, "job": job}
+
+    def _warm_lookup(self, digest: str) -> Optional[str]:
+        """Store lookup for one scenario digest -> its artifact digest."""
+        artifact, _status = load_ref_artifact(
+            self.store,
+            point_ref_name(digest, self._source_digest),
+            self._source_digest,
+            kind="sweep_point",
+        )
+        if artifact is None:
+            return None
+        return artifact.digest()
+
+    # -- protocol ------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        send_lock = asyncio.Lock()
+        conn_tasks: set = set()
+
+        async def send(doc: Dict[str, Any]) -> None:
+            async with send_lock:
+                writer.write(json.dumps(doc).encode("utf-8") + b"\n")
+                await writer.drain()
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    req = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await send({"ok": False, "error": f"bad json: {exc}"})
+                    continue
+                task = self._spawn(
+                    self._serve_request(req, send), name="request"
+                )
+                conn_tasks.add(task)
+                task.add_done_callback(conn_tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop/server teardown while blocked on readline: exit the
+            # handler cleanly (asyncio's stream glue logs the exception
+            # of a cancelled handler task otherwise).
+            pass
+        finally:
+            for task in list(conn_tasks):
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+            log.debug("connection from %s closed", peer)
+
+    async def _serve_request(
+        self, req: Dict[str, Any], send: Callable
+    ) -> None:
+        op = req.get("op")
+        handler = getattr(self, f"_op_{str(op).replace('-', '_')}", None)
+        if handler is None:
+            response = {"ok": False, "error": f"unknown op {op!r}"}
+        else:
+            try:
+                response = await handler(req)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                log.exception("op %s failed", op)
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if "id" in req:
+            response["id"] = req["id"]
+        try:
+            await send(response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the work (if any) still completes
+
+    # -- ops -----------------------------------------------------------------
+
+    async def _op_ping(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "pong": time.time(), "pid": os.getpid()}
+
+    async def _op_submit(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        admitted = self._admit(req)
+        if not admitted["ok"]:
+            return admitted
+        job: Job = admitted["job"]
+        if req.get("wait", True):
+            await job.done_event.wait()
+            doc = job.document()
+            doc["ok"] = job.state == "done"
+            doc["latency"] = job.finished - job.submitted
+            return doc
+        return {
+            "ok": True,
+            "job_id": job.job_id,
+            "state": job.state,
+            "total": len(job.computations),
+            "warm": job.warm,
+            "coalesced": job.coalesced,
+        }
+
+    async def _op_wait(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._jobs.get(req.get("job_id"))
+        if job is None:
+            return {"ok": False, "error": f"unknown job {req.get('job_id')!r}"}
+        await job.done_event.wait()
+        doc = job.document()
+        doc["ok"] = job.state == "done"
+        doc["latency"] = job.finished - job.submitted
+        return doc
+
+    async def _op_status(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._jobs.get(req.get("job_id"))
+        if job is None:
+            return {"ok": False, "error": f"unknown job {req.get('job_id')!r}"}
+        doc = job.document()
+        doc["ok"] = True
+        return doc
+
+    async def _op_jobs(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = req.get("tenant")
+        rows = {
+            job.job_id: job.summary()
+            for job in self._jobs.values()
+            if tenant is None or job.tenant == tenant
+        }
+        return {"ok": True, "jobs": rows}
+
+    async def _op_cancel(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Cancel queued work for one job id or a whole tenant.
+
+        Each cancelled job *abandons* the queued computations it waits
+        on; a computation left with no waiters is dropped from the
+        queue.  Sequential cancels therefore compose -- when the last
+        tenant coalesced onto a computation cancels, the work is
+        dropped, while a computation another tenant still wants keeps
+        its place and keeps running.  Running computations always
+        finish: their result is still cacheable.
+        """
+        job_id, tenant = req.get("job_id"), req.get("tenant")
+        if job_id is not None:
+            targets = [j for j in (self._jobs.get(job_id),) if j is not None]
+            if not targets:
+                return {"ok": False, "error": f"unknown job {job_id!r}"}
+        elif tenant is not None:
+            targets = [
+                j for j in self._jobs.values()
+                if j.tenant == tenant and j.finished is None
+            ]
+        else:
+            return {"ok": False, "error": "cancel needs job_id or tenant"}
+
+        for job in targets:
+            released = 0
+            for comp in job.computations:
+                if comp.state == "queued":
+                    released += job.abandon(comp)
+            if released:
+                self._outstanding[job.tenant] = max(
+                    0, self._outstanding.get(job.tenant, 0) - released
+                )
+                if job.done_event.is_set():
+                    self._finish_job(job)
+        dropped = self._queue.drop(
+            lambda comp: comp.state == "queued" and not comp.jobs
+        )
+        for comp in dropped:
+            self._resolve(comp, "cancelled", error="cancelled by client")
+        self._ledger_dirty = True
+        return {
+            "ok": True,
+            "cancelled": [j.job_id for j in targets],
+            "dropped": len(dropped),
+        }
+
+    async def _op_stats(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "stats": dict(self.stats),
+            "queue": len(self._queue),
+            "running": self._running_count,
+            "inflight": len(self._inflight),
+            "jobs": len(self._jobs),
+            "tenants": self._queue.queued_by_tenant(),
+            "uptime": time.time() - self.started,
+            "workers": self.config.workers,
+            "pool_generation": self._pool_generation,
+            "store": str(self.store.root),
+            "source_digest": self._source_digest,
+        }
+
+    async def _op_chaos_kill(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Kill one pool worker (chaos testing; gated by configuration)."""
+        if not self.config.enable_chaos:
+            return {"ok": False, "error": "chaos ops disabled (--enable-chaos)"}
+        generation = self._pool_generation
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(self._pool, _chaos_exit)
+        except BrokenProcessPool:
+            await self._rebuild_pool(generation)
+        except Exception:  # pragma: no cover - platform-dependent surface
+            await self._rebuild_pool(generation)
+        return {"ok": True, "killed": 1, "pool_generation": self._pool_generation}
+
+    async def _op_shutdown(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        # Delay slightly so this response flushes before stop() cancels
+        # the request task that is sending it.
+        loop = asyncio.get_running_loop()
+        loop.call_later(0.05, lambda: loop.create_task(self.stop()))
+        return {"ok": True, "stopping": True}
+
+    # -- ledger --------------------------------------------------------------
+
+    def _ledger_extra(self) -> Dict[str, Any]:
+        return {
+            "service": {
+                "host": self.host,
+                "port": self.port,
+                "pid": os.getpid(),
+                "workers": self.config.workers,
+                "store": str(self.store.root),
+            },
+            "queue": len(self._queue),
+            "running": self._running_count,
+            "tenants": self._queue.queued_by_tenant(),
+            "stats": dict(self.stats),
+        }
+
+    def _write_ledger(self, finished: bool = False) -> None:
+        recent = list(self._jobs.values())[-LEDGER_MAX_JOBS:]
+        self._ledger.items = {j.job_id: j.summary() for j in recent}
+        self._ledger.write(finished=finished)
+        self._ledger_dirty = False
+
+    async def _ledger_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.config.ledger_interval)
+            if self._ledger_dirty:
+                self._write_ledger()

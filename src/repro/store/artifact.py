@@ -36,6 +36,7 @@ KINDS: Dict[str, str] = {
     "timeseries": "simulation-clock time-series snapshot (probe samples)",
     "host": "host/interpreter metadata",
     "bench": "benchmark report or baseline",
+    "service_job": "run-service job document (tenant, tasks, outcomes)",
 }
 
 
@@ -139,6 +140,11 @@ class RunArtifact:
     def from_bench(cls, report: Mapping[str, Any]) -> "RunArtifact":
         return cls(kind="bench", payload=report)
 
+    @classmethod
+    def from_service_job(cls, doc: Mapping[str, Any]) -> "RunArtifact":
+        """Wrap a run-service job document (see :mod:`repro.service`)."""
+        return cls(kind="service_job", payload=doc)
+
     def describe(self) -> str:
         """One-line human summary, used by ``repro-io store ls/show``."""
         p = self.payload
@@ -174,4 +180,10 @@ class RunArtifact:
             return f"host: {p.get('host', '?')} python {p.get('python', '?')}"
         if self.kind == "bench":
             return f"bench: {len(p.get('median_seconds', p))} benchmark(s)"
+        if self.kind == "service_job":
+            return (
+                f"service job {p.get('job_id', '?')} [{p.get('state', '?')}]: "
+                f"tenant {p.get('tenant', '?')}, "
+                f"{len(p.get('tasks', ()))} task(s)"
+            )
         return self.kind  # pragma: no cover - KINDS is exhaustive

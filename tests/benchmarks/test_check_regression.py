@@ -169,16 +169,19 @@ def test_scale_tier_smoke_skips_gate(harness, tmp_path):
 
 
 @needs_numpy
-def test_tier_all_runs_both(harness, tmp_path):
+def test_tier_all_runs_every_tier(harness, tmp_path):
     kernel_out = tmp_path / "kernel.json"
     scale_out = tmp_path / "scale.json"
+    service_out = tmp_path / "service.json"
     rc = harness.main(["--tier", "all", "--smoke", "--scale", "0.002",
                        "--output", str(kernel_out),
-                       "--scale-output", str(scale_out)])
+                       "--scale-output", str(scale_out),
+                       "--service-output", str(service_out)])
     assert rc == 0
     assert set(json.loads(kernel_out.read_text())["median_seconds"]) == \
         set(harness.BENCHMARKS)
     assert json.loads(scale_out.read_text())["tier"] == "scale"
+    assert json.loads(service_out.read_text())["tier"] == "service"
 
 
 def test_default_tier_leaves_scale_report_untouched(harness, tmp_path):
@@ -197,6 +200,66 @@ def test_committed_scale_baseline_matches_arm_set(harness):
     )
     for key in ("reference", "reference_min"):
         assert set(baseline[key]) == SCALE_ARM_NAMES, key
+
+
+# ---------------------------------------------------------------------------
+# Service tier
+# ---------------------------------------------------------------------------
+
+def test_service_tier_smoke_writes_report(harness, tmp_path):
+    out = tmp_path / "service.json"
+    rc = harness.main(["--tier", "service", "--smoke", "--scale", "0.01",
+                       "--service-output", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["tier"] == "service"
+    assert report["smoke"] is True
+    assert report["gate_failures"] == []
+    # The correctness gates hold at any scale: warm storm served
+    # entirely from the store, dedup storm computed exactly once,
+    # store intact after all load.
+    assert report["hit_ratio"] == 1.0
+    assert report["dedup"]["server_delta"]["computed"] == 1
+    assert report["store_verify_problems"] == 0
+    assert report["warm"]["requests"] == report["tenants"]
+    assert report["warm"]["requests_failed"] == 0
+    assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"] > 0
+
+
+def test_service_tier_smoke_skips_latency_gate(harness, tmp_path):
+    baseline = tmp_path / "service_baseline.json"
+    baseline.write_text(json.dumps({
+        "reference_ms": {"p50_ms": 1e-12, "p99_ms": 1e-12},
+    }))
+    out = tmp_path / "service.json"
+    rc = harness.main(["--tier", "service", "--smoke", "--scale", "0.01",
+                       "--service-baseline", str(baseline),
+                       "--service-output", str(out)])
+    assert rc == 0  # smoke mode never gates on timings
+    assert json.loads(out.read_text())["regressions"] == {}
+
+
+def test_committed_service_baseline_feeds_the_gate(harness):
+    baseline = json.loads(
+        (SCRIPT.parent / "BENCH_SERVICE_BASELINE.json").read_text()
+    )
+    assert set(baseline["reference_ms"]) == {"p50_ms", "p99_ms"}
+    assert baseline["tenants"] >= 1000
+
+
+def test_committed_service_report_supports_the_claim():
+    """BENCH_PR8.json is a committed artifact: re-validate its claims."""
+    report = json.loads(
+        (SCRIPT.parents[1] / "BENCH_PR8.json").read_text()
+    )
+    assert report["tier"] == "service"
+    assert report["smoke"] is False and report["scale"] == 1.0
+    assert report["ok"] is True and report["gate_failures"] == []
+    assert report["tenants"] >= 1000
+    assert report["hit_ratio"] == 1.0
+    assert report["warm"]["requests_failed"] == 0
+    assert report["dedup"]["server_delta"]["computed"] == 1
+    assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"] > 0
 
 
 @needs_numpy

@@ -1,0 +1,74 @@
+"""Progress ledgers: atomic per-item status documents for watchers."""
+
+import json
+
+import pytest
+
+from repro.jobs import ProgressLedger
+
+
+def _read(path):
+    return json.loads(path.read_text())
+
+
+def test_initial_items_default_to_first_status(tmp_path):
+    ledger = ProgressLedger(tmp_path / "l.json", "test/1", ["a", "b"])
+    assert ledger.items == {"a": {"status": "pending"},
+                            "b": {"status": "pending"}}
+    assert ledger.counts() == {"pending": 2, "cached": 0, "done": 0, "failed": 0}
+
+
+def test_mark_validates_status(tmp_path):
+    ledger = ProgressLedger(tmp_path / "l.json", "test/1", ["a"])
+    with pytest.raises(ValueError, match="unknown ledger status"):
+        ledger.mark("a", "exploded")
+
+
+def test_mark_done_flushes_and_records_error(tmp_path):
+    path = tmp_path / "l.json"
+    ledger = ProgressLedger(path, "test/1", ["a", "b"])
+    ledger.mark_done("a", 1.25, None)
+    ledger.mark_done("b", 0.5, "ValueError: nope")
+    doc = _read(path)
+    assert doc["schema"] == "test/1"
+    assert doc["points"]["a"] == {"status": "done", "seconds": 1.25}
+    assert doc["points"]["b"] == {"status": "failed", "seconds": 0.5,
+                                   "error": "ValueError: nope"}
+    assert doc["counts"]["done"] == 1 and doc["counts"]["failed"] == 1
+    assert doc["finished"] is False
+
+
+def test_mark_cached_does_not_write(tmp_path):
+    path = tmp_path / "l.json"
+    ledger = ProgressLedger(path, "test/1", ["a"])
+    ledger.mark_cached("a")
+    assert not path.exists()  # the caller batches one flush after the scan
+    assert ledger.items["a"]["status"] == "cached"
+
+
+def test_extra_callable_is_evaluated_at_write_time(tmp_path):
+    path = tmp_path / "l.json"
+    counters = {"jobs": 0}
+    ledger = ProgressLedger(
+        path, "test/1", [], extra=lambda: {"live": dict(counters)},
+        statuses=("queued", "done"), item_key="jobs",
+    )
+    counters["jobs"] = 7
+    ledger.write(finished=True)
+    doc = _read(path)
+    assert doc["live"] == {"jobs": 7}
+    assert doc["finished"] is True
+    assert doc["jobs"] == {}
+    assert "points" not in doc
+
+
+def test_custom_statuses_and_item_key(tmp_path):
+    path = tmp_path / "l.json"
+    ledger = ProgressLedger(
+        path, "svc/1", ["j1"], statuses=("queued", "running", "done"),
+        item_key="jobs",
+    )
+    ledger.mark("j1", "running", write=True, tenant="t")
+    doc = _read(path)
+    assert doc["jobs"]["j1"] == {"status": "running", "tenant": "t"}
+    assert doc["counts"] == {"queued": 0, "running": 1, "done": 0}
