@@ -330,9 +330,13 @@ def run_service_bench(
 ):
     """Boot an in-process service and drive the three load phases.
 
-    Returns ``(cold, warm, dedup, verify_problems)`` where the first
-    three are :func:`repro.service.loadgen.run_load` reports and the
-    last is the result of ``store.verify()`` after all load.
+    Returns ``(cold, warm, dedup, verify_problems, journal)`` where the
+    first three are :func:`repro.service.loadgen.run_load` reports,
+    ``verify_problems`` is the result of ``store.verify()`` after all
+    load, and ``journal`` summarizes write-ahead journal activity --
+    including how many records the warm storm appended, which must be
+    zero (warm-only jobs are never journaled, so crash durability adds
+    no fsyncs to the gated warm path).
     """
     import asyncio
     import tempfile
@@ -355,12 +359,36 @@ def run_service_bench(
                 cold = await run_load(
                     host, port, tenants=1, connections=1, scenario="tiny",
                 )
+                if service._journal is not None:
+                    # Flush cold-phase stragglers (complete/land records
+                    # are appended after the client is answered) so the
+                    # warm-phase delta measures the warm storm alone.
+                    await service._journal.commit()
+                    warm_journal_before = dict(service._journal.stats)
+                else:
+                    warm_journal_before = None
                 # Phase 2 (warm storm): every tenant submits the now-cached
                 # scenario; the service must answer all of it from the store.
                 warm = await run_load(
                     host, port, tenants=tenants, connections=connections,
                     scenario="tiny",
                 )
+                if service._journal is not None:
+                    await service._journal.commit()  # settle any stragglers
+                    journal = {
+                        "enabled": True,
+                        "stats": dict(service._journal.stats),
+                        "warm_records": (
+                            service._journal.stats["records"]
+                            - warm_journal_before["records"]
+                        ),
+                        "warm_fsync_batches": (
+                            service._journal.stats["fsync_batches"]
+                            - warm_journal_before["fsync_batches"]
+                        ),
+                    }
+                else:
+                    journal = {"enabled": False}
                 # Phase 3 (dedup storm): concurrent identical *fresh*
                 # submissions (a seed nobody has computed) must coalesce
                 # onto exactly one computation.
@@ -373,7 +401,7 @@ def run_service_bench(
                 verify = service.store.verify()
             finally:
                 await service.stop()
-            return cold, warm, dedup, verify
+            return cold, warm, dedup, verify, journal
 
     return asyncio.run(drive())
 
@@ -387,7 +415,9 @@ def _service_main(args, rounds: int, scale: float) -> int:
         with open(args.service_baseline, "r", encoding="utf-8") as fh:
             baseline = json.load(fh)
 
-    cold, warm, dedup, verify = run_service_bench(tenants, connections)
+    cold, warm, dedup, verify, journal = run_service_bench(
+        tenants, connections
+    )
 
     latency_ms = {k: v * 1e3 for k, v in warm["latency"].items()}
     gated = not args.smoke and scale == 1.0
@@ -416,6 +446,19 @@ def _service_main(args, rounds: int, scale: float) -> int:
         gate_failures.append(
             f"dedup storm ran {computed} computation(s), expected exactly 1"
         )
+    # Durability must be on and free on the warm path: the bench service
+    # runs with the journal enabled, yet warm-only jobs append nothing,
+    # so the 100%-hit storm performs zero journal writes or fsyncs.
+    if not journal.get("enabled"):
+        gate_failures.append(
+            "service bench ran without the write-ahead journal"
+        )
+    elif journal["warm_records"] != 0:
+        gate_failures.append(
+            f"warm storm appended {journal['warm_records']} journal "
+            f"record(s) ({journal['warm_fsync_batches']} fsync batch(es)); "
+            f"the warm path must stay journal-free"
+        )
     regressions = compare(
         {"p50_ms": latency_ms["p50"], "p99_ms": latency_ms["p99"]},
         baseline.get("reference_ms"), args.service_tolerance,
@@ -434,6 +477,7 @@ def _service_main(args, rounds: int, scale: float) -> int:
         "latency_ms": latency_ms,
         "throughput_rps": warm["throughput_rps"],
         "hit_ratio": warm["hit_ratio"],
+        "journal": journal,
         "store_verify_problems": len(verify),
         "baseline_reference_ms": baseline.get("reference_ms"),
         "tolerance": args.service_tolerance,
@@ -456,6 +500,10 @@ def _service_main(args, rounds: int, scale: float) -> int:
           f"submissions -> {computed} computation(s), "
           f"{dedup['server_delta'].get('coalesced', 0)} coalesced, "
           f"{dedup['server_delta'].get('warm_hits', 0)} warm")
+    if journal.get("enabled"):
+        print(f"journal    : {journal['stats']['records']} record(s), "
+              f"{journal['stats']['fsync_batches']} fsync batch(es) total; "
+              f"warm storm appended {journal['warm_records']}")
     for name, row in regressions.items():
         print(f"{name}: REGRESSED {row['slowdown']:.2f}x "
               f"({row['current']:.2f} vs {row['reference']:.2f} ms)")

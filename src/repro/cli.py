@@ -483,8 +483,13 @@ def _cmd_telemetry(args) -> int:
     if isinstance(doc, dict) and doc.get("schema") == SWEEP_PROGRESS_SCHEMA:
         print(_render_sweep_progress(doc))
         return 0
-    print(f"{args.file}: not a repro trace, manifest, metrics, timeseries "
-          f"or sweep document", file=sys.stderr)
+    from repro.service.jobs import SERVICE_LEDGER_SCHEMA
+
+    if isinstance(doc, dict) and doc.get("schema") == SERVICE_LEDGER_SCHEMA:
+        print(_render_service_ledger(doc))
+        return 0
+    print(f"{args.file}: not a repro trace, manifest, metrics, timeseries, "
+          f"sweep or service-ledger document", file=sys.stderr)
     return 2
 
 
@@ -556,6 +561,9 @@ def _summarize_metrics(doc) -> int:
     section = _partition_section(metrics)
     if section:
         print(section)
+    section = _durability_section(metrics)
+    if section:
+        print(section)
     return 0
 
 
@@ -587,6 +595,37 @@ def _partition_section(metrics: dict) -> str:
                          f"{m.get('value', 0)}")
     if per_p:
         lines.append("  per-partition events: " + " ".join(per_p))
+    return "\n".join(lines)
+
+
+def _durability_section(metrics: dict) -> str:
+    """Render the crash-recovery digest of a metrics document (journal
+    write-ahead activity, boot replays, store scrub outcomes) -- empty
+    string when neither the journal nor the scrubber ran."""
+
+    def value(name):
+        return metrics.get(name, {}).get("value", 0)
+
+    records = value("service.journal.records")
+    replayed = value("service.journal.replayed")
+    passes = value("store.scrub.passes")
+    if not (records or replayed or passes):
+        return ""
+    lines = ["durability:"]
+    if records or replayed:
+        lines.append(
+            f"  journal: {records} record(s), "
+            f"{value('service.journal.fsync_batches')} fsync batch(es), "
+            f"{value('service.journal.compactions')} compaction(s), "
+            f"{replayed} computation(s) replayed"
+        )
+    if passes:
+        lines.append(
+            f"  scrub: {passes} pass(es), "
+            f"{value('store.scrub.scanned')} object(s) scanned, "
+            f"{value('store.scrub.healed')} healed, "
+            f"{value('store.scrub.quarantined')} quarantined"
+        )
     return "\n".join(lines)
 
 
@@ -776,6 +815,22 @@ def _render_service_ledger(doc, now: Optional[float] = None) -> str:
             f"  (rejected: {stats.get('rejected_backpressure', 0)} "
             f"backpressure, {stats.get('rejected_quota', 0)} quota)"
         )
+    journal = doc.get("journal")
+    if journal:
+        lines.append(
+            f"  journal: {journal.get('records', 0)} record(s), "
+            f"{journal.get('fsync_batches', 0)} fsync batch(es), "
+            f"{journal.get('compactions', 0)} compaction(s); "
+            f"{stats.get('replayed', 0)} replayed at boot"
+        )
+    scrub = doc.get("scrub", {})
+    if scrub.get("runs"):
+        lines.append(
+            f"  scrub: {scrub.get('runs', 0)} pass(es), "
+            f"{scrub.get('scanned', 0)} scanned, "
+            f"{scrub.get('healed', 0)} healed, "
+            f"{scrub.get('quarantined', 0)} quarantined"
+        )
     tenants = doc.get("tenants", {})
     if tenants:
         top = sorted(tenants.items(), key=lambda kv: -kv[1])[:5]
@@ -881,7 +936,8 @@ def _service_endpoint(args) -> "tuple[str, int]":
         return host or "127.0.0.1", int(port)
     from repro.service import load_discovery
 
-    doc = load_discovery(getattr(args, "state_dir", "results"))
+    doc = load_discovery(getattr(args, "state_dir", "results"),
+                         require_live=True)
     return doc["host"], doc["port"]
 
 
@@ -909,6 +965,9 @@ def _cmd_serve(args) -> int:
         tenant_quota=args.tenant_quota,
         use_cache=not args.no_cache,
         enable_chaos=args.enable_chaos,
+        journal=args.journal,
+        fsync_interval=args.fsync_interval,
+        scrub_interval=args.scrub_interval,
     )
     service = RunService(config)
 
@@ -919,6 +978,13 @@ def _cmd_serve(args) -> int:
         print(f"  store     {service.store.root}")
         print(f"  ledger    {service.ledger_path}")
         print(f"  discovery {service.discovery_path}")
+        if config.journal:
+            replayed = service.stats.get("replayed", 0)
+            print(f"  journal   {config.resolved_journal_dir()}"
+                  + (f" ({replayed} computation(s) replayed)"
+                     if replayed else ""))
+        if config.scrub_interval > 0:
+            print(f"  scrub     every {config.scrub_interval:.0f}s")
         print(f"monitor with `repro-io watch {service.ledger_path.parent}`; "
               f"stop with Ctrl-C or `repro-io jobs shutdown`")
         try:
@@ -940,7 +1006,7 @@ def _cmd_submit(args) -> int:
 
     try:
         host, port = _service_endpoint(args)
-    except (FileNotFoundError, ValueError) as exc:
+    except (FileNotFoundError, ValueError, ConnectionError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     try:
@@ -958,9 +1024,18 @@ def _cmd_submit(args) -> int:
                 grid=grid,
                 seed=args.seed,
                 wait=not args.no_wait,
+                idempotency_key=args.idempotency_key,
             )
 
-    doc = asyncio.run(_run())
+    try:
+        doc = asyncio.run(_run())
+    except ConnectionError as exc:
+        print(f"cannot reach service at {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    if doc.get("deduplicated"):
+        print(f"idempotency key matched: joined existing job "
+              f"{doc.get('job_id', '?')}")
     if args.no_wait:
         print(f"job {doc.get('job_id', '?')} {doc.get('state', '?')}: "
               f"{doc.get('total', 0)} task(s), {doc.get('warm', 0)} warm, "
@@ -1008,7 +1083,7 @@ def _cmd_jobs(args) -> int:
 
     try:
         host, port = _service_endpoint(args)
-    except (FileNotFoundError, ValueError) as exc:
+    except (FileNotFoundError, ValueError, ConnectionError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
 
@@ -1028,10 +1103,15 @@ def _cmd_jobs(args) -> int:
             if args.action == "chaos-kill":
                 return await client.chaos_kill()
             if args.action == "shutdown":
-                return await client.shutdown()
+                return await client.shutdown(drain=args.drain)
             raise AssertionError(args.action)
 
-    doc = asyncio.run(_run())
+    try:
+        doc = asyncio.run(_run())
+    except ConnectionError as exc:
+        print(f"cannot reach service at {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
     if not doc.get("ok", True) and doc.get("error"):
         print(f"error: {doc['error']}", file=sys.stderr)
         return 1
@@ -1066,7 +1146,12 @@ def _cmd_jobs(args) -> int:
               f"(generation {doc.get('pool_generation', '?')})")
         return 0
     if args.action == "shutdown":
-        print("shutdown requested")
+        if doc.get("draining"):
+            print(f"drain requested: admission stopped, "
+                  f"{doc.get('pending', 0)} computation(s) finishing before "
+                  f"clean close")
+        else:
+            print("shutdown requested")
         return 0
     # stats
     stats = doc.get("stats", {})
@@ -1083,9 +1168,25 @@ def _cmd_jobs(args) -> int:
           f"{stats.get('coalesced', 0)} coalesced, "
           f"{stats.get('requeued', 0)} requeued")
     print(f"  admission: {stats.get('rejected_backpressure', 0)} backpressure "
-          f"rejection(s), {stats.get('rejected_quota', 0)} quota rejection(s)")
+          f"rejection(s), {stats.get('rejected_quota', 0)} quota rejection(s), "
+          f"{stats.get('rejected_draining', 0)} draining rejection(s), "
+          f"{stats.get('deduplicated', 0)} deduplicated")
     print(f"  queue {doc.get('queue', 0)}, running {doc.get('running', 0)}, "
-          f"inflight digests {doc.get('inflight', 0)}")
+          f"inflight digests {doc.get('inflight', 0)}"
+          + (" [draining]" if doc.get("draining") else ""))
+    journal = doc.get("journal")
+    if journal:
+        print(f"  journal: {journal.get('records', 0)} record(s), "
+              f"{journal.get('fsync_batches', 0)} fsync batch(es), "
+              f"{journal.get('compactions', 0)} compaction(s), "
+              f"{journal.get('segments', 0)} segment(s); "
+              f"{stats.get('replayed', 0)} computation(s) replayed at boot")
+    scrub = doc.get("scrub", {})
+    if scrub.get("runs"):
+        print(f"  scrub: {scrub.get('runs', 0)} pass(es), "
+              f"{scrub.get('scanned', 0)} object(s) scanned, "
+              f"{scrub.get('healed', 0)} healed, "
+              f"{scrub.get('quarantined', 0)} quarantined")
     tenants = doc.get("tenants", {})
     if tenants:
         print("  outstanding by tenant: " + ", ".join(
@@ -1100,7 +1201,7 @@ def _cmd_loadgen(args) -> int:
 
     try:
         host, port = _service_endpoint(args)
-    except (FileNotFoundError, ValueError) as exc:
+    except (FileNotFoundError, ValueError, ConnectionError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     try:
@@ -1125,7 +1226,8 @@ def _cmd_loadgen(args) -> int:
     print(f"{report['requests']} submission(s) from {report['tenants']} "
           f"tenant(s) over {report['connections']} connection(s): "
           f"{report['requests_ok']} ok, {report['requests_failed']} failed, "
-          f"{report['retries']} admission retries")
+          f"{report['retries']} admission retries, "
+          f"{report.get('reconnects', 0)} reconnect(s)")
     print(f"  wall {report['wall_seconds']:.2f}s, "
           f"throughput {report['throughput_rps']:.0f} req/s")
     print(f"  latency p50 {lat['p50'] * 1e3:.1f}ms  "
@@ -1183,6 +1285,27 @@ def _store_action(store, args) -> int:
             print(f"{str(where)[:40]:<40} {p['problem']}")
         print(f"{len(problems)} problem(s)", file=sys.stderr)
         return 1
+    if args.action == "scrub":
+        from repro.store import scrub_store
+
+        report = scrub_store(store, heal=not args.no_heal,
+                             dry_run=args.dry_run)
+        verb = "would " if args.dry_run else ""
+        print(f"scrub of {store.root}: {report['scanned']} object(s) "
+              f"scanned, {report['ok']} ok, "
+              f"{verb}healed {report['healed']}, "
+              f"{verb}quarantined {report['quarantined']}, "
+              f"{len(report['dangling_refs'])} dangling ref(s)")
+        for problem in report["problems"][:20]:
+            print(f"  {problem['digest'][:16]:<16} {problem['action']}: "
+                  f"{problem['problem']}")
+        for name in report["dangling_refs"][:20]:
+            print(f"  dangling ref {name}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+            print(f"scrub report written to {args.json}")
+        return 0 if not (report["quarantined"] or report["healed"]) else 1
     if args.action == "export":
         bundle = store.export(args.tokens or None)
         text = json.dumps(bundle, indent=1, sort_keys=True)
@@ -1615,6 +1738,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--enable-chaos", action="store_true",
                    help="allow the chaos-kill op (testing: kills a pool "
                    "worker mid-job)")
+    p.add_argument("--journal", dest="journal", action="store_true",
+                   default=True, help="write-ahead job journal for crash "
+                   "recovery (default on)")
+    p.add_argument("--no-journal", dest="journal", action="store_false",
+                   help="disable the write-ahead journal (jobs in flight "
+                   "at a crash are lost)")
+    p.add_argument("--fsync-interval", type=float, default=0.05,
+                   help="journal group-commit window in seconds "
+                   "(default 0.05)")
+    p.add_argument("--scrub-interval", type=float, default=0.0,
+                   help="seconds between background store scrub passes "
+                   "(default 0 = disabled)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -1629,6 +1764,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--no-wait", action="store_true",
                    help="return the job id immediately instead of waiting")
+    p.add_argument("--idempotency-key",
+                   help="resubmission with the same key dedups onto the "
+                   "original job (survives server restarts via the journal)")
     p.add_argument("--json", help="write the finished job document here")
     p.add_argument("--address", metavar="HOST:PORT",
                    help="service address (default: discovery file)")
@@ -1671,6 +1809,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.set_defaults(fn=_cmd_jobs)
     sp = jobs_sub.add_parser("shutdown", help="stop the service")
+    sp.add_argument("--drain", action="store_true",
+                    help="stop admission, finish running jobs, then close "
+                    "cleanly (next boot skips journal replay)")
     sp.set_defaults(fn=_cmd_jobs)
 
     p = sub.add_parser(
@@ -1746,6 +1887,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp = store_sub.add_parser(
         "verify", help="integrity sweep: corrupt objects, dangling refs"
     )
+    sp.set_defaults(fn=_cmd_store)
+
+    sp = store_sub.add_parser(
+        "scrub",
+        help="patrol read: digest-verify every object, heal non-canonical "
+        "bytes, quarantine unrecoverable ones",
+    )
+    sp.add_argument("--dry-run", action="store_true",
+                    help="classify problems without touching disk")
+    sp.add_argument("--no-heal", action="store_true",
+                    help="quarantine instead of rewriting healable objects")
+    sp.add_argument("--json", help="write the scrub report here")
     sp.set_defaults(fn=_cmd_store)
 
     sp = store_sub.add_parser(

@@ -19,13 +19,20 @@ Layering (top to bottom)::
 See DESIGN.md ("Run service") for the architecture discussion.
 """
 
-from repro.service.client import ServiceClient, load_discovery
+from repro.service.client import (
+    ServiceClient,
+    StaleDiscoveryError,
+    backoff_delay,
+    load_discovery,
+    pid_alive,
+)
 from repro.service.jobs import (
     JOB_STATES,
     SERVICE_JOB_SCHEMA,
     SERVICE_LEDGER_NAME,
     SERVICE_LEDGER_SCHEMA,
 )
+from repro.service.journal import JobJournal, JournalState
 from repro.service.scheduler import FairShareQueue
 from repro.service.server import RunService, ServiceConfig
 
@@ -33,8 +40,13 @@ __all__ = [
     "RunService",
     "ServiceConfig",
     "ServiceClient",
+    "StaleDiscoveryError",
     "FairShareQueue",
+    "JobJournal",
+    "JournalState",
+    "backoff_delay",
     "load_discovery",
+    "pid_alive",
     "JOB_STATES",
     "SERVICE_JOB_SCHEMA",
     "SERVICE_LEDGER_NAME",

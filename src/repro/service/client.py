@@ -9,9 +9,22 @@ server's side (the server pipelines too -- each request is served by its
 own task).  This is what lets the load generator simulate thousands of
 tenants over a handful of sockets.
 
+Reconnection: the client remembers its address, so a dropped socket
+(server crash, restart) is survivable.  :meth:`ServiceClient.reconnect`
+re-dials with exponential backoff and jitter, and
+:meth:`ServiceClient.submit_reliable` composes that with an idempotency
+key -- the resubmission after a reconnect lands on the *same* job
+server-side (deduped against the journal-backed key map), so a crash
+between ack and result never double-computes and never loses the
+submission.
+
 Discovery: the server writes ``service.json`` next to its job ledger;
 :func:`load_discovery` reads it so CLI clients can find a locally
-running server without flags.
+running server without flags.  Because a kill -9 leaves that file
+behind, discovery carries the server's pid and a per-life ``nonce``:
+``require_live=True`` probes the pid and raises
+:class:`StaleDiscoveryError` instead of letting callers dial a dead
+address and surface a raw ``ConnectionRefusedError``.
 """
 
 from __future__ import annotations
@@ -20,21 +33,80 @@ import asyncio
 import itertools
 import json
 import logging
+import os
+import random
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 log = logging.getLogger(__name__)
 
-__all__ = ["ServiceClient", "load_discovery"]
+__all__ = [
+    "ServiceClient",
+    "StaleDiscoveryError",
+    "backoff_delay",
+    "load_discovery",
+    "pid_alive",
+]
 
 _STREAM_LIMIT = 16 * 1024 * 1024
 
 
-def load_discovery(where: Union[Path, str]) -> Dict[str, Any]:
+class StaleDiscoveryError(ConnectionError):
+    """The discovery file names a server that is no longer alive."""
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Delay before retry ``attempt`` (0-based): capped exponential
+    backoff with jitter.
+
+    The undithered delay is ``min(cap, base * 2**attempt)``; jitter
+    spreads the result uniformly over ``[delay * (1 - jitter), delay]``
+    so a thundering herd of reconnecting clients decorrelates.  Pass a
+    seeded ``rng`` for a deterministic sequence (tests, reproducible
+    load runs); the module-level generator is used otherwise.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    delay = min(cap, base * (2.0 ** min(attempt, 32)))
+    if jitter <= 0.0:
+        return delay
+    r = (rng or random).random()
+    return delay * (1.0 - jitter * r)
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe (signal 0, no signal delivered)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, other user
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True
+
+
+def load_discovery(
+    where: Union[Path, str], *, require_live: bool = False
+) -> Dict[str, Any]:
     """Read a service discovery document.
 
     ``where`` may be the discovery file itself or the directory the
-    server wrote it into (the store's parent by default).
+    server wrote it into (the store's parent by default).  With
+    ``require_live=True`` the advertised pid is probed and a
+    :class:`StaleDiscoveryError` raised when the server is gone -- the
+    difference between "the server is not running (stale discovery
+    file)" and a connection refused nobody can interpret.
     """
     from repro.service.server import DISCOVERY_NAME, DISCOVERY_SCHEMA
 
@@ -50,6 +122,13 @@ def load_discovery(where: Union[Path, str]) -> Dict[str, Any]:
         doc = json.load(fh)
     if doc.get("schema") != DISCOVERY_SCHEMA:
         raise ValueError(f"{path} is not a service discovery document")
+    if require_live and not pid_alive(int(doc.get("pid") or 0)):
+        raise StaleDiscoveryError(
+            f"server not running (stale discovery file): {path} names "
+            f"pid {doc.get('pid')}, which is dead -- the server likely "
+            f"crashed; restart `repro-io serve` (it will recover journaled "
+            f"jobs) or delete the file"
+        )
     return doc
 
 
@@ -60,22 +139,75 @@ class ServiceClient:
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
     ):
-        self._reader = reader
-        self._writer = writer
+        self._host = host
+        self._port = port
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._write_lock = asyncio.Lock()
+        self._reconnect_lock = asyncio.Lock()
+        #: Bumped on every successful reconnect (see :meth:`reconnect`).
+        self._generation = 0
+        #: Successful reconnects over this client's lifetime.
+        self.reconnects = 0
+        self._attach(reader, writer)
+
+    def _attach(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop(), name="service-client-reader"
         )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=_STREAM_LIMIT
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> "ServiceClient":
+        """Dial the service, retrying refused connections with backoff."""
+        reader, writer = await cls._dial(
+            host, port, retries=retries, backoff_base=backoff_base,
+            backoff_cap=backoff_cap, jitter=jitter, rng=rng,
         )
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port)
+
+    @staticmethod
+    async def _dial(
+        host: str,
+        port: int,
+        *,
+        retries: int,
+        backoff_base: float,
+        backoff_cap: float,
+        jitter: float,
+        rng: Optional[random.Random],
+    ):
+        attempt = 0
+        while True:
+            try:
+                return await asyncio.open_connection(
+                    host, port, limit=_STREAM_LIMIT
+                )
+            except (ConnectionRefusedError, OSError):
+                if attempt >= retries:
+                    raise
+                await asyncio.sleep(backoff_delay(
+                    attempt, base=backoff_base, cap=backoff_cap,
+                    jitter=jitter, rng=rng,
+                ))
+                attempt += 1
 
     async def __aenter__(self) -> "ServiceClient":
         return self
@@ -84,6 +216,10 @@ class ServiceClient:
         await self.close()
 
     async def close(self) -> None:
+        await self._teardown()
+        self._fail_pending(ConnectionError("client closed"))
+
+    async def _teardown(self) -> None:
         self._reader_task.cancel()
         try:
             await self._reader_task
@@ -94,7 +230,44 @@ class ServiceClient:
             await self._writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
-        self._fail_pending(ConnectionError("client closed"))
+
+    async def reconnect(
+        self,
+        seen_generation: Optional[int] = None,
+        *,
+        retries: int = 8,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Replace a dead socket with a fresh one (same address).
+
+        Like the server's pool rebuild, reconnection happens once per
+        generation: every waiter that saw generation N call this, the
+        first re-dials (with backoff), the rest observe the bumped
+        generation and return immediately.  In-flight requests on the
+        old socket fail with ``ConnectionError`` -- resubmit with an
+        idempotency key (:meth:`submit_reliable` does exactly that).
+        """
+        if self._host is None or self._port is None:
+            raise ConnectionError(
+                "client has no remembered address to reconnect to"
+            )
+        async with self._reconnect_lock:
+            if (seen_generation is not None
+                    and self._generation != seen_generation):
+                return
+            await self._teardown()
+            self._fail_pending(ConnectionError("reconnecting"))
+            reader, writer = await self._dial(
+                self._host, self._port, retries=retries,
+                backoff_base=backoff_base, backoff_cap=backoff_cap,
+                jitter=jitter, rng=rng,
+            )
+            self._attach(reader, writer)
+            self._generation += 1
+            self.reconnects += 1
 
     def _fail_pending(self, exc: Exception) -> None:
         for future in self._pending.values():
@@ -132,9 +305,15 @@ class ServiceClient:
         self._pending[rid] = future
         payload = {"op": op, "id": rid, **params}
         data = json.dumps(payload).encode("utf-8") + b"\n"
-        async with self._write_lock:
-            self._writer.write(data)
-            await self._writer.drain()
+        try:
+            async with self._write_lock:
+                self._writer.write(data)
+                await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._pending.pop(rid, None)
+            if not future.done():
+                future.cancel()
+            raise ConnectionError(str(exc)) from exc
         return await future
 
     # -- convenience ops -----------------------------------------------------
@@ -150,6 +329,7 @@ class ServiceClient:
         grid: Optional[Dict[str, Any]] = None,
         seed: Optional[int] = None,
         wait: bool = True,
+        idempotency_key: Optional[str] = None,
     ) -> Dict[str, Any]:
         params: Dict[str, Any] = {
             "scenario": scenario, "tenant": tenant, "wait": wait,
@@ -158,7 +338,50 @@ class ServiceClient:
             params["grid"] = grid
         if seed is not None:
             params["seed"] = seed
+        if idempotency_key is not None:
+            params["idempotency_key"] = idempotency_key
         return await self.request("submit", **params)
+
+    async def submit_reliable(
+        self,
+        scenario: Union[str, Dict[str, Any]],
+        *,
+        tenant: str = "anonymous",
+        grid: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        wait: bool = True,
+        idempotency_key: Optional[str] = None,
+        max_reconnects: int = 5,
+        retries_per_reconnect: int = 8,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> Dict[str, Any]:
+        """Submit, surviving disconnects by reconnect + resubmission.
+
+        Safe only with an ``idempotency_key``: the resubmission after a
+        reconnect dedups onto the original job server-side, so the work
+        runs once no matter how many times the socket (or the server)
+        died in between.  Without a key each resubmission would be a
+        fresh job -- still coalesced by digest, but double-counted.
+        """
+        for attempt in range(max_reconnects + 1):
+            generation = self._generation
+            try:
+                return await self.submit(
+                    scenario, tenant=tenant, grid=grid, seed=seed,
+                    wait=wait, idempotency_key=idempotency_key,
+                )
+            except ConnectionError:
+                if attempt >= max_reconnects:
+                    raise
+                await self.reconnect(
+                    generation, retries=retries_per_reconnect,
+                    backoff_base=backoff_base, backoff_cap=backoff_cap,
+                    jitter=jitter, rng=rng,
+                )
+        raise ConnectionError("unreachable")  # pragma: no cover
 
     async def wait(self, job_id: str) -> Dict[str, Any]:
         return await self.request("wait", job_id=job_id)
@@ -188,5 +411,7 @@ class ServiceClient:
     async def chaos_kill(self) -> Dict[str, Any]:
         return await self.request("chaos-kill")
 
-    async def shutdown(self) -> Dict[str, Any]:
+    async def shutdown(self, *, drain: bool = False) -> Dict[str, Any]:
+        if drain:
+            return await self.request("shutdown", drain=True)
         return await self.request("shutdown")

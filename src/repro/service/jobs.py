@@ -116,7 +116,7 @@ class Job:
     __slots__ = (
         "job_id", "tenant", "kind", "submitted", "finished",
         "computations", "warm", "coalesced", "done_event", "_pending",
-        "_abandoned", "run_id",
+        "_abandoned", "run_id", "idempotency_key", "journaled",
     )
 
     def __init__(
@@ -128,15 +128,20 @@ class Job:
         *,
         warm: int = 0,
         coalesced: int = 0,
+        submitted: Optional[float] = None,
     ):
         self.job_id = job_id
         self.tenant = tenant
         self.kind = kind
-        self.submitted = time.time()
+        self.submitted = time.time() if submitted is None else submitted
         self.finished: Optional[float] = None
         self.computations = computations
         self.warm = warm
         self.coalesced = coalesced
+        #: Client-chosen exactly-once submission key (``submit``).
+        self.idempotency_key: Optional[str] = None
+        #: True when this job's admission was written to the journal.
+        self.journaled = False
         #: Run-document id landed in the store (fresh-compute jobs only).
         self.run_id: Optional[str] = None
         self.done_event = asyncio.Event()

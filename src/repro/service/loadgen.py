@@ -18,12 +18,22 @@ Two canonical shapes:
   digest, forcing real computations through the admission queue and the
   fair-share scheduler (backpressure rejections are retried with
   backoff and counted).
+
+The generator is built to survive a flaky server: the initial dial
+retries refused connections with backoff (``connect_retries``), every
+submission carries an idempotency key and rides
+:meth:`~repro.service.client.ServiceClient.submit_reliable` -- so a
+mid-burst disconnect (server crash, restart) reconnects and resubmits
+instead of aborting the whole run, and the summary reports how many
+reconnects it took rather than hiding them.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
+import os
+import random
 import time
 from typing import Any, Dict, List, Optional, Union
 
@@ -49,16 +59,31 @@ async def _one_submission(
     scenario: Union[str, Dict[str, Any]],
     grid: Optional[Dict[str, Any]],
     seed: Optional[int],
+    idempotency_key: Optional[str],
     max_retries: int,
     retry_delay: float,
+    max_reconnects: int,
+    rng: Optional[random.Random],
 ) -> Dict[str, Any]:
-    """Submit once (retrying admission rejections) and time it."""
+    """Submit once (retrying rejections and disconnects) and time it."""
     retries = 0
     start = time.perf_counter()
     while True:
-        doc = await client.submit(
-            scenario, tenant=tenant, grid=grid, seed=seed, wait=True
-        )
+        try:
+            doc = await client.submit_reliable(
+                scenario, tenant=tenant, grid=grid, seed=seed, wait=True,
+                idempotency_key=idempotency_key,
+                max_reconnects=max_reconnects, rng=rng,
+            )
+        except ConnectionError as exc:
+            return {
+                "latency": time.perf_counter() - start,
+                "ok": False,
+                "warm": 0,
+                "total": 0,
+                "retries": retries,
+                "reason": f"disconnected ({exc})",
+            }
         if doc.get("ok") or not doc.get("retry") or retries >= max_retries:
             return {
                 "latency": time.perf_counter() - start,
@@ -86,13 +111,25 @@ async def run_load(
     tenant_prefix: str = "tenant",
     max_retries: int = 50,
     retry_delay: float = 0.05,
+    connect_retries: int = 8,
+    max_reconnects: int = 5,
+    idempotency: bool = True,
+    backoff_seed: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Drive the service and return a latency/throughput report."""
     if tenants < 1:
         raise ValueError(f"tenants must be >= 1, got {tenants}")
     connections = max(1, min(connections, tenants))
+    rng = random.Random(backoff_seed) if backoff_seed is not None else None
+    # Keys are unique per load run (pid + wall clock) so repeated runs
+    # submit fresh jobs; within a run a resubmission after a disconnect
+    # dedups onto its original job.
+    nonce = f"{os.getpid():x}-{time.time_ns() & 0xFFFFFFFF:08x}"
     clients = [
-        await ServiceClient.connect(host, port) for _ in range(connections)
+        await ServiceClient.connect(
+            host, port, retries=connect_retries, rng=rng
+        )
+        for _ in range(connections)
     ]
     try:
         before = (await clients[0].stats())
@@ -106,14 +143,18 @@ async def run_load(
                         scenario,
                         grid,
                         t if distinct_seeds else seed,
+                        f"lg-{nonce}-{t:04d}-{r}" if idempotency else None,
                         max_retries,
                         retry_delay,
+                        max_reconnects,
+                        rng,
                     )
                 )
         wall_start = time.perf_counter()
         results = await asyncio.gather(*submissions)
         wall = time.perf_counter() - wall_start
         after = (await clients[0].stats())
+        reconnects = sum(c.reconnects for c in clients)
     finally:
         for client in clients:
             await client.close()
@@ -138,6 +179,7 @@ async def run_load(
         "wall_seconds": wall,
         "throughput_rps": len(results) / wall if wall > 0 else 0.0,
         "retries": sum(r["retries"] for r in results),
+        "reconnects": reconnects,
         "latency": {
             "p50": percentile(latencies, 50),
             "p95": percentile(latencies, 95),
@@ -152,6 +194,7 @@ async def run_load(
             "workers": after.get("workers"),
             "pool_generation": after.get("pool_generation"),
             "store": after.get("store"),
+            "journal": after.get("journal"),
         },
     }
     return report

@@ -46,10 +46,14 @@ nothing (pure store reads).  A debounced job ledger
 from __future__ import annotations
 
 import asyncio
+import functools
 import itertools
 import json
 import logging
 import os
+import re
+import secrets
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -68,9 +72,12 @@ from repro.service.jobs import (
     Computation,
     Job,
 )
+from repro.service.journal import JOURNAL_DIR_NAME, JobJournal, JournalState
 from repro.service.scheduler import FairShareQueue
 from repro.store import RunArtifact, RunStore
+from repro.store.scrub import scrub_store
 from repro.store.store import DEFAULT_STORE_DIR
+from repro.telemetry import TELEMETRY
 from repro.telemetry.collect import init_worker, merge_snapshot, worker_init_args
 
 log = logging.getLogger(__name__)
@@ -104,6 +111,27 @@ def _chaos_exit() -> None:  # pragma: no cover - dies by design
     os._exit(42)
 
 
+def _watch_parent(parent_pid: int, interval: float) -> None:
+    """Exit this worker once ``parent_pid`` is no longer our parent.
+
+    A server killed with ``kill -9`` cannot shut its pool down, and a
+    fork-started worker blocked on the call queue never sees EOF (it
+    holds a dup of the queue's write end itself), so without this it
+    would linger as an orphan forever.
+    """
+    while os.getppid() == parent_pid:
+        time.sleep(interval)
+    os._exit(3)  # pragma: no cover - only reached when orphaned
+
+
+def _service_worker_init(parent_pid, watch_interval, *telemetry_args):
+    """Pool initializer: telemetry plumbing + a parent-death watchdog."""
+    init_worker(*telemetry_args)
+    threading.Thread(
+        target=_watch_parent, args=(parent_pid, watch_interval), daemon=True,
+    ).start()
+
+
 @dataclass
 class ServiceConfig:
     """Tunables of one :class:`RunService` instance."""
@@ -130,11 +158,30 @@ class ServiceConfig:
     enable_chaos: bool = False
     #: Precomputed source digest (recomputed at start when ``None``).
     source_digest: Optional[str] = None
+    #: Write-ahead job journal (crash recovery); replayed at startup.
+    journal: bool = True
+    #: Journal directory (default: ``<state_dir>/service-journal``).
+    journal_dir: Optional[Path] = None
+    #: Group-commit window: max seconds an appended record waits for
+    #: its fsync batch.
+    fsync_interval: float = 0.05
+    #: Records per segment before rotation.
+    journal_segment_records: int = 4096
+    #: Records since the last compaction that trigger the next one.
+    journal_compact_threshold: int = 4096
+    #: Seconds between background store-scrub passes (0 disables).
+    scrub_interval: float = 0.0
 
     def resolved_state_dir(self) -> Path:
         return Path(
             self.state_dir if self.state_dir is not None
             else Path(self.store_dir).parent
+        )
+
+    def resolved_journal_dir(self) -> Path:
+        return Path(
+            self.journal_dir if self.journal_dir is not None
+            else self.resolved_state_dir() / JOURNAL_DIR_NAME
         )
 
 
@@ -155,8 +202,18 @@ class RunService:
         self._finished_jobs: set = set()
         self._job_ids = itertools.count(1)
         self._outstanding: Dict[str, int] = {}
+        #: idempotency key -> job id, restored from the journal on boot.
+        self._idem: Dict[str, str] = {}
         self._running_count = 0
         self._stopping = False
+        self._draining = False
+        #: Identifies this server *life*; lets clients detect a stale
+        #: discovery file that names a dead (or replaced) server.
+        self.nonce = secrets.token_hex(8)
+        self._journal: Optional[JobJournal] = None
+        self.scrub_stats: Dict[str, int] = {
+            "runs": 0, "scanned": 0, "healed": 0, "quarantined": 0,
+        }
         self._stopped = asyncio.Event()
         self._wake = asyncio.Event()
         self._tasks: set = set()
@@ -176,6 +233,10 @@ class RunService:
             "requeued": 0,
             "rejected_backpressure": 0,
             "rejected_quota": 0,
+            "rejected_draining": 0,
+            "deduplicated": 0,
+            "replayed": 0,
+            "replayed_jobs": 0,
         }
         state_dir = self.config.resolved_state_dir()
         self.ledger_path = state_dir / SERVICE_LEDGER_NAME
@@ -193,12 +254,30 @@ class RunService:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> Tuple[str, int]:
-        """Bind, start the dispatcher/ledger tasks, write discovery."""
+        """Bind, start the dispatcher/ledger tasks, write discovery.
+
+        With the journal enabled, replay happens *before* the socket is
+        bound: recovered jobs are re-queued (waiter lists intact) and
+        the journal is compacted to the live snapshot, so a client
+        connecting right after boot already sees the recovered state.
+        """
         if self._source_digest is None:
             from repro.experiments.runner import source_digest
 
             self._source_digest = await asyncio.get_running_loop()\
                 .run_in_executor(None, source_digest)
+        if self.config.journal:
+            journal_dir = self.config.resolved_journal_dir()
+            state = JobJournal.replay(journal_dir)
+            self._journal = JobJournal(
+                journal_dir,
+                fsync_interval=self.config.fsync_interval,
+                segment_max_records=self.config.journal_segment_records,
+                compact_threshold=self.config.journal_compact_threshold,
+            )
+            self._journal.open()
+            self._restore_from_journal(state)
+            self._journal.compact(self._journal_snapshot_records())
         self._new_pool()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
@@ -208,12 +287,20 @@ class RunService:
         self.host, self.port = sock[0], sock[1]
         self._spawn(self._dispatch_loop(), name="dispatch")
         self._spawn(self._ledger_loop(), name="ledger")
+        if self._journal is not None:
+            self._spawn(
+                self._journal.run_flusher(self._journal_snapshot_records),
+                name="journal",
+            )
+        if self.config.scrub_interval > 0:
+            self._spawn(self._scrub_loop(), name="scrub")
         atomic_write_json(
             {
                 "schema": DISCOVERY_SCHEMA,
                 "host": self.host,
                 "port": self.port,
                 "pid": os.getpid(),
+                "nonce": self.nonce,
                 "started": self.started,
                 "store": str(self.store.root),
                 "ledger": str(self.ledger_path),
@@ -253,6 +340,12 @@ class RunService:
             await asyncio.gather(*pending, return_exceptions=True)
             if self._pool is not None:
                 self._pool.shutdown(wait=False, cancel_futures=True)
+            if self._journal is not None:
+                # The cancellations above were journaled; a clean-close
+                # record on top lets the next boot skip recovery work.
+                self._journal.close(clean=True)
+                self._journal_final_stats = dict(self._journal.stats)
+                self._journal = None
             self._write_ledger(finished=True)
             try:
                 self.discovery_path.unlink()
@@ -260,6 +353,43 @@ class RunService:
                 pass
         finally:
             self._stopped.set()
+
+    async def abort(self) -> None:
+        """Tear down as if the process died (crash-recovery tests).
+
+        Unlike :meth:`stop`, nothing is journaled -- no cancellation
+        records, no clean close -- the ledger is not finalized, and the
+        discovery file is left behind stale, which is exactly the state
+        a kill -9 leaves on disk.
+        """
+        self._stopping = True
+        self._wake.set()
+        # Kill the journal first: the task cancellations below must not
+        # write anything (a dead process would not have either).
+        journal, self._journal = self._journal, None
+        if journal is not None:
+            journal.abort()
+        try:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            pending = list(self._tasks)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            self._stopped.set()
+
+    async def drain(self) -> None:
+        """Stop admission, let queued and running work finish, then stop."""
+        self._draining = True
+        while self._inflight or self._running_count:
+            if self._stopping:
+                return
+            await asyncio.sleep(0.05)
+        await self.stop()
 
     async def serve_forever(self) -> None:
         """Start (if needed) and run until cancelled."""
@@ -281,8 +411,8 @@ class RunService:
     def _new_pool(self) -> None:
         self._pool = ProcessPoolExecutor(
             max_workers=self.config.workers,
-            initializer=init_worker,
-            initargs=worker_init_args(),
+            initializer=_service_worker_init,
+            initargs=(os.getpid(), 1.0, *worker_init_args()),
         )
         self._pool_generation += 1
 
@@ -316,6 +446,8 @@ class RunService:
                     continue  # cancelled while queued
                 comp.state = "running"
                 self._running_count += 1
+                if self._journal is not None:
+                    self._journal.append("start", digest=comp.digest)
                 self._ledger_dirty = True
                 self._spawn(
                     self._run_computation(comp), name=f"comp:{comp.digest[:8]}"
@@ -393,6 +525,19 @@ class RunService:
         waiters = list(comp.jobs)
         comp.resolve(state, **kwargs)
         self._inflight.pop(comp.digest, None)
+        if self._journal is not None:
+            # Journaled *after* the artifact landed in the store: a
+            # crash in between replays the computation, whose re-put is
+            # idempotent (same content address), so nothing is poisoned.
+            self._journal.append(
+                "complete",
+                digest=comp.digest,
+                state=state,
+                artifact=comp.artifact,
+                error=comp.error,
+                seconds=comp.seconds,
+                cached=comp.cached,
+            )
         for job in waiters:
             self._outstanding[job.tenant] = max(
                 0, self._outstanding.get(job.tenant, 0) - 1
@@ -429,6 +574,10 @@ class RunService:
             job.run_id = self.store.add_run(
                 "service", manifest_digest, artifacts, created=job.finished
             )
+            if self._journal is not None and job.journaled:
+                self._journal.append(
+                    "land", job=job.job_id, run_id=job.run_id
+                )
         except OSError as exc:  # pragma: no cover - store on a bad disk
             log.warning("could not land run document for %s: %s",
                         job.job_id, exc)
@@ -461,6 +610,26 @@ class RunService:
         """Admission control + per-digest resolution; returns the response
         skeleton (the job is registered on success)."""
         tenant = str(req.get("tenant") or "anonymous")
+        if self._draining or self._stopping:
+            self.stats["rejected_draining"] += 1
+            return {
+                "ok": False, "reason": "draining", "retry": False,
+                "error": "service is draining (shutdown in progress)",
+            }
+        key = req.get("idempotency_key")
+        if key is not None:
+            key = str(key)
+            existing = self._idem.get(key)
+            if existing is not None and existing in self._jobs:
+                # Exactly-once submission: a resubmit after a reconnect
+                # (or a server restart replaying the journal) lands on
+                # the original job instead of queueing duplicate work.
+                self.stats["deduplicated"] += 1
+                return {
+                    "ok": True,
+                    "job": self._jobs[existing],
+                    "deduplicated": True,
+                }
         try:
             kind, specs = self._resolve_specs(req)
         except (ScenarioError, KeyError, TypeError, ValueError) as exc:
@@ -542,13 +711,24 @@ class RunService:
         self._outstanding[tenant] = (
             self._outstanding.get(tenant, 0) + job.outstanding
         )
+        if key is not None:
+            self._idem[key] = job.job_id
+            job.idempotency_key = key
+        journaled = False
+        if self._journal is not None and job.outstanding > 0:
+            # Warm-only jobs are answered entirely from the store and
+            # need no recovery; skipping them keeps the journal off the
+            # warm path (zero fsyncs on a 100%-hit storm).
+            job.journaled = True
+            self._journal.append("admit", **self._admit_record(job))
+            journaled = True
         self.stats["jobs_submitted"] += 1
         self.stats["tasks_submitted"] += len(computations)
         if job.done_event.is_set():
             self._finish_job(job)
         self._ledger_dirty = True
         self._wake.set()
-        return {"ok": True, "job": job}
+        return {"ok": True, "job": job, "journaled": journaled}
 
     def _warm_lookup(self, digest: str) -> Optional[str]:
         """Store lookup for one scenario digest -> its artifact digest."""
@@ -561,6 +741,187 @@ class RunService:
         if artifact is None:
             return None
         return artifact.digest()
+
+    # -- journal (durability + crash recovery) -------------------------------
+
+    @staticmethod
+    def _slot_record(comp: Computation) -> Dict[str, Any]:
+        """One job slot as journaled: bare while pending, outcome inline
+        once terminal (so snapshots need no separate complete records)."""
+        slot: Dict[str, Any] = {"name": comp.name, "digest": comp.digest}
+        if comp.terminal:
+            slot["state"] = comp.state
+            slot["cached"] = comp.cached
+            if comp.artifact is not None:
+                slot["artifact"] = comp.artifact
+            if comp.error is not None:
+                slot["error"] = comp.error
+        return slot
+
+    def _admit_record(self, job: Job) -> Dict[str, Any]:
+        payloads = {
+            c.digest: c.scenario_json
+            for c in job.computations
+            if not c.terminal
+        }
+        record: Dict[str, Any] = {
+            "job": job.job_id,
+            "tenant": job.tenant,
+            "kind": job.kind,
+            "submitted": job.submitted,
+            "warm": job.warm,
+            "coalesced": job.coalesced,
+            "tasks": [self._slot_record(c) for c in job.computations],
+            "payloads": payloads,
+        }
+        if job.idempotency_key is not None:
+            record["key"] = job.idempotency_key
+        return record
+
+    def _journal_snapshot_records(self) -> List[Dict[str, Any]]:
+        """The live state as admit records (compaction snapshot).
+
+        Finished jobs need no recovery -- their history lives in the
+        ledger and the store -- so the snapshot is bounded by live work.
+        """
+        records = []
+        for job in self._jobs.values():
+            if job.journaled and job.finished is None:
+                records.append(dict(self._admit_record(job), t="admit"))
+        return records
+
+    def _restore_from_journal(self, state: JournalState) -> None:
+        """Rebuild live jobs/computations from a replayed journal.
+
+        Shared digests share one :class:`Computation`, so waiter lists
+        coalesce exactly as they did before the crash.  Every pending
+        digest is checked against the store first: an artifact that
+        landed just before the crash (its complete record still in the
+        fsync buffer) resolves instantly instead of recomputing.
+        """
+        # Never reuse job ids across restarts, including terminal ones.
+        max_id = 0
+        for job_id in state.jobs:
+            m = re.match(r"job-(\d+)$", job_id)
+            if m:
+                max_id = max(max_id, int(m.group(1)))
+        if max_id:
+            self._job_ids = itertools.count(max_id + 1)
+        live = sorted(
+            state.live_jobs(), key=lambda r: r.get("submitted", 0.0)
+        )
+        if not live:
+            return
+        by_digest: Dict[str, Computation] = {}
+        for rec in live:
+            for slot in rec.get("tasks") or []:
+                digest = slot.get("digest")
+                if not digest or digest in by_digest:
+                    continue
+                comp = Computation(
+                    digest,
+                    state.payloads.get(digest, ""),
+                    slot.get("name") or digest[:16],
+                )
+                done = state.completed.get(digest)
+                if "state" in slot:  # terminal at admission (warm slot)
+                    comp.resolve(
+                        slot["state"],
+                        artifact=slot.get("artifact"),
+                        error=slot.get("error"),
+                        cached=bool(slot.get("cached")),
+                    )
+                elif done is not None:
+                    comp.resolve(
+                        done.get("state", "failed"),
+                        artifact=done.get("artifact"),
+                        error=done.get("error"),
+                        seconds=done.get("seconds", 0.0),
+                        cached=bool(done.get("cached")),
+                    )
+                by_digest[digest] = comp
+        requeued = 0
+        for digest, comp in by_digest.items():
+            if comp.terminal:
+                continue
+            if not comp.scenario_json:
+                comp.resolve(
+                    "failed", error="journal replay: scenario payload missing"
+                )
+                continue
+            hit = self._warm_lookup(digest) if self.config.use_cache else None
+            if hit is not None:
+                comp.resolve("done", artifact=hit, cached=True)
+                self.stats["warm_hits"] += 1
+        for rec in live:
+            comps = [
+                by_digest[slot["digest"]]
+                for slot in rec.get("tasks") or []
+                if slot.get("digest") in by_digest
+            ]
+            if not comps:
+                continue
+            job = Job(
+                rec["job"], rec.get("tenant", "anonymous"),
+                rec.get("kind", "scenario"), comps,
+                warm=rec.get("warm", 0), coalesced=rec.get("coalesced", 0),
+                submitted=rec.get("submitted"),
+            )
+            job.journaled = True
+            if rec.get("key"):
+                job.idempotency_key = rec["key"]
+                self._idem[rec["key"]] = job.job_id
+            self._jobs[job.job_id] = job
+            self._outstanding[job.tenant] = (
+                self._outstanding.get(job.tenant, 0) + job.outstanding
+            )
+            self.stats["replayed_jobs"] += 1
+            if job.done_event.is_set():
+                self._finish_job(job)
+        for digest, comp in by_digest.items():
+            if comp.terminal:
+                continue
+            self._inflight[digest] = comp
+            tenant = comp.jobs[0].tenant if comp.jobs else "-"
+            self._queue.push(tenant, comp)
+            requeued += 1
+        self.stats["replayed"] += requeued
+        if TELEMETRY.active:
+            TELEMETRY.metrics.counter("service.journal.replayed").inc(requeued)
+        self._ledger_dirty = True
+        self._wake.set()
+        log.info(
+            "journal replay: %d live job(s), %d computation(s) re-queued "
+            "(%d record(s), %d corrupt line(s) skipped)",
+            len(live), requeued, state.records, state.corrupt_lines,
+        )
+
+    # -- store scrubbing -----------------------------------------------------
+
+    async def _scrub_loop(self) -> None:
+        """Periodic store scrub: verify digests, heal, quarantine."""
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            await asyncio.sleep(self.config.scrub_interval)
+            if self._stopping:
+                return
+            try:
+                report = await loop.run_in_executor(
+                    None, functools.partial(scrub_store, self.store)
+                )
+            except Exception:  # pragma: no cover - scrub must not kill us
+                log.exception("store scrub pass failed")
+                continue
+            self.scrub_stats["runs"] += 1
+            for key in ("scanned", "healed", "quarantined"):
+                self.scrub_stats[key] += report.get(key, 0)
+            if report.get("healed") or report.get("quarantined"):
+                log.warning(
+                    "store scrub: %d healed, %d quarantined of %d object(s)",
+                    report.get("healed", 0), report.get("quarantined", 0),
+                    report.get("scanned", 0),
+                )
+            self._ledger_dirty = True
 
     # -- protocol ------------------------------------------------------------
 
@@ -631,20 +992,31 @@ class RunService:
     # -- ops -----------------------------------------------------------------
 
     async def _op_ping(self, req: Dict[str, Any]) -> Dict[str, Any]:
-        return {"ok": True, "pong": time.time(), "pid": os.getpid()}
+        return {
+            "ok": True, "pong": time.time(), "pid": os.getpid(),
+            "nonce": self.nonce,
+        }
 
     async def _op_submit(self, req: Dict[str, Any]) -> Dict[str, Any]:
         admitted = self._admit(req)
         if not admitted["ok"]:
             return admitted
         job: Job = admitted["job"]
+        if admitted.get("journaled") and self._journal is not None:
+            # Write-ahead contract: the ack implies the admission is on
+            # disk.  Group commit amortizes the fsync across every
+            # submission in the same flush window.
+            await self._journal.commit()
+        deduplicated = bool(admitted.get("deduplicated"))
         if req.get("wait", True):
             await job.done_event.wait()
             doc = job.document()
             doc["ok"] = job.state == "done"
             doc["latency"] = job.finished - job.submitted
+            if deduplicated:
+                doc["deduplicated"] = True
             return doc
-        return {
+        response = {
             "ok": True,
             "job_id": job.job_id,
             "state": job.state,
@@ -652,6 +1024,9 @@ class RunService:
             "warm": job.warm,
             "coalesced": job.coalesced,
         }
+        if deduplicated:
+            response["deduplicated"] = True
+        return response
 
     async def _op_wait(self, req: Dict[str, Any]) -> Dict[str, Any]:
         job = self._jobs.get(req.get("job_id"))
@@ -713,6 +1088,8 @@ class RunService:
                 self._outstanding[job.tenant] = max(
                     0, self._outstanding.get(job.tenant, 0) - released
                 )
+                if self._journal is not None and job.journaled:
+                    self._journal.append("cancel", job=job.job_id)
                 if job.done_event.is_set():
                     self._finish_job(job)
         dropped = self._queue.drop(
@@ -741,6 +1118,14 @@ class RunService:
             "pool_generation": self._pool_generation,
             "store": str(self.store.root),
             "source_digest": self._source_digest,
+            "nonce": self.nonce,
+            "draining": self._draining,
+            "journal": (
+                dict(self._journal.stats)
+                if self._journal is not None
+                else getattr(self, "_journal_final_stats", None)
+            ),
+            "scrub": dict(self.scrub_stats),
         }
 
     async def _op_chaos_kill(self, req: Dict[str, Any]) -> Dict[str, Any]:
@@ -761,6 +1146,13 @@ class RunService:
         # Delay slightly so this response flushes before stop() cancels
         # the request task that is sending it.
         loop = asyncio.get_running_loop()
+        if req.get("drain"):
+            self._draining = True
+            loop.call_later(0.05, lambda: loop.create_task(self.drain()))
+            return {
+                "ok": True, "stopping": True, "draining": True,
+                "pending": len(self._inflight) + self._running_count,
+            }
         loop.call_later(0.05, lambda: loop.create_task(self.stop()))
         return {"ok": True, "stopping": True}
 
@@ -779,6 +1171,12 @@ class RunService:
             "running": self._running_count,
             "tenants": self._queue.queued_by_tenant(),
             "stats": dict(self.stats),
+            "journal": (
+                dict(self._journal.stats)
+                if self._journal is not None
+                else getattr(self, "_journal_final_stats", None)
+            ),
+            "scrub": dict(self.scrub_stats),
         }
 
     def _write_ledger(self, finished: bool = False) -> None:

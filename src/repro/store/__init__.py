@@ -41,8 +41,11 @@ from repro.store.store import (
     payload_diff,
 )
 from repro.store.migrate import migrate_results
+from repro.store.scrub import SCRUB_SCHEMA, scrub_store
 
 __all__ = [
+    "SCRUB_SCHEMA",
+    "scrub_store",
     "ARTIFACT_SCHEMA",
     "ArtifactError",
     "DEFAULT_STORE_DIR",

@@ -1,0 +1,269 @@
+"""Write-ahead journal: framing, replay, rotation, compaction, close.
+
+Pure journal mechanics -- no service, no sockets.  The crash cases a
+WAL exists for are modelled directly on the files: torn tails, flipped
+bits, segments left behind by a dead process.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.journal import (
+    JobJournal,
+    JournalState,
+    frame_record,
+    parse_line,
+)
+
+DIGEST = "d" * 64
+
+
+def _admit(job, digest=DIGEST, **extra):
+    return {
+        "t": "admit", "job": job, "tenant": "t", "kind": "scenario",
+        "tasks": [{"name": "tiny", "digest": digest}],
+        "payloads": {digest: '{"name":"tiny"}'},
+        **extra,
+    }
+
+
+# -- framing ------------------------------------------------------------------
+
+def test_frame_and_parse_round_trip():
+    rec = {"t": "admit", "job": "job-00001", "n": 3}
+    line = frame_record(rec)
+    assert line.endswith(b"\n")
+    assert parse_line(line) == rec
+
+
+def test_parse_rejects_flipped_bit_and_torn_line():
+    line = frame_record({"t": "complete", "digest": DIGEST})
+    flipped = line[:20] + bytes([line[20] ^ 0x01]) + line[21:]
+    assert parse_line(flipped) is None
+    for cut in (1, 8, len(line) // 2, len(line) - 2):
+        assert parse_line(line[:cut]) is None
+    assert parse_line(b"") is None
+    assert parse_line(b"not a journal line at all\n") is None
+
+
+def test_parse_rejects_non_dict_json():
+    body = b"[1,2,3]"
+    import zlib
+
+    framed = b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body + b"\n"
+    assert parse_line(framed) is None
+
+
+# -- append / replay ----------------------------------------------------------
+
+def test_append_flush_replay_round_trip(tmp_path):
+    journal = JobJournal(tmp_path)
+    journal.open()
+    journal.append("admit", **{k: v for k, v in _admit("job-00001").items()
+                               if k != "t"})
+    journal.append("start", digest=DIGEST)
+    journal.append("complete", digest=DIGEST, state="done", cached=False)
+    journal.flush()
+    journal.close()
+
+    state = JobJournal.replay(tmp_path)
+    assert state.records == 3
+    assert state.corrupt_lines == 0
+    assert "job-00001" in state.jobs
+    assert state.payloads[DIGEST] == '{"name":"tiny"}'
+    assert state.completed[DIGEST]["state"] == "done"
+    assert state.clean_close is False
+    # The completed computation makes the job settled, not live.
+    assert state.live_jobs() == []
+
+
+def test_replay_skips_a_torn_tail_but_keeps_good_records(tmp_path):
+    journal = JobJournal(tmp_path)
+    journal.open()
+    journal.append("admit", **{k: v for k, v in _admit("job-00001").items()
+                               if k != "t"})
+    journal.flush()
+    journal.close()
+    # A crash mid-write leaves half a line at the end of the segment.
+    segments = sorted(tmp_path.glob("segment-*.ndjson"))
+    with open(segments[-1], "ab") as fh:
+        fh.write(frame_record({"t": "complete", "digest": DIGEST})[:-7])
+
+    state = JobJournal.replay(tmp_path)
+    assert state.records == 1
+    assert state.corrupt_lines == 1
+    assert DIGEST not in state.completed
+    assert [rec["job"] for rec in state.live_jobs()] == ["job-00001"]
+
+
+def test_open_starts_a_new_segment_after_any_existing_one(tmp_path):
+    first = JobJournal(tmp_path)
+    first.open()
+    first.append("admit", job="job-00001")
+    first.flush()
+    first.close()
+    second = JobJournal(tmp_path)
+    second.open()
+    second.append("admit", job="job-00002")
+    second.flush()
+    second.close()
+
+    names = sorted(p.name for p in tmp_path.glob("segment-*.ndjson"))
+    assert names == ["segment-000001.ndjson", "segment-000002.ndjson"]
+    state = JobJournal.replay(tmp_path)
+    assert set(state.jobs) == {"job-00001", "job-00002"}
+
+
+def test_rotation_caps_segment_size(tmp_path):
+    journal = JobJournal(tmp_path, segment_max_records=2)
+    journal.open()
+    for i in range(6):
+        journal.append("admit", job=f"job-{i:05d}")
+        journal.flush()
+    journal.close()
+    # Three full segments plus the empty one the last rotation opened.
+    assert len(list(tmp_path.glob("segment-*.ndjson"))) == 4
+    assert JobJournal.replay(tmp_path).records == 6
+
+
+def test_compaction_rewrites_live_state_and_drops_history(tmp_path):
+    journal = JobJournal(tmp_path, segment_max_records=2)
+    journal.open()
+    for i in range(5):
+        journal.append("admit", job=f"job-{i:05d}")
+        journal.flush()
+    written = journal.compact([_admit("job-00004")])
+    assert written == 1
+    assert journal.stats["compactions"] == 1
+    assert len(list(tmp_path.glob("segment-*.ndjson"))) == 1
+    assert not list(tmp_path.glob("*.tmp"))
+
+    # The compacted journal still accepts appends (fd was reopened).
+    journal.append("complete", digest=DIGEST, state="done")
+    journal.flush()
+    journal.close()
+    state = JobJournal.replay(tmp_path)
+    assert set(state.jobs) == {"job-00004"}
+    assert DIGEST in state.completed
+
+
+def test_clean_close_settles_everything(tmp_path):
+    journal = JobJournal(tmp_path)
+    journal.open()
+    journal.append("admit", **{k: v for k, v in _admit("job-00001").items()
+                               if k != "t"})
+    journal.close(clean=True)
+
+    state = JobJournal.replay(tmp_path)
+    assert state.clean_close is True
+    assert state.live_jobs() == []
+
+    # A new admission after a clean close reopens the journal's life.
+    journal = JobJournal(tmp_path)
+    journal.open()
+    journal.append("admit", **{k: v for k, v in _admit("job-00002").items()
+                               if k != "t"})
+    journal.flush()
+    journal.close()
+    state = JobJournal.replay(tmp_path)
+    assert state.clean_close is False
+    assert [rec["job"] for rec in state.live_jobs()] == ["job-00002"]
+
+
+def test_abort_drops_unflushed_records(tmp_path):
+    journal = JobJournal(tmp_path)
+    journal.open()
+    journal.append("admit", job="job-00001")
+    journal.flush()
+    journal.append("admit", job="job-00002")  # never flushed
+    journal.abort()
+    state = JobJournal.replay(tmp_path)
+    assert set(state.jobs) == {"job-00001"}
+
+
+# -- replay state rules -------------------------------------------------------
+
+def test_live_jobs_excludes_cancelled_and_terminal_slots():
+    state = JournalState()
+    state.apply(_admit("job-00001", digest="a" * 64))
+    state.apply(_admit("job-00002", digest="b" * 64))
+    state.apply(_admit("job-00003", digest="c" * 64))
+    state.apply({"t": "cancel", "job": "job-00002"})
+    state.apply({"t": "complete", "digest": "c" * 64, "state": "done"})
+    assert [rec["job"] for rec in state.live_jobs()] == ["job-00001"]
+
+
+def test_land_records_attach_the_run_id():
+    state = JournalState()
+    state.apply(_admit("job-00001"))
+    state.apply({"t": "land", "job": "job-00001", "run_id": "service-abc"})
+    assert state.jobs["job-00001"]["run_id"] == "service-abc"
+
+
+# -- group commit -------------------------------------------------------------
+
+def test_concurrent_commits_share_one_fsync(tmp_path):
+    async def main():
+        journal = JobJournal(tmp_path, fsync_interval=5.0)
+        journal.open()
+        flusher = asyncio.get_running_loop().create_task(
+            journal.run_flusher()
+        )
+        try:
+            for i in range(3):
+                journal.append("admit", job=f"job-{i:05d}")
+            await asyncio.gather(*[journal.commit() for _ in range(3)])
+        finally:
+            flusher.cancel()
+            try:
+                await flusher
+            except asyncio.CancelledError:
+                pass
+        journal.close()
+        return journal.stats
+
+    stats = asyncio.run(main())
+    assert stats["records"] == 3
+    assert stats["fsync_batches"] == 1  # one group commit for all three
+    assert JobJournal.replay(tmp_path).records == 3
+
+
+def test_commit_on_an_idle_journal_returns_immediately(tmp_path):
+    async def main():
+        journal = JobJournal(tmp_path)
+        journal.open()
+        await journal.commit()  # nothing buffered: no flusher needed
+        journal.close()
+        return journal.stats
+
+    stats = asyncio.run(main())
+    assert stats["fsync_batches"] == 0
+
+
+def test_full_batch_triggers_a_flush_signal(tmp_path):
+    async def main():
+        journal = JobJournal(tmp_path, fsync_interval=5.0, fsync_batch=4)
+        journal.open()
+        flusher = asyncio.get_running_loop().create_task(
+            journal.run_flusher()
+        )
+        try:
+            for i in range(4):
+                journal.append("admit", job=f"job-{i:05d}")
+            for _ in range(100):
+                if journal.stats["records"] == 4:
+                    break
+                await asyncio.sleep(0.01)
+        finally:
+            flusher.cancel()
+            try:
+                await flusher
+            except asyncio.CancelledError:
+                pass
+        journal.close()
+        return journal.stats
+
+    stats = asyncio.run(main())
+    assert stats["records"] == 4
+    assert stats["fsync_batches"] == 1

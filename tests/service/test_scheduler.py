@@ -102,6 +102,39 @@ def test_drop_removes_matching_items_and_keeps_heap_order():
     assert _drain(q) == [1, 3, 5]
 
 
+def test_drop_of_the_last_queued_item_resets_the_busy_period():
+    """Cancelling the final queued item must end the busy period exactly
+    like popping it would: virtual time and tenant tags reset, so the
+    next busy period starts from a clean clock instead of inheriting
+    finish tags from drained history."""
+    q = FairShareQueue()
+    q.push("hog", "h0")
+    q.push("hog", "h1")
+    assert q.pop() == "h0"
+    assert q.virtual_time > 0.0
+    dropped = q.drop(lambda item: True)
+    assert dropped == ["h1"]
+    assert len(q) == 0
+    assert q.virtual_time == 0.0
+    # A latecomer in the fresh busy period is not penalized by the
+    # hog's accumulated virtual time from before the drop.
+    q.push("late", "l0")
+    q.push("hog", "h2")
+    assert q.pop() == "l0"
+
+
+def test_drop_that_leaves_items_keeps_the_clock_running():
+    q = FairShareQueue()
+    q.push("a", "a0")
+    q.push("a", "a1")
+    q.push("b", "b0")
+    q.pop()
+    before = q.virtual_time
+    q.drop(lambda item: item == "a1")
+    assert q.virtual_time == before  # busy period continues
+    assert _drain(q) == ["b0"]
+
+
 def test_queued_by_tenant_counts():
     q = FairShareQueue()
     q.push("a", 1)

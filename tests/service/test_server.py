@@ -358,6 +358,65 @@ def test_shutdown_op_finishes_the_ledger_and_removes_discovery(
     assert not service.discovery_path.exists()
 
 
+def test_idempotent_resubmission_joins_the_original_job(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setattr(server_mod, "_run_computation_task", _fake_point_task)
+
+    async def main():
+        async with _service(tmp_path) as (service, client):
+            first = await client.submit(
+                "tiny", tenant="a", idempotency_key="k-1"
+            )
+            again = await client.submit(
+                "tiny", tenant="a", idempotency_key="k-1"
+            )
+            other = await client.submit(
+                "tiny", tenant="a", idempotency_key="k-2"
+            )
+            assert first["ok"] and "deduplicated" not in first
+            assert again["deduplicated"] is True
+            assert again["job_id"] == first["job_id"]
+            assert other["job_id"] != first["job_id"]
+            assert service.stats["jobs_submitted"] == 2
+            assert service.stats["deduplicated"] == 1
+
+    asyncio.run(main())
+
+
+def test_drain_shutdown_finishes_running_work_then_closes_cleanly(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setattr(server_mod, "_run_computation_task", _slow_point_task)
+
+    async def main():
+        async with _service(tmp_path, workers=1) as (service, client):
+            running = await client.submit("tiny", tenant="a", wait=False)
+            response = await client.shutdown(drain=True)
+            assert response["ok"] and response["draining"]
+            assert response["pending"] >= 1
+            # New admissions are refused while draining, without retry.
+            late = await client.submit("tiny", tenant="b", seed=9)
+            assert late["ok"] is False
+            assert late["reason"] == "draining"
+            assert late["retry"] is False
+            await service._stopped.wait()
+            job = service._jobs[running["job_id"]]
+            assert job.state == "done"
+            return service
+
+    service = asyncio.run(main())
+    doc = json.loads(service.ledger_path.read_text())
+    assert doc["finished"] is True
+    assert doc["counts"]["done"] == 1
+    # The drained close was clean: nothing is live for the next boot.
+    from repro.service import JobJournal
+
+    state = JobJournal.replay(service.config.resolved_journal_dir())
+    assert state.clean_close is True
+    assert state.live_jobs() == []
+
+
 def test_chaos_kill_is_gated_by_config(tmp_path):
     async def main():
         async with _service(tmp_path) as (_service_obj, client):

@@ -1,0 +1,104 @@
+"""Store scrubbing: verify-heal-quarantine triage on damaged objects."""
+
+import json
+
+import pytest
+
+from repro.store import RunArtifact, RunStore, scrub_store
+from repro.store.scrub import QUARANTINE_DIR, SCRUB_SCHEMA
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+def _point(seed):
+    return RunArtifact.from_sweep_point(
+        {"duration": 1.0, "seed": seed, "bytes_written": 1000}
+    )
+
+
+def _decanonicalize(store, digest):
+    """Rewrite an object with the same content in non-canonical encoding
+    (pretty-printed): the digest no longer matches the bytes, but the
+    canonical form is recoverable."""
+    path = store.object_path(digest)
+    doc = json.loads(path.read_bytes())
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False))
+
+
+def test_clean_store_scrubs_clean(store):
+    digests = [store.put(_point(i)) for i in range(3)]
+    report = scrub_store(store)
+    assert report["schema"] == SCRUB_SCHEMA
+    assert report["scanned"] == 3
+    assert report["ok"] == 3
+    assert report["healed"] == 0 and report["quarantined"] == 0
+    assert report["dangling_refs"] == []
+    assert sorted(store.digests()) == sorted(digests)
+
+
+def test_non_canonical_bytes_are_healed_in_place(store):
+    digest = store.put(_point(1))
+    _decanonicalize(store, digest)
+    assert store.verify() != []  # the damage is real
+
+    report = scrub_store(store)
+    assert report["healed"] == 1
+    assert report["quarantined"] == 0
+    assert report["problems"][0]["action"] == "healed"
+    # Healed means fully restored: clean verify, readable artifact.
+    assert store.verify() == []
+    assert store.get(digest).payload["seed"] == 1
+
+
+def test_unrecoverable_bytes_are_quarantined_not_deleted(store):
+    digest = store.put(_point(2))
+    store.object_path(digest).write_bytes(b"not json at all \x00\xff")
+
+    report = scrub_store(store)
+    assert report["quarantined"] == 1
+    assert report["healed"] == 0
+    assert not store.has(digest)
+    parked = store.root / QUARANTINE_DIR / f"{digest}.json"
+    assert parked.read_bytes() == b"not json at all \x00\xff"
+    # A re-put of the original content repopulates the address cleanly.
+    assert store.put(_point(2)) == digest
+    assert store.verify() == []
+
+
+def test_dangling_refs_are_reported_but_left(store):
+    digest = store.put(_point(3))
+    store.set_ref("sweep/test-ref", digest)
+    store.object_path(digest).write_bytes(b"garbage")
+    report = scrub_store(store)
+    assert report["quarantined"] == 1
+    assert report["dangling_refs"] == ["sweep/test-ref"]
+    # The ref survives: the next put under this digest revalidates it.
+    store.put(_point(3))
+    assert scrub_store(store)["dangling_refs"] == []
+
+
+def test_dry_run_classifies_without_touching_disk(store):
+    healable = store.put(_point(4))
+    _decanonicalize(store, healable)
+    broken = store.put(_point(5))
+    store.object_path(broken).write_bytes(b"garbage")
+
+    report = scrub_store(store, dry_run=True)
+    assert report["dry_run"] is True
+    assert report["healed"] == 1 and report["quarantined"] == 1
+    # Nothing moved, nothing rewritten.
+    assert store.object_path(broken).read_bytes() == b"garbage"
+    assert not (store.root / QUARANTINE_DIR).exists()
+    assert len(store.verify()) == 2
+
+
+def test_heal_disabled_demotes_healable_objects_to_quarantine(store):
+    digest = store.put(_point(6))
+    _decanonicalize(store, digest)
+    report = scrub_store(store, heal=False)
+    assert report["healed"] == 0
+    assert report["quarantined"] == 1
+    assert (store.root / QUARANTINE_DIR / f"{digest}.json").exists()
