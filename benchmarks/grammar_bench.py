@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Grammar sampling / synthesis throughput benchmark.
+
+Two costs matter for the grammar layer being usable as a sweep axis:
+
+* **sampling** must be cheap enough to sit inside scenario build
+  (``kind="grammar"`` samples at build time, once per sweep point);
+* **synthesis** is interactive-scale, not build-scale -- a beam search
+  re-simulating candidate derivations -- so it gets a generous bound,
+  but a bound nonetheless, to catch accidental quadratic blowups in the
+  distance metric or the beam bookkeeping.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/grammar_bench.py           # report + gate
+    PYTHONPATH=src python benchmarks/grammar_bench.py --smoke   # fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.modeling.trace_distance import trace_distance  # noqa: E402
+from repro.wgen.grammar import default_grammar, sample  # noqa: E402
+from repro.wgen.synth import (  # noqa: E402
+    derivation_ops,
+    normalize_ops,
+    synthesize,
+)
+
+# Loose wall-clock gates (seconds, per call): an order of magnitude above
+# current medians on a laptop-class host, so only real regressions trip.
+SAMPLE_BOUND = 0.05
+DISTANCE_BOUND = 0.25
+SYNTH_BOUND = 60.0
+
+
+def bench_sampling(grammar, n: int):
+    times = []
+    for seed in range(n):
+        t0 = time.perf_counter()
+        d = sample(grammar, seed=seed)
+        times.append(time.perf_counter() - t0)
+        assert d.choices  # keep the work honest
+    return times
+
+
+def bench_distance(grammar, n: int):
+    streams = [
+        normalize_ops(derivation_ops(sample(grammar, seed=s)))
+        for s in range(n)
+    ]
+    times = []
+    for i in range(n):
+        t0 = time.perf_counter()
+        trace_distance(streams[i], streams[(i + 1) % n])
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def bench_synthesis(grammar, n: int):
+    times = []
+    for seed in range(n):
+        target = derivation_ops(sample(grammar, seed=seed))
+        t0 = time.perf_counter()
+        result = synthesize(target, grammar=grammar)
+        times.append(time.perf_counter() - t0)
+        assert result.n_candidates > 0
+    return times
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="minimal iteration counts (CI)")
+    args = ap.parse_args(argv)
+
+    n_sample = 10 if args.smoke else 50
+    n_synth = 2 if args.smoke else 5
+    grammar = default_grammar()
+
+    failures = []
+    for label, times, bound in (
+        ("sample", bench_sampling(grammar, n_sample), SAMPLE_BOUND),
+        ("distance", bench_distance(grammar, n_sample), DISTANCE_BOUND),
+        ("synthesize", bench_synthesis(grammar, n_synth), SYNTH_BOUND),
+    ):
+        med = statistics.median(times)
+        worst = max(times)
+        verdict = "ok" if med <= bound else "REGRESSION"
+        print(f"{label:<11} median {med * 1e3:8.2f} ms  "
+              f"max {worst * 1e3:8.2f} ms  bound {bound * 1e3:8.1f} ms  "
+              f"[{verdict}]")
+        if med > bound:
+            failures.append(label)
+
+    if failures:
+        print(f"FAIL: {', '.join(failures)} exceeded bounds", file=sys.stderr)
+        return 1
+    print("grammar benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,9 +42,16 @@ from repro.modeling.trace_compress import (
 )
 from repro.modeling.extrapolate import TraceExtrapolator
 from repro.modeling.replay_model import ReplayModel
+from repro.modeling.trace_distance import (
+    DISTANCE_THRESHOLD,
+    feature_distance,
+    structure_signature,
+    trace_distance,
+)
 
 __all__ = [
     "CompressedTrace",
+    "DISTANCE_THRESHOLD",
     "DecisionTreeRegressor",
     "DescriptiveStats",
     "LinearModel",
@@ -62,10 +69,13 @@ __all__ = [
     "decompress",
     "describe",
     "ecdf",
+    "feature_distance",
     "ks_test",
     "pearson_correlation",
     "polynomial_features",
     "profile_features",
+    "structure_signature",
     "t_test",
+    "trace_distance",
     "workload_features",
 ]

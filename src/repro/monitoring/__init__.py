@@ -33,6 +33,7 @@ from repro.monitoring.scheduler_log import JobRecord, SchedulerLog
 from repro.monitoring.endtoend import EndToEndMonitor, EndToEndReport
 from repro.monitoring.mlprofiler import EpochStats, MLIOProfiler
 from repro.monitoring.iominer import ProfileMiner
+from repro.monitoring.features import FEATURE_NAMES, access_features, archive_features
 from repro.monitoring.formats import (
     load_profile,
     load_trace,
@@ -44,6 +45,9 @@ __all__ = [
     "DXTSegment",
     "DXTTracer",
     "DarshanProfiler",
+    "FEATURE_NAMES",
+    "access_features",
+    "archive_features",
     "EndToEndMonitor",
     "EndToEndReport",
     "EpochStats",

@@ -1,0 +1,137 @@
+"""Access-pattern feature extraction from op streams and traces.
+
+The paper's feedback loop (Fig. 4) feeds monitoring output back into
+evaluation-tool input; this module is the monitoring-side half of that
+edge.  :func:`access_features` reduces any operation stream -- intended
+ops (:class:`~repro.ops.IOOp`), observed trace records
+(:class:`~repro.ops.IORecord`, timing dropped) or a whole
+:class:`~repro.monitoring.tracer.TraceArchive` -- to a fixed, order-
+insensitive feature vector: op-kind mix, read/write volumes, a
+Darshan-style transfer-size histogram, sequentiality, file-population
+shape and rank balance.  :func:`repro.modeling.trace_distance` compares
+two such vectors (plus loop structure) and
+:mod:`repro.wgen.synth` searches the workload grammar by that distance.
+
+Every feature is a float and the dict always contains exactly
+:data:`FEATURE_NAMES`, so vectors from different traces line up
+positionally for modeling code.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Union
+
+from repro.ops import IOOp, IORecord, OpKind, SIZE_BUCKETS, size_bucket
+
+#: Fixed key set of :func:`access_features`, in output order.
+FEATURE_NAMES = (
+    [f"mix_{kind.value}" for kind in OpKind]
+    + ["read_fraction", "meta_fraction", "bytes_read", "bytes_written",
+       "read_write_byte_ratio"]
+    + [f"size_hist_{i}" for i in range(len(SIZE_BUCKETS) + 1)]
+    + ["sequential_fraction", "mean_transfer", "n_files", "fpp_fraction",
+       "rank_balance_cv", "ops_per_rank"]
+)
+
+
+def _as_ops(stream: Iterable[Union[IOOp, IORecord]]) -> List[IOOp]:
+    ops: List[IOOp] = []
+    for item in stream:
+        if isinstance(item, IORecord):
+            ops.append(item.to_op())
+        elif isinstance(item, IOOp):
+            ops.append(item)
+        else:
+            raise TypeError(
+                f"expected IOOp or IORecord, got {type(item).__name__}"
+            )
+    return ops
+
+
+def access_features(stream: Iterable[Union[IOOp, IORecord]]) -> Dict[str, float]:
+    """Reduce an op/record stream to a fixed access-pattern feature vector.
+
+    Accepts any iterable of :class:`IOOp` and/or :class:`IORecord` (mixed
+    is fine; records are projected to ops, dropping timing).  An empty
+    stream yields the all-zero vector.  Fractions are in [0, 1]; byte
+    totals are raw; ``rank_balance_cv`` is the coefficient of variation
+    of per-rank op counts (0 = perfectly balanced).
+    """
+    ops = _as_ops(stream)
+    features = {name: 0.0 for name in FEATURE_NAMES}
+    if not ops:
+        return features
+
+    n = len(ops)
+    kind_counts: Dict[OpKind, int] = defaultdict(int)
+    rank_counts: Dict[int, int] = defaultdict(int)
+    size_hist = [0] * (len(SIZE_BUCKETS) + 1)
+    bytes_read = 0
+    bytes_written = 0
+    n_data = 0
+    n_meta = 0
+    n_sequential = 0
+    transfer_total = 0
+    files = set()
+    # Per-(path, kind) cursor: a data op is "sequential" when it starts
+    # exactly where that stream's previous op on the file ended.
+    cursors: Dict[tuple, int] = {}
+
+    for op in ops:
+        kind_counts[op.kind] += 1
+        rank_counts[op.rank] += 1
+        if op.path:
+            files.add(op.path)
+        if op.kind.is_metadata:
+            n_meta += 1
+        if op.kind.is_data:
+            n_data += 1
+            transfer_total += op.nbytes
+            size_hist[size_bucket(op.nbytes)] += 1
+            if op.kind is OpKind.READ:
+                bytes_read += op.nbytes
+            else:
+                bytes_written += op.nbytes
+            key = (op.path, op.kind, op.rank)
+            if cursors.get(key) == op.offset:
+                n_sequential += 1
+            cursors[key] = op.offset + op.nbytes
+
+    for kind in OpKind:
+        features[f"mix_{kind.value}"] = kind_counts.get(kind, 0) / n
+    n_reads = kind_counts.get(OpKind.READ, 0)
+    features["read_fraction"] = n_reads / n_data if n_data else 0.0
+    features["meta_fraction"] = n_meta / n
+    features["bytes_read"] = float(bytes_read)
+    features["bytes_written"] = float(bytes_written)
+    total_bytes = bytes_read + bytes_written
+    features["read_write_byte_ratio"] = (
+        bytes_read / total_bytes if total_bytes else 0.0
+    )
+    for i, count in enumerate(size_hist):
+        features[f"size_hist_{i}"] = count / n_data if n_data else 0.0
+    features["sequential_fraction"] = n_sequential / n_data if n_data else 0.0
+    features["mean_transfer"] = transfer_total / n_data if n_data else 0.0
+    features["n_files"] = float(len(files))
+    # File-per-process paths carry the compiler's ".<rank>" suffix (or any
+    # per-rank numbering); count files touched by exactly one rank.
+    by_file_ranks: Dict[str, set] = defaultdict(set)
+    for op in ops:
+        if op.path and not op.kind.is_marker:
+            by_file_ranks[op.path].add(op.rank)
+    if by_file_ranks:
+        private = sum(1 for ranks in by_file_ranks.values() if len(ranks) == 1)
+        features["fpp_fraction"] = private / len(by_file_ranks)
+    counts = list(rank_counts.values())
+    mean = sum(counts) / len(counts)
+    if mean > 0 and len(counts) > 1:
+        var = sum((c - mean) ** 2 for c in counts) / len(counts)
+        features["rank_balance_cv"] = (var ** 0.5) / mean
+    features["ops_per_rank"] = mean
+    return features
+
+
+def archive_features(archive) -> Dict[str, float]:
+    """Features of every record in a :class:`TraceArchive` (all layers)."""
+    return access_features(archive.records)

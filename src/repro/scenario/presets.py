@@ -355,6 +355,23 @@ def e4_cycle(seed: int = 0) -> ScenarioSpec:
     return _tiny("e4-cycle", seed)
 
 
+# -- generated workloads ------------------------------------------------------
+def grammar_tiny(seed: int = 0) -> ScenarioSpec:
+    """One grammar-sampled job on the tiny platform.
+
+    The derivation is drawn from the default I/O-pattern grammar at
+    ``sample_seed`` = the scenario seed, so ``--seed`` sweeps scenario
+    *structure* (phases, modes, sizes), not just RNG jitter.  Sweep
+    ``sample_seed=0,1,2,...`` for a generated-workload axis on any grid.
+    """
+    return _tiny(
+        "grammar-tiny", seed,
+        workloads=(WorkloadSpec("grammar", 4,
+                                {"grammar": "default",
+                                 "sample_seed": seed}),),
+    )
+
+
 #: Every named scenario, ``name -> (seed -> ScenarioSpec)``.
 SCENARIOS: Dict[str, Callable[[int], ScenarioSpec]] = {
     "tiny": tiny,
@@ -385,6 +402,7 @@ SCENARIOS: Dict[str, Callable[[int], ScenarioSpec]] = {
     "e1-platform": e1_platform,
     "e2-stack": e2_stack,
     "e4-cycle": e4_cycle,
+    "grammar-tiny": grammar_tiny,
 }
 
 

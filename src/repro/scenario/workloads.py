@@ -183,6 +183,80 @@ def _build_scale(spec) -> BuiltWorkload:
     return [], ScaleWriteWorkload(spec)
 
 
+def _build_dsl(spec) -> BuiltWorkload:
+    """A workload written in the :mod:`repro.wgen.dsl` language.
+
+    ``params`` is ``{"program": <DSL source>}``; the program's ``ranks``
+    declaration must match ``spec.n_ranks`` so the spec stays the single
+    source of truth sweeps override.
+    """
+    from repro.scenario.spec import ScenarioError
+    from repro.wgen.dsl import DSLError, parse_workload
+
+    params = dict(spec.params)
+    program = params.pop("program", None)
+    if params:
+        raise ScenarioError(
+            f"dsl: unknown param(s) {', '.join(sorted(params))} "
+            f"(only 'program' is accepted)"
+        )
+    if not isinstance(program, str) or not program.strip():
+        raise ScenarioError("dsl: params.program must be DSL source text")
+    try:
+        workload = parse_workload(program)
+    except DSLError as exc:
+        raise ScenarioError(f"dsl: {exc}") from exc
+    if workload.n_ranks != spec.n_ranks:
+        raise ScenarioError(
+            f"dsl: program declares ranks {workload.n_ranks} but the "
+            f"workload spec says n_ranks={spec.n_ranks}; make them agree"
+        )
+    return [], workload
+
+
+def _build_grammar(spec) -> BuiltWorkload:
+    """A workload sampled from a grammar at build time.
+
+    ``params``: ``grammar`` names a built-in grammar (``"default"``) or is
+    a full grammar document (dict), ``sample_seed`` picks the derivation
+    (a first-class sweep axis: ``sample_seed=0,1,2,...``), ``max_steps``
+    optionally bounds derivation depth.  Sampling is deterministic, so the
+    spec digest still identifies the realized op stream exactly.
+    """
+    from repro.scenario.spec import ScenarioError
+    from repro.wgen.dsl import DSLError, parse_workload
+    from repro.wgen.grammar import GrammarError, GrammarSpec, default_grammar, sample
+
+    params = dict(spec.params)
+    source = params.pop("grammar", "default")
+    seed = params.pop("sample_seed", 0)
+    max_steps = params.pop("max_steps", 256)
+    if params:
+        raise ScenarioError(
+            f"grammar: unknown param(s) {', '.join(sorted(params))} "
+            f"(accepted: grammar, sample_seed, max_steps)"
+        )
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        raise ScenarioError("grammar: sample_seed must be a non-negative int")
+    try:
+        if source == "default":
+            grammar = default_grammar()
+        elif isinstance(source, dict):
+            grammar = GrammarSpec.from_dict(source).validate()
+        else:
+            raise ScenarioError(
+                f"grammar: params.grammar must be 'default' or a grammar "
+                f"document, got {source!r}"
+            )
+        derivation = sample(
+            grammar, seed=seed, n_ranks=spec.n_ranks, max_steps=max_steps
+        )
+        workload = parse_workload(derivation.text)
+    except (GrammarError, DSLError) as exc:
+        raise ScenarioError(f"grammar: {exc}") from exc
+    return [], workload
+
+
 #: Every declarable workload kind.
 WORKLOAD_KINDS: Dict[str, WorkloadBuilder] = {
     "ior": _config_workload(IORConfig, IORWorkload),
@@ -198,6 +272,8 @@ WORKLOAD_KINDS: Dict[str, WorkloadBuilder] = {
     "workflow": _build_workflow,
     "workflow_boot": _build_workflow_boot,
     "scale_write": _build_scale,
+    "dsl": _build_dsl,
+    "grammar": _build_grammar,
 }
 
 

@@ -37,6 +37,8 @@ KINDS: Dict[str, str] = {
     "host": "host/interpreter metadata",
     "bench": "benchmark report or baseline",
     "service_job": "run-service job document (tenant, tasks, outcomes)",
+    "grammar": "workload-grammar document (repro.wgen.grammar CFG)",
+    "synthesis": "trace-to-spec synthesis result with provenance",
 }
 
 
@@ -145,6 +147,17 @@ class RunArtifact:
         """Wrap a run-service job document (see :mod:`repro.service`)."""
         return cls(kind="service_job", payload=doc)
 
+    @classmethod
+    def from_grammar(cls, doc: Mapping[str, Any]) -> "RunArtifact":
+        """Wrap a :meth:`GrammarSpec.to_dict` grammar document."""
+        return cls(kind="grammar", payload=doc)
+
+    @classmethod
+    def from_synthesis(cls, doc: Mapping[str, Any]) -> "RunArtifact":
+        """Wrap a :meth:`SynthesisResult.to_dict` document (scenario +
+        derivation + provenance back to the source trace)."""
+        return cls(kind="synthesis", payload=doc)
+
     def describe(self) -> str:
         """One-line human summary, used by ``repro-io store ls/show``."""
         p = self.payload
@@ -185,5 +198,16 @@ class RunArtifact:
                 f"service job {p.get('job_id', '?')} [{p.get('state', '?')}]: "
                 f"tenant {p.get('tenant', '?')}, "
                 f"{len(p.get('tasks', ()))} task(s)"
+            )
+        if self.kind == "grammar":
+            return (
+                f"grammar {p.get('name', '?')}: "
+                f"{len(p.get('rules', ()))} rule(s)"
+            )
+        if self.kind == "synthesis":
+            return (
+                f"synthesis: source {str(p.get('source_digest') or '?')[:12]}, "
+                f"distance {p.get('distance', float('nan')):.4f} "
+                f"({len(p.get('choices', ()))} choice(s))"
             )
         return self.kind  # pragma: no cover - KINDS is exhaustive

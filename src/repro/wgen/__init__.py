@@ -14,10 +14,27 @@ producer/consumer abstraction:
 * Trace workloads come from :func:`repro.simulate.tracesim.trace_to_workload`.
 * :mod:`repro.wgen.iowa` -- the source/consumer registry tying them
   together.
+* :mod:`repro.wgen.grammar` -- a frozen, digest-identified context-free
+  grammar over I/O patterns whose seeded derivations compile (through the
+  DSL) to runnable scenarios: unbounded what-if exploration from a few
+  production rules.
+* :mod:`repro.wgen.synth` -- the inverse: beam search over grammar
+  derivations that turns a monitored trace back into the smallest
+  scenario spec reproducing its access pattern.
 """
 
 from repro.wgen.dsl import DSLError, parse_workload
 from repro.wgen.from_profile import synthesize_from_profile
+from repro.wgen.grammar import (
+    Derivation,
+    GrammarError,
+    GrammarSpec,
+    Production,
+    Rule,
+    default_grammar,
+    expand,
+    sample,
+)
 from repro.wgen.iowa import (
     IOWA,
     ProfileSource,
@@ -25,14 +42,34 @@ from repro.wgen.iowa import (
     SyntheticSource,
     TraceSource,
 )
+from repro.wgen.synth import (
+    SynthesisResult,
+    normalize_ops,
+    store_synthesis,
+    synthesize,
+    target_ops,
+)
 
 __all__ = [
     "DSLError",
+    "Derivation",
+    "GrammarError",
+    "GrammarSpec",
     "IOWA",
+    "Production",
     "ProfileSource",
+    "Rule",
     "SimulationConsumer",
     "SyntheticSource",
+    "SynthesisResult",
     "TraceSource",
+    "default_grammar",
+    "expand",
+    "normalize_ops",
     "parse_workload",
+    "sample",
+    "store_synthesis",
+    "synthesize",
     "synthesize_from_profile",
+    "target_ops",
 ]

@@ -1,0 +1,109 @@
+"""CLI tests for the grammar subcommands (show/sample/expand/synth)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.wgen.grammar import default_grammar
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_grammar_show(capsys):
+    code, out, _ = run_cli(capsys, "grammar", "show")
+    assert code == 0
+    assert default_grammar().digest()[:16] in out
+    assert "<workload> ::=" in out
+
+
+def test_grammar_show_json_round_trips(capsys):
+    from repro.wgen.grammar import GrammarSpec
+
+    code, out, _ = run_cli(capsys, "grammar", "show", "--json")
+    assert code == 0
+    assert GrammarSpec.from_json(out).digest() == default_grammar().digest()
+
+
+def test_grammar_sample_digest_stable_across_invocations(capsys):
+    code_a, out_a, _ = run_cli(capsys, "grammar", "sample", "--seed", "0")
+    code_b, out_b, _ = run_cli(capsys, "grammar", "sample", "--seed", "0")
+    assert code_a == code_b == 0
+    assert out_a == out_b
+    assert "seed=0" in out_a and "scenario " in out_a
+
+
+def test_grammar_sample_count_and_text(capsys):
+    code, out, _ = run_cli(capsys, "grammar", "sample", "--seed", "3",
+                           "--count", "2", "--text")
+    assert code == 0
+    assert "seed=3" in out and "seed=4" in out
+    assert out.count("workload ") >= 2  # program text printed
+
+
+def test_grammar_sample_run_reports_volume(capsys):
+    code, out, _ = run_cli(capsys, "grammar", "sample", "--seed", "0", "--run")
+    assert code == 0
+    assert "ran:" in out and "B written" in out
+
+
+def test_grammar_sample_json_replays_through_expand(capsys):
+    code, out, _ = run_cli(capsys, "grammar", "sample", "--seed", "1",
+                           "--json")
+    assert code == 0
+    doc = json.loads(out)
+    choices = ",".join(str(c) for c in doc["choices"])
+    code, out, _ = run_cli(capsys, "grammar", "expand", choices,
+                           "--ranks", str(doc["n_ranks"]), "--json")
+    assert code == 0
+    replayed = json.loads(out)
+    # same choices, same program body (the workload name differs)
+    assert replayed["choices"] == doc["choices"]
+    assert replayed["text"].split("\n", 1)[1] == doc["text"].split("\n", 1)[1]
+
+
+def test_grammar_expand_rejects_bad_choices(capsys):
+    code, _, err = run_cli(capsys, "grammar", "expand", "99")
+    assert code == 2
+    assert "expand error" in err
+    code, _, err = run_cli(capsys, "grammar", "expand", "nope")
+    assert code == 2
+
+
+def test_grammar_expand_incomplete_needs_complete_flag(capsys):
+    code, _, err = run_cli(capsys, "grammar", "expand", "")
+    assert code == 2 and "incomplete" in err
+    code, out, _ = run_cli(capsys, "grammar", "expand", "", "--complete")
+    assert code == 0 and "workload" in out
+
+
+def test_grammar_rejects_unreadable_grammar_file(capsys):
+    code, _, err = run_cli(capsys, "grammar", "show",
+                           "--grammar", "/no/such/grammar.json")
+    assert code == 2 and "grammar error" in err
+
+
+def test_grammar_synth_from_preset_scenario(capsys, tmp_path):
+    from repro.store import RunStore
+
+    store_dir = tmp_path / "store"
+    code, out, _ = run_cli(
+        capsys, "grammar", "synth", "grammar-tiny", "--seed", "0",
+        "--store-dir", str(store_dir), "--check", "--rerun",
+    )
+    assert code == 0
+    assert "best derivation" in out and "[ok]" in out
+    assert "re-simulated trace distance" in out
+    store = RunStore(store_dir)
+    assert store.get_ref(f"grammar/{default_grammar().name}") is not None
+    refs = [name for name, _ in store.refs()]
+    assert any(name.startswith("synthesis/") for name in refs)
+
+
+def test_grammar_synth_unknown_target(capsys):
+    code, _, err = run_cli(capsys, "grammar", "synth", "no-such-preset")
+    assert code == 2 and "cannot resolve target" in err

@@ -1,0 +1,85 @@
+"""Access-pattern feature extraction (repro.monitoring.features)."""
+
+import pytest
+
+from repro.monitoring import RecorderTracer, access_features, archive_features
+from repro.monitoring.features import FEATURE_NAMES
+from repro.ops import IOOp, IORecord, OpKind
+
+MiB = 1024 * 1024
+
+
+def _write(path="/f", offset=0, nbytes=MiB, rank=0):
+    return IOOp(OpKind.WRITE, path, offset=offset, nbytes=nbytes, rank=rank)
+
+
+def test_empty_stream_is_all_zero_with_fixed_keys():
+    features = access_features([])
+    assert tuple(features) == tuple(FEATURE_NAMES)
+    assert all(v == 0.0 for v in features.values())
+
+
+def test_mix_and_fractions():
+    ops = [
+        _write(),
+        IOOp(OpKind.READ, "/f", offset=0, nbytes=MiB),
+        IOOp(OpKind.STAT, "/f"),
+        IOOp(OpKind.STAT, "/g"),
+    ]
+    f = access_features(ops)
+    assert f["mix_write"] == 0.25
+    assert f["mix_stat"] == 0.5
+    assert f["read_fraction"] == 0.5       # of the data ops
+    assert f["meta_fraction"] == 0.5
+    assert f["bytes_read"] == f["bytes_written"] == float(MiB)
+    assert f["read_write_byte_ratio"] == 0.5
+    assert f["n_files"] == 2.0
+
+
+def test_sequentiality_cursor_is_per_path_kind_rank():
+    sequential = [_write(offset=i * MiB) for i in range(4)]
+    f = access_features(sequential)
+    assert f["sequential_fraction"] == 0.75  # first op has no predecessor
+    shuffled = [sequential[0], sequential[2], sequential[1], sequential[3]]
+    assert access_features(shuffled)["sequential_fraction"] < 0.75
+
+
+def test_fpp_fraction_counts_single_rank_files():
+    ops = [
+        _write(path="/shared", rank=0), _write(path="/shared", rank=1),
+        _write(path="/own.0", rank=0), _write(path="/own.1", rank=1),
+    ]
+    f = access_features(ops)
+    assert f["fpp_fraction"] == pytest.approx(2 / 3)
+
+
+def test_rank_balance():
+    balanced = [_write(rank=r) for r in range(4)]
+    assert access_features(balanced)["rank_balance_cv"] == 0.0
+    assert access_features(balanced)["ops_per_rank"] == 1.0
+    skewed = balanced + [_write(rank=0)] * 4
+    assert access_features(skewed)["rank_balance_cv"] > 0.0
+
+
+def _record(**changes):
+    base = dict(layer="posix", kind=OpKind.WRITE, path="/f", offset=0,
+                nbytes=MiB, rank=0, start=0.0, end=1.0)
+    base.update(changes)
+    return IORecord(**base)
+
+
+def test_records_project_to_ops():
+    rec = _record()
+    assert access_features([rec]) == access_features([rec.to_op()])
+
+
+def test_rejects_foreign_items():
+    with pytest.raises(TypeError, match="IOOp or IORecord"):
+        access_features([42])
+
+
+def test_archive_features_reads_all_records():
+    tracer = RecorderTracer()
+    rec = _record()
+    tracer(rec)
+    assert archive_features(tracer.archive) == access_features([rec])

@@ -29,6 +29,7 @@ EXPECTED = {
     "a2-ior", "a3-ior", "a5-client",
     "e1-platform", "e2-stack", "e4-cycle",
     "r1-ckpt-outage", "r2-ior-degraded", "r3-mds-brownout",
+    "grammar-tiny",
 }
 
 
